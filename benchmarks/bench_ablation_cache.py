@@ -1,0 +1,74 @@
+"""Ablation: trace-cache hit vs cold trace (JIT compile cost).
+
+Julia pays a first-call JIT cost per method specialization and then
+dispatches from its method cache; our trace cache mirrors that.  This
+ablation measures both sides: tracing a kernel from scratch vs the cached
+dispatch path, and asserts the cache actually eliminates re-tracing.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.blas import axpy_kernel_1d
+from repro.apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+from repro.ir.compile import cache_info, clear_cache, compile_kernel
+
+N = 4096
+
+
+def _lbm_args(n=16):
+    f = np.ones(9 * n * n)
+    return [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, n]
+
+
+def test_cold_trace_axpy(benchmark, rng):
+    benchmark.group = "ablation-cache-compile"
+    args = [2.5, rng.random(8), rng.random(8)]
+
+    def cold():
+        clear_cache()
+        return compile_kernel(axpy_kernel_1d, 1, args)
+
+    benchmark(cold)
+
+
+def test_cold_trace_lbm(benchmark):
+    """The LBM kernel is the heaviest trace in the repo (27 stores, a
+    branch fork, ~200 nodes)."""
+    benchmark.group = "ablation-cache-compile"
+    args = _lbm_args()
+
+    def cold():
+        clear_cache()
+        return compile_kernel(lbm_kernel, 2, args)
+
+    benchmark(cold)
+
+
+def test_cached_dispatch(benchmark, rng):
+    benchmark.group = "ablation-cache-compile"
+    args = [2.5, rng.random(8), rng.random(8)]
+    compile_kernel(axpy_kernel_1d, 1, args)  # warm
+    benchmark(compile_kernel, axpy_kernel_1d, 1, args)
+
+
+def test_cache_prevents_retracing():
+    clear_cache()
+    repro.set_backend("serial")
+    x, y = np.ones(N), np.ones(N)
+    for _ in range(10):
+        repro.parallel_for(N, axpy_kernel_1d, 2.0, x, y)
+    info = cache_info()
+    assert info["misses"] == 1
+    assert info["hits"] == 9
+
+
+def test_construct_overhead_amortized(benchmark, rng):
+    """End-to-end dispatch cost of a warm parallel_for at a tiny size —
+    the per-construct floor a JACC user pays on the CPU."""
+    benchmark.group = "ablation-cache-dispatch"
+    repro.set_backend("serial")
+    x, y = rng.random(64), rng.random(64)
+    repro.parallel_for(64, axpy_kernel_1d, 2.0, x, y)  # warm
+    benchmark(repro.parallel_for, 64, axpy_kernel_1d, 2.0, x, y)

@@ -1,0 +1,72 @@
+"""Ablation: the tracing JIT (vectorizer) vs the scalar interpreter.
+
+DESIGN.md's central substitution claims tracing→NumPy plays the role of
+Julia's LLVM JIT.  This ablation quantifies it: the same kernels executed
+through the vectorized trace vs the pure-Python reference loop.  The
+speedup at these sizes is what makes the reproduction usable at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.blas import axpy_kernel_1d, dot_kernel_1d
+from repro.ir.compile import compile_kernel
+from repro.ir.interpreter import interpret_for, interpret_reduce
+from repro.ir.vectorizer import IndexDomain, execute_trace, reduce_trace
+
+N = 1 << 16
+
+
+@pytest.fixture
+def axpy_args(rng):
+    return [2.5, rng.random(N), rng.random(N)]
+
+
+def test_axpy_vectorized(benchmark, axpy_args):
+    benchmark.group = "ablation-jit-axpy"
+    ck = compile_kernel(axpy_kernel_1d, 1, axpy_args)
+    dom = IndexDomain.full((N,))
+    benchmark(execute_trace, ck.trace, dom, axpy_args)
+
+
+def test_axpy_interpreted(benchmark, axpy_args):
+    benchmark.group = "ablation-jit-axpy"
+    dom = IndexDomain.full((N,))
+    benchmark(interpret_for, axpy_kernel_1d, dom, axpy_args)
+
+
+def test_dot_vectorized(benchmark, rng):
+    benchmark.group = "ablation-jit-dot"
+    args = [rng.random(N), rng.random(N)]
+    ck = compile_kernel(dot_kernel_1d, 1, args, reduce=True)
+    dom = IndexDomain.full((N,))
+    result = benchmark(reduce_trace, ck.trace, dom, args)
+    assert result == pytest.approx(float(args[0] @ args[1]), rel=1e-10)
+
+
+def test_dot_interpreted(benchmark, rng):
+    benchmark.group = "ablation-jit-dot"
+    args = [rng.random(N), rng.random(N)]
+    dom = IndexDomain.full((N,))
+    result = benchmark(interpret_reduce, dot_kernel_1d, dom, args)
+    assert result == pytest.approx(float(args[0] @ args[1]), rel=1e-10)
+
+
+def test_jit_speedup_is_material(rng):
+    """The vectorized path must beat the interpreter by >20x at 64k lanes
+    (it is typically hundreds of times faster)."""
+    import time
+
+    args = [2.5, rng.random(N), rng.random(N)]
+    ck = compile_kernel(axpy_kernel_1d, 1, args)
+    dom = IndexDomain.full((N,))
+
+    t0 = time.perf_counter()
+    execute_trace(ck.trace, dom, args)
+    vec = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    interpret_for(axpy_kernel_1d, dom, args)
+    interp = time.perf_counter() - t0
+
+    assert interp / vec > 20

@@ -1,0 +1,58 @@
+"""Ablation: launch-configuration sensitivity (paper Figs. 5-7 math).
+
+JACC derives the GPU launch shape per call (threads = min(N, max_block),
+16x16 2-D tiles).  This ablation measures the wall cost of that
+derivation and checks the modeled consequences of explicit block-size
+choices on the simulated device (coverage validation, partial-block
+waste).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.gpusim import Device
+from repro.core.exceptions import LaunchConfigError
+from repro.core.launch import LaunchConfig, gpu_launch_config
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+@pytest.mark.parametrize("dims", [(1 << 20,), (1024, 1024), (64, 64, 64)])
+def test_launch_config_derivation(benchmark, dims):
+    benchmark.group = "ablation-launch-config"
+    cfg = benchmark(gpu_launch_config, dims, 1024)
+    covered = tuple(t * b for t, b in zip(cfg.threads, cfg.blocks))
+    assert all(c >= d for c, d in zip(covered, dims))
+
+
+@pytest.mark.parametrize("block", [64, 256, 512, 1024])
+def test_explicit_block_sizes_execute(benchmark, block, rng):
+    benchmark.group = "ablation-launch-block"
+    n = 1 << 16
+    dev = Device("a100")
+    x = dev.to_device(rng.random(n))
+    y = dev.to_device(rng.random(n))
+    cfg = LaunchConfig(threads=(block,), blocks=(-(-n // block),))
+    benchmark(dev.launch, axpy, n, 2.5, x, y, config=cfg)
+
+
+def test_undersized_config_rejected():
+    dev = Device("a100")
+    x = dev.to_device(np.zeros(1000))
+    y = dev.to_device(np.ones(1000))
+    with pytest.raises(LaunchConfigError):
+        dev.launch(
+            axpy, 1000, 1.0, x, y,
+            config=LaunchConfig(threads=(256,), blocks=(2,)),
+        )
+
+
+def test_derived_config_matches_paper_formula():
+    dev = Device("mi100")
+    cfg = dev.launch_config((100_000,))
+    assert cfg.threads == (1024,)
+    assert cfg.blocks == (-(-100_000 // 1024),)
+    cfg2 = dev.launch_config((500, 300))
+    assert cfg2.threads == (16, 16)

@@ -1,0 +1,65 @@
+"""Ablation: the IR optimizer (folding + identities + hash-consing).
+
+Measures the same traces executed with and without the middle-end pass.
+The LBM kernel is the interesting case: its unrolled loops re-derive the
+flat index ``k*n*n + x*n + y`` dozens of times, which hash-consing
+collapses, so the vectorized executor computes each distinct expression
+once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+from repro.ir.optimize import count_nodes, optimize_trace
+from repro.ir.tracer import trace_kernel
+from repro.ir.vectorizer import IndexDomain, execute_trace
+
+N = 96
+
+
+def _lbm_args():
+    f = np.ones(9 * N * N)
+    return [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, N]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    args = _lbm_args()
+    raw = trace_kernel(lbm_kernel, 2, args)
+    return raw, optimize_trace(raw)
+
+
+def test_lbm_unoptimized(benchmark, traces):
+    benchmark.group = "ablation-optimize-lbm"
+    raw, _ = traces
+    args = _lbm_args()
+    dom = IndexDomain.full((N, N))
+    benchmark(execute_trace, raw, dom, args)
+
+
+def test_lbm_optimized(benchmark, traces):
+    benchmark.group = "ablation-optimize-lbm"
+    _, opt = traces
+    args = _lbm_args()
+    dom = IndexDomain.full((N, N))
+    benchmark(execute_trace, opt, dom, args)
+
+
+def test_optimizer_shrinks_and_preserves(traces):
+    raw, opt = traces
+    assert count_nodes(opt) < count_nodes(raw)
+    a1 = _lbm_args()
+    a2 = [x.copy() if isinstance(x, np.ndarray) else x for x in a1]
+    dom = IndexDomain.full((N, N))
+    execute_trace(raw, dom, a1)
+    execute_trace(opt, dom, a2)
+    np.testing.assert_array_equal(a1[2], a2[2])  # f2 identical
+
+
+def test_optimize_pass_cost(benchmark):
+    """The pass itself must be cheap relative to a JIT compile."""
+    benchmark.group = "ablation-optimize-pass"
+    args = _lbm_args()
+    raw = trace_kernel(lbm_kernel, 2, args)
+    benchmark(optimize_trace, raw)

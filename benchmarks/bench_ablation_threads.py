@@ -1,0 +1,40 @@
+"""Ablation: threads-backend worker-count scaling (Base.Threads analogue).
+
+The coarse chunked decomposition should not *hurt* relative to
+single-threaded execution (NumPy releases the GIL on large kernels, so
+chunks can genuinely overlap; at worst the pool adds small overhead),
+and the chunked result must stay bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.blas import axpy_kernel_1d
+from repro.backends.threads import ThreadsBackend
+from repro.ir.compile import compile_kernel
+
+N = 1 << 22
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 4, 8])
+def test_axpy_thread_scaling(benchmark, n_threads, rng):
+    benchmark.group = "ablation-threads-axpy"
+    backend = ThreadsBackend(n_threads=n_threads, min_parallel_size=1024)
+    x, y = rng.random(N), rng.random(N)
+    ck = compile_kernel(axpy_kernel_1d, 1, [2.5, x, y])
+    benchmark(backend.run_for, (N,), ck, [2.5, x, y])
+    backend.close()
+
+
+def test_chunked_matches_inline_bitwise(rng):
+    x1, y = rng.random(N), rng.random(N)
+    x2 = x1.copy()
+    ck = compile_kernel(axpy_kernel_1d, 1, [2.5, x1, y])
+
+    b1 = ThreadsBackend(n_threads=1)
+    b1.run_for((N,), ck, [2.5, x1, y])
+    b8 = ThreadsBackend(n_threads=8, min_parallel_size=1024)
+    b8.run_for((N,), ck, [2.5, x2, y])
+    b8.close()
+
+    np.testing.assert_array_equal(x1, x2)

@@ -1,0 +1,59 @@
+"""Fig. 8 — 1-D AXPY and DOT (paper §V-A.1).
+
+Wall-clock benchmarks of the real engine on each backend, plus a shape
+check of the regenerated modeled-time series (who wins, where the
+crossovers sit).  Regenerate the full figure with
+``python -m repro.bench fig8``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.blas import axpy, dot
+from repro.bench.figures import figure8
+
+N = 1 << 20
+BACKENDS = ["threads", "cuda-sim", "rocm-sim", "oneapi-sim"]
+
+
+def _arrays(rng):
+    x = np.round(rng.random(N) * 100)
+    y = np.round(rng.random(N) * 100)
+    return x, y
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_axpy_1d(benchmark, backend, rng):
+    repro.set_backend(backend)
+    x, y = _arrays(rng)
+    dx, dy = repro.array(x), repro.array(y)
+    benchmark.group = "fig08-axpy-1d"
+    benchmark(axpy, N, 2.5, dx, dy)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dot_1d(benchmark, backend, rng):
+    repro.set_backend(backend)
+    x, y = _arrays(rng)
+    dx, dy = repro.array(x), repro.array(y)
+    benchmark.group = "fig08-dot-1d"
+    result = benchmark(dot, N, dx, dy)
+    assert result == pytest.approx(float(x @ y), rel=1e-12)
+
+
+def test_fig8_series_shape(benchmark):
+    """Regenerate (small) Fig. 8 series and assert the paper's shape."""
+    benchmark.group = "fig08-regen"
+    panels = benchmark.pedantic(
+        figure8, kwargs={"sizes": [1 << 12, 1 << 18]}, rounds=1, iterations=1
+    )
+    axpy_p, dot_p = panels
+    big = 1 << 18
+    small = 1 << 12
+    # GPUs beat the CPU on large AXPY; CPU wins small DOT (paper text).
+    assert axpy_p.get("mi100-jacc").time_at(big) < axpy_p.get("rome-jacc").time_at(big)
+    assert dot_p.get("rome-jacc").time_at(small) < dot_p.get("mi100-jacc").time_at(small)
+    # JACC ≈ native on the CPU.
+    ratio = axpy_p.get("rome-jacc").time_at(big) / axpy_p.get("rome-native").time_at(big)
+    assert ratio < 1.1

@@ -1,0 +1,58 @@
+"""Fig. 9 — 2-D AXPY and DOT (paper §V-A.2).
+
+Wall-clock benchmarks of the multidimensional constructs plus a shape
+check of the modeled series.  Regenerate with
+``python -m repro.bench fig9``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.blas import axpy, dot
+from repro.bench.figures import figure9
+
+EDGE = 1 << 10  # 1024 x 1024 doubles
+BACKENDS = ["threads", "cuda-sim", "rocm-sim", "oneapi-sim"]
+
+
+def _arrays(rng):
+    x = np.round(rng.random((EDGE, EDGE)) * 100)
+    y = np.round(rng.random((EDGE, EDGE)) * 100)
+    return x, y
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_axpy_2d(benchmark, backend, rng):
+    repro.set_backend(backend)
+    x, y = _arrays(rng)
+    dx, dy = repro.array(x), repro.array(y)
+    benchmark.group = "fig09-axpy-2d"
+    benchmark(axpy, (EDGE, EDGE), 2.5, dx, dy)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dot_2d(benchmark, backend, rng):
+    repro.set_backend(backend)
+    x, y = _arrays(rng)
+    dx, dy = repro.array(x), repro.array(y)
+    benchmark.group = "fig09-dot-2d"
+    result = benchmark(dot, (EDGE, EDGE), dx, dy)
+    assert result == pytest.approx(float((x * y).sum()), rel=1e-12)
+
+
+def test_fig9_series_shape(benchmark):
+    """Fig. 9's prose: the AXPY/DOT gap shrinks in 2-D; NVIDIA JACC AXPY
+    carries a small allocation overhead vs native."""
+    benchmark.group = "fig09-regen"
+    panels = benchmark.pedantic(
+        figure9, kwargs={"sizes": [64, 256]}, rounds=1, iterations=1
+    )
+    axpy_p, dot_p = panels
+    big = 256
+    # gap(2D) on the MI100 must be smaller than the 1-D reduce/stream
+    # bandwidth ratio (7.5x): reduce2d sits between.
+    gap_2d = dot_p.get("mi100-jacc").time_at(big) / axpy_p.get("mi100-jacc").time_at(big)
+    assert gap_2d < 7.5
+    # A100: JACC 2-D AXPY pays the extra-allocation overhead vs native.
+    assert axpy_p.get("a100-jacc").time_at(64) > axpy_p.get("a100-native").time_at(64)

@@ -1,0 +1,41 @@
+"""Fig. 13 — one CG iteration on the tridiagonal system (paper §V-C).
+
+Wall-clock benchmark of the paper's exact construct mix per backend plus
+a shape check of the modeled times (NVIDIA fastest, Intel the slow GPU,
+JACC ≈ native except a visible Intel overhead).  Regenerate with
+``python -m repro.bench fig13``; the 100M-unknown headline ratios come
+from ``python -m repro.bench headline``.
+"""
+
+import pytest
+
+import repro
+from repro.apps.cg import cg_iteration_paper, make_paper_cg_state
+from repro.bench.figures import figure13
+
+N = 1 << 20
+BACKENDS = ["threads", "cuda-sim", "rocm-sim", "oneapi-sim"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cg_iteration(benchmark, backend):
+    repro.set_backend(backend)
+    state = make_paper_cg_state(N)
+    cg_iteration_paper(state)  # warm the trace cache
+    benchmark.group = "fig13-cg-iteration"
+    benchmark(cg_iteration_paper, state)
+    assert state["cond"] > 0
+
+
+def test_fig13_shape(benchmark):
+    benchmark.group = "fig13-regen"
+    panel = benchmark.pedantic(figure13, kwargs={"n": 1 << 16}, rounds=1, iterations=1)
+    n = 1 << 16
+    t = {k: panel.get(f"{k}-jacc").time_at(n) for k in ("rome", "mi100", "a100", "max1550")}
+    assert t["a100"] < t["mi100"] < t["rome"]
+    assert t["max1550"] < t["rome"]
+    # Intel shows visible JACC overhead on CG (paper: "only in the Intel
+    # GPU results do we see some overhead").
+    intel_overhead = t["max1550"] / panel.get("max1550-native").time_at(n)
+    rome_overhead = t["rome"] / panel.get("rome-native").time_at(n)
+    assert intel_overhead > rome_overhead

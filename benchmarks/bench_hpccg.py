@@ -1,0 +1,53 @@
+"""HPCCG 27-point CG wall-clock benchmark (the benchmark the paper's
+tridiagonal CG stands in for; see DESIGN.md).
+
+Measures the per-iteration cost of the real 27-point operator (ELL
+matvec + the five reductions) through the portable front end, and the
+assembly cost of the problem generator.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.cg import cg_solve_operator
+from repro.apps.hpccg import build_27pt_problem, hpccg_solve, matvec_ell_kernel
+
+GRID = (24, 24, 24)  # 13,824 rows x 27 nnz
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_27pt_problem(*GRID)
+
+
+def test_problem_generation(benchmark):
+    benchmark.group = "hpccg-setup"
+    a, b, x = benchmark(build_27pt_problem, 16, 16, 16)
+    assert a.n == 16**3
+
+
+@pytest.mark.parametrize("backend", ["threads", "cuda-sim"])
+def test_ell_matvec(benchmark, backend, problem):
+    repro.set_backend(backend)
+    a, _, _ = problem
+    dcols = repro.array(a.cols)
+    dvals = repro.array(a.vals)
+    x = repro.array(np.ones(a.n))
+    y = repro.array(np.zeros(a.n))
+    repro.parallel_for(a.n, matvec_ell_kernel, dcols, dvals, x, y)  # warm
+    benchmark.group = "hpccg-matvec"
+    benchmark(repro.parallel_for, a.n, matvec_ell_kernel, dcols, dvals, x, y)
+    repro.set_backend("serial")
+
+
+def test_full_solve(benchmark, problem):
+    repro.set_backend("threads")
+    a, b, x_exact = problem
+    benchmark.group = "hpccg-solve"
+    res = benchmark.pedantic(
+        hpccg_solve, args=(a, b), kwargs={"tol": 1e-8}, rounds=1, iterations=1
+    )
+    assert res.converged
+    assert np.abs(res.x - x_exact).max() < 1e-5
+    repro.set_backend("serial")

@@ -1,0 +1,60 @@
+"""STREAM suite wall-clock benchmarks (beyond the paper).
+
+Measures this machine's real execution of the four STREAM kernels
+through the portable front end on the threads backend, and checks the
+modeled achieved-bandwidth table stays self-consistent (the calibration
+anchor — see docs/PERFMODEL.md §5).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.stream import (
+    add_kernel,
+    copy_kernel,
+    run_stream,
+    scale_kernel,
+    triad_kernel,
+)
+
+N = 1 << 22
+
+
+@pytest.fixture
+def arrays(rng):
+    return rng.random(N), rng.random(N), rng.random(N)
+
+
+@pytest.mark.parametrize(
+    "name,kernel,nargs",
+    [
+        ("copy", copy_kernel, 2),
+        ("scale", scale_kernel, -2),  # negative: scalar-first
+        ("add", add_kernel, 3),
+        ("triad", triad_kernel, -3),
+    ],
+)
+def test_stream_kernel(benchmark, arrays, name, kernel, nargs):
+    repro.set_backend("threads")
+    a, b, c = arrays
+    benchmark.group = f"stream-{name}"
+    if nargs == 2:
+        benchmark(repro.parallel_for, N, kernel, a, c)
+    elif nargs == -2:
+        benchmark(repro.parallel_for, N, kernel, 3.0, b, c)
+    elif nargs == 3:
+        benchmark(repro.parallel_for, N, kernel, a, b, c)
+    else:
+        benchmark(repro.parallel_for, N, kernel, 3.0, a, b, c)
+
+
+def test_modeled_stream_is_self_consistent(benchmark):
+    from repro.perfmodel import get_profile
+
+    repro.set_backend("cuda-sim")
+    benchmark.group = "stream-modeled"
+    res = benchmark.pedantic(run_stream, args=(1 << 24,), rounds=1, iterations=1)
+    expected = get_profile("a100").eff_bw["stream"]
+    assert res.bandwidth["triad"] == pytest.approx(expected, rel=0.15)
+    repro.set_backend("serial")

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Wall-clock numbers from pytest-benchmark measure this machine's real
+execution of the engine (regression tracking); the *paper's* figures are
+regenerated from modeled time via ``python -m repro.bench`` and checked
+here by shape assertions after each timed section.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def serial_after():
+    """Leave the process on the serial backend between benchmarks."""
+    yield
+    repro.set_backend("serial")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""3-D heat diffusion — the model's third dimension in action.
+
+Runs the explicit 7-point heat kernel as a single 3-D ``parallel_for``
+(8x8x8 launch tiles on the simulated GPUs), reports the approach to the
+steady state via a 3-D ``parallel_reduce`` residual, and prints a slice
+of the final temperature field.
+
+Usage::
+
+    python examples/heat_diffusion.py [backend] [n] [steps]
+
+Defaults: active backend, 24^3 grid, 600 steps.
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.apps.heat3d import Heat3D
+
+
+def main() -> int:
+    backend = sys.argv[1] if len(sys.argv) > 1 else None
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+    steps = int(sys.argv[3]) if len(sys.argv) > 3 else 600
+    if backend:
+        repro.set_backend(backend)
+    b = repro.active_backend()
+    print(f"backend: {b.name}; grid {n}^3; {steps} steps; hot face at i=0")
+
+    sim = Heat3D(n)
+    report_every = max(1, steps // 6)
+    last = None
+    for _ in range(0, steps, report_every):
+        sim.step(report_every)
+        resid = sim.laplacian_residual()
+        print(
+            f"step {sim.steps_taken:5d}: ||lap u||_2 = {resid:.6e}, "
+            f"interior heat = {sim.total_heat():.4f}"
+        )
+        assert last is None or resid <= last * 1.001, "residual must decay"
+        last = resid
+
+    u = sim.field()
+    mid = n // 2
+    print(f"\ntemperature along the hot->cold axis (j=k={mid}):")
+    profile = u[:, mid, mid]
+    print("  " + "  ".join(f"{v:.3f}" for v in profile))
+    assert np.all(np.diff(profile[:-1]) <= 1e-9), "profile must be monotone"
+    print(
+        f"\nmodeled time: {b.accounting.sim_time * 1e3:.2f} ms on {b.name} "
+        f"({b.accounting.n_for} parallel_for, {b.accounting.n_reduce} reduces)"
+    )
+    print("heat_diffusion OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

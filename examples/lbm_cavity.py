@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Lid-driven cavity with the HARVEY D2Q9 LBM kernel (paper §V-B).
+
+Runs the paper's fused lattice-Boltzmann ``parallel_for`` kernel on a
+square cavity whose top boundary row carries a fixed tangential velocity,
+prints flow diagnostics as the vortex spins up, and finishes with an
+ASCII rendering of the speed field.
+
+Usage::
+
+    python examples/lbm_cavity.py [backend] [n] [steps] [obstacle]
+
+Defaults: active backend, 64×64 lattice, 400 steps.  Pass ``obstacle``
+as the 4th argument to drop a solid square block into the cavity
+(HARVEY-style geometry with bounce-back walls).
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.apps.lbm import LBM
+
+
+def render_speed(ux: np.ndarray, uy: np.ndarray, width: int = 64) -> str:
+    """Coarse ASCII rendering of |u| (space = still, '@' = fastest)."""
+    speed = np.hypot(ux, uy)
+    n = speed.shape[0]
+    stride = max(1, n // width)
+    coarse = speed[::stride, ::stride]
+    top = coarse.max() or 1.0
+    ramp = " .:-=+*#%@"
+    rows = []
+    for r in coarse:
+        rows.append(
+            "".join(ramp[min(int(v / top * (len(ramp) - 1)), len(ramp) - 1)] for v in r)
+        )
+    return "\n".join(rows)
+
+
+def main() -> int:
+    backend = sys.argv[1] if len(sys.argv) > 1 else None
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    steps = int(sys.argv[3]) if len(sys.argv) > 3 else 400
+    with_obstacle = len(sys.argv) > 4 and sys.argv[4] == "obstacle"
+    if backend:
+        repro.set_backend(backend)
+    b = repro.active_backend()
+    solid = None
+    if with_obstacle:
+        solid = np.zeros((n, n), dtype=np.int64)
+        lo, hi = 2 * n // 5, 3 * n // 5
+        solid[lo:hi, lo:hi] = 1
+        print(f"solid block at [{lo}:{hi})^2 (bounce-back walls)")
+    print(f"backend: {b.name}; lattice {n}x{n}; {steps} steps; tau=0.8")
+
+    sim = LBM(n, tau=0.8, lid_velocity=0.08, solid=solid)
+    report_every = max(1, steps // 8)
+    for k in range(0, steps, report_every):
+        sim.step(report_every)
+        rho, ux, uy = sim.macroscopic()
+        umax = float(np.hypot(ux, uy)[1:-1, 1:-1].max())
+        print(
+            f"step {sim.steps_taken:5d}: interior max|u| = {umax:.5f}, "
+            f"rho in [{rho.min():.5f}, {rho.max():.5f}]"
+        )
+        if not np.isfinite(rho).all():
+            print("simulation diverged (reduce lid velocity or raise tau)")
+            return 1
+
+    rho, ux, uy = sim.macroscopic()
+    print("\nspeed field |u| (lid at the top):")
+    print(render_speed(ux, uy))
+    print(
+        f"\nmodeled time for the whole run: "
+        f"{b.accounting.sim_time * 1e3:.2f} ms on {b.name}"
+    )
+    # A real cavity flow must have developed a primary vortex: opposite
+    # horizontal velocities near the lid and near the floor.
+    mid = n // 2
+    near_lid = float(uy[1, mid])
+    near_floor = float(uy[-2, mid])
+    print(f"uy just under the lid: {near_lid:+.5f}; just above floor: {near_floor:+.5f}")
+    print("cavity OK" if near_lid * near_floor <= 0 or abs(near_floor) < abs(near_lid) else "unexpected flow")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart — the paper's Fig. 2 front-end example, ported.
+
+Write scalar kernels separately and in advance, hand them to
+``parallel_for`` / ``parallel_reduce`` with the iteration count and the
+kernel arguments, and run the *same* code on any backend.
+
+Usage::
+
+    python examples/quickstart.py [backend]
+
+``backend`` defaults to the preferences-resolved one (normally
+``threads``); try ``cuda-sim`` / ``rocm-sim`` / ``oneapi-sim`` to run on
+a simulated GPU and see the device clock and allocation accounting.
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+
+
+# --- kernels: defined separately and in advance (paper §III) -----------
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+def dot(i, x, y):
+    return x[i] * y[i]
+
+
+def axpy_2d(i, j, alpha, x, y):
+    x[i, j] = x[i, j] + alpha * y[i, j]
+
+
+def dot_2d(i, j, x, y):
+    return x[i, j] * y[i, j]
+
+
+def main() -> int:
+    backend = sys.argv[1] if len(sys.argv) > 1 else None
+    if backend:
+        repro.set_backend(backend)
+    b = repro.active_backend()
+    print(f"backend: {b.name} ({b.device_kind})")
+
+    # ---- unidimensional arrays (paper Fig. 2, top) ---------------------
+    size = 1_000_000
+    rng = np.random.default_rng(7)
+    x = np.round(rng.random(size) * 100)
+    y = np.round(rng.random(size) * 100)
+    alpha = 2.5
+
+    dx = repro.array(x)
+    dy = repro.array(y)
+    repro.parallel_for(size, axpy, alpha, dx, dy)
+    res = repro.parallel_reduce(size, dot, dx, dy)
+
+    expected = float((x + alpha * y) @ y)
+    print(f"1D: dot(x + {alpha}*y, y) = {res:.6e}  (expected {expected:.6e})")
+    assert np.isclose(res, expected), "1D result mismatch"
+
+    # ---- multidimensional arrays (paper Fig. 2, bottom) -----------------
+    size2 = 1_000
+    x2 = np.round(rng.random((size2, size2)) * 100)
+    y2 = np.round(rng.random((size2, size2)) * 100)
+
+    dx2 = repro.array(x2)
+    dy2 = repro.array(y2)
+    repro.parallel_for((size2, size2), axpy_2d, alpha, dx2, dy2)
+    res2 = repro.parallel_reduce((size2, size2), dot_2d, dx2, dy2)
+
+    expected2 = float(((x2 + alpha * y2) * y2).sum())
+    print(f"2D: dot(x + {alpha}*y, y) = {res2:.6e}  (expected {expected2:.6e})")
+    assert np.isclose(res2, expected2), "2D result mismatch"
+
+    acct = b.accounting
+    print(
+        f"accounting: {acct.n_for} parallel_for, {acct.n_reduce} "
+        f"parallel_reduce, modeled time {acct.sim_time * 1e3:.3f} ms"
+    )
+    print("quickstart OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the wall-clock benchmark suite (pytest-benchmark) and regenerate
+# every paper figure — the analogue of the paper's per-backend
+# benchmark.jl drivers (Appendix, Listing 2).
+#
+# Usage: scripts/run_benchmarks.sh [--full]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=""
+if [[ "${1:-}" == "--full" ]]; then
+    FULL="--full"
+fi
+
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+python -m repro.bench all ${FULL} --json results/latest_sweep.json \
+    2>&1 | tee -a bench_output.txt

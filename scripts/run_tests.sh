@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Run the full test suite, recording output the way the reproduction's
+# final artifacts expect (cf. the paper's appendix test instructions).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+python -m pytest tests/ 2>&1 | tee test_output.txt

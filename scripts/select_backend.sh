@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Select the PyACC backend for this working directory by writing the
+# Preferences file — the analogue of the paper's Appendix Listing 3
+# (Frontier configuration script), minus the module loads a real DOE
+# system needs.
+#
+# Usage: scripts/select_backend.sh <threads|serial|interp|cuda-sim|rocm-sim|oneapi-sim|multi-sim|hetero-sim>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BACKEND="${1:?usage: select_backend.sh <backend-name>}"
+python - "$BACKEND" <<'EOF'
+import sys
+import repro
+
+name = sys.argv[1]
+if name not in repro.available_backends():
+    raise SystemExit(
+        f"unknown backend {name!r}; available: {', '.join(repro.available_backends())}"
+    )
+repro.set_backend(name, persist=True)
+print(f"wrote LocalPreferences.toml: backend = {name}")
+EOF

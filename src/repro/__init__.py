@@ -1,0 +1,60 @@
+"""PyACC — a Python reproduction of JACC (Valero-Lara et al., SC 2024).
+
+The public surface mirrors the paper's front end:
+
+>>> import repro
+>>> import numpy as np
+>>> def axpy(i, alpha, x, y):
+...     x[i] += alpha * y[i]
+>>> def dot(i, x, y):
+...     return x[i] * y[i]
+>>> x = repro.array(np.ones(1000)); y = repro.array(np.ones(1000))
+>>> repro.parallel_for(1000, axpy, 2.5, x, y)
+>>> repro.parallel_reduce(1000, dot, x, y)
+3500.0
+
+Backend selection follows the paper's Preferences mechanism
+(``LocalPreferences.toml`` / ``PYACC_BACKEND``) and defaults to the
+threads (Base.Threads-analogue) backend; ``repro.set_backend("cuda-sim")``
+switches to a simulated GPU.  See README.md and DESIGN.md.
+"""
+
+from .core import (
+    active_backend,
+    array,
+    is_backend_array,
+    ones,
+    parallel_for,
+    parallel_reduce,
+    reset_backend,
+    set_backend,
+    synchronize,
+    to_host,
+    zeros,
+)
+from .backends import available_backends, register_backend
+from .ir import cache_info, clear_cache, inspect_kernel
+from . import math
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "active_backend",
+    "array",
+    "available_backends",
+    "cache_info",
+    "clear_cache",
+    "inspect_kernel",
+    "is_backend_array",
+    "math",
+    "ones",
+    "parallel_for",
+    "parallel_reduce",
+    "register_backend",
+    "reset_backend",
+    "set_backend",
+    "synchronize",
+    "to_host",
+    "zeros",
+]

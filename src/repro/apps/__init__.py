@@ -1,0 +1,17 @@
+"""The paper's workloads: BLAS-1, HARVEY LBM, MiniFE/HPCCG CG — portable
+versions plus device-specific baselines."""
+
+from . import blas, blas_native, cg, cg_native, heat3d, hpccg, lbm, lbm3d, minife, stream
+
+__all__ = [
+    "blas",
+    "blas_native",
+    "cg",
+    "cg_native",
+    "heat3d",
+    "hpccg",
+    "lbm",
+    "lbm3d",
+    "minife",
+    "stream",
+]

@@ -1,0 +1,63 @@
+"""BLAS level-1 workloads through the portable front end (paper §V-A).
+
+The kernels are literal 0-based ports of the paper's Fig. 2: AXPY via
+``parallel_for`` and DOT via ``parallel_reduce``, each in a 1-D and a 2-D
+variant.  Per the paper's model, the kernels are defined separately and
+in advance of the construct invocation — these module-level functions are
+the single source both the portable and (via the shared tracing JIT) the
+simulated-native code paths execute.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core import parallel_for, parallel_reduce
+
+__all__ = [
+    "axpy_kernel_1d",
+    "dot_kernel_1d",
+    "axpy_kernel_2d",
+    "dot_kernel_2d",
+    "axpy",
+    "dot",
+]
+
+
+def axpy_kernel_1d(i, alpha, x, y):
+    """``x[i] += alpha * y[i]`` (paper Fig. 2, unidimensional)."""
+    x[i] += alpha * y[i]
+
+
+def dot_kernel_1d(i, x, y):
+    """``x[i] * y[i]`` contribution of lane ``i`` (paper Fig. 2)."""
+    return x[i] * y[i]
+
+
+def axpy_kernel_2d(i, j, alpha, x, y):
+    """``x[i,j] += alpha * y[i,j]`` (paper Fig. 2, multidimensional)."""
+    x[i, j] = x[i, j] + alpha * y[i, j]
+
+
+def dot_kernel_2d(i, j, x, y):
+    """``x[i,j] * y[i,j]`` contribution of lane ``(i, j)``."""
+    return x[i, j] * y[i, j]
+
+
+def axpy(dims, alpha: float, x: Any, y: Any) -> None:
+    """Portable AXPY over a 1-D (``n``) or 2-D (``(m, n)``) domain.
+
+    ``x`` and ``y`` are backend arrays (or host ndarrays on CPU
+    backends); ``x`` is updated in place on its backend.
+    """
+    if isinstance(dims, tuple) and len(dims) == 2:
+        parallel_for(dims, axpy_kernel_2d, alpha, x, y)
+    else:
+        parallel_for(dims, axpy_kernel_1d, alpha, x, y)
+
+
+def dot(dims, x: Any, y: Any) -> float:
+    """Portable DOT over a 1-D or 2-D domain; returns the host scalar."""
+    if isinstance(dims, tuple) and len(dims) == 2:
+        return parallel_reduce(dims, dot_kernel_2d, x, y)
+    return parallel_reduce(dims, dot_kernel_1d, x, y)

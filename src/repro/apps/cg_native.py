@@ -1,0 +1,127 @@
+"""Device-specific CG iteration baselines (Fig. 13's comparison codes).
+
+Same construct inventory as :func:`repro.apps.cg.cg_iteration_paper` — one
+matvec, five DOTs, three AXPY-class updates, three vector copies — but
+written straight against the backend internals: explicit vendor launches,
+the two-kernel reduction, device-to-device copies; or the chunked threads
+path on the CPU.  No portable dispatch layer, hence no modeled JACC
+overhead: these are the "device-specific model" bars of Fig. 13.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backends.gpusim.vendor import VendorAPI
+from ..backends.threads import ThreadsBackend
+from ..ir.compile import compile_kernel
+from .blas import axpy_kernel_1d, dot_kernel_1d
+from .cg import copy_kernel, matvec_tridiag_kernel, tridiagonal_system, xpby_kernel
+
+__all__ = [
+    "make_native_gpu_state",
+    "cg_iteration_native_gpu",
+    "make_native_cpu_state",
+    "cg_iteration_native_cpu",
+]
+
+
+def make_native_gpu_state(api: VendorAPI, n: int) -> dict:
+    """Device arrays initialized as the paper's Fig. 12 main body."""
+    lower, diagv, upper, _ = tridiagonal_system(n)
+    return {
+        "n": n,
+        "a0": api.to_device(lower),
+        "a1": api.to_device(diagv),
+        "a2": api.to_device(upper),
+        "r": api.to_device(np.full(n, 0.5)),
+        "p": api.to_device(np.full(n, 0.5)),
+        "s": api.to_device(np.zeros(n)),
+        "x": api.to_device(np.zeros(n)),
+        "r_old": api.to_device(np.zeros(n)),
+        "r_aux": api.to_device(np.zeros(n)),
+    }
+
+
+def _gpu_dot(api: VendorAPI, n: int, a, b) -> float:
+    partials = api.block_partials(dot_kernel_1d, n, a, b)
+    result = api.fold(partials)
+    value = api.scalar_to_host(result)
+    partials.free()
+    result.free()
+    return value
+
+
+def cg_iteration_native_gpu(api: VendorAPI, state: dict) -> dict:
+    """One CG iteration against the vendor API (CUDA.jl-style code)."""
+    n = state["n"]
+    api.copyto(state["r_old"], state["r"])
+    api.launch(
+        matvec_tridiag_kernel, n,
+        state["a0"], state["a1"], state["a2"], state["p"], state["s"], n,
+    )
+    alpha0 = _gpu_dot(api, n, state["r"], state["r"])
+    alpha1 = _gpu_dot(api, n, state["p"], state["s"])
+    alpha = alpha0 / alpha1
+    api.launch(axpy_kernel_1d, n, -alpha, state["r"], state["s"])
+    api.launch(axpy_kernel_1d, n, alpha, state["x"], state["p"])
+    beta0 = _gpu_dot(api, n, state["r"], state["r"])
+    beta1 = _gpu_dot(api, n, state["r_old"], state["r_old"])
+    beta = beta0 / beta1
+    api.copyto(state["r_aux"], state["r"])
+    api.launch(xpby_kernel, n, beta, state["r_aux"], state["p"])
+    state["cond"] = _gpu_dot(api, n, state["r"], state["r"])
+    state["alpha"] = alpha
+    state["beta"] = beta
+    return state
+
+
+def make_native_cpu_state(n: int) -> dict:
+    """Host arrays initialized as the paper's Fig. 12 main body."""
+    lower, diagv, upper, _ = tridiagonal_system(n)
+    return {
+        "n": n,
+        "a0": lower,
+        "a1": diagv,
+        "a2": upper,
+        "r": np.full(n, 0.5),
+        "p": np.full(n, 0.5),
+        "s": np.zeros(n),
+        "x": np.zeros(n),
+        "r_old": np.zeros(n),
+        "r_aux": np.zeros(n),
+    }
+
+
+def _cpu_for(backend: ThreadsBackend, fn, n: int, args: list) -> None:
+    kernel = compile_kernel(fn, 1, args, reduce=False)
+    backend.run_for((n,), kernel, args)
+
+
+def _cpu_dot(backend: ThreadsBackend, n: int, a, b) -> float:
+    kernel = compile_kernel(dot_kernel_1d, 1, [a, b], reduce=True)
+    return backend.run_reduce((n,), kernel, [a, b])
+
+
+def cg_iteration_native_cpu(backend: ThreadsBackend, state: dict) -> dict:
+    """One CG iteration as hand-chunked Base.Threads-style code."""
+    n = state["n"]
+    _cpu_for(backend, copy_kernel, n, [state["r"], state["r_old"]])
+    _cpu_for(
+        backend, matvec_tridiag_kernel, n,
+        [state["a0"], state["a1"], state["a2"], state["p"], state["s"], n],
+    )
+    alpha0 = _cpu_dot(backend, n, state["r"], state["r"])
+    alpha1 = _cpu_dot(backend, n, state["p"], state["s"])
+    alpha = alpha0 / alpha1
+    _cpu_for(backend, axpy_kernel_1d, n, [-alpha, state["r"], state["s"]])
+    _cpu_for(backend, axpy_kernel_1d, n, [alpha, state["x"], state["p"]])
+    beta0 = _cpu_dot(backend, n, state["r"], state["r"])
+    beta1 = _cpu_dot(backend, n, state["r_old"], state["r_old"])
+    beta = beta0 / beta1
+    _cpu_for(backend, copy_kernel, n, [state["r"], state["r_aux"]])
+    _cpu_for(backend, xpby_kernel, n, [beta, state["r_aux"], state["p"]])
+    state["cond"] = _cpu_dot(backend, n, state["r"], state["r"])
+    state["alpha"] = alpha
+    state["beta"] = beta
+    return state

@@ -1,0 +1,111 @@
+"""STREAM-style bandwidth suite through the portable model.
+
+Copy / Scale / Add / Triad are the canonical achieved-bandwidth probes
+for every machine the paper evaluates (its AXPY *is* Triad with
+aliasing).  The suite serves two roles here:
+
+* a fourth user-facing workload family exercising 1–3 array arguments
+  per kernel, and
+* the empirical anchor for the performance model: `stream_report`
+  returns the modeled achieved bandwidth per operation, which must land
+  on the profile's calibrated ``stream`` entry (asserted in
+  ``tests/test_stream.py``) — i.e. the model is self-consistent between
+  its inputs and what a benchmark run of it would conclude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import active_backend, array, parallel_for, to_host
+
+__all__ = [
+    "copy_kernel",
+    "scale_kernel",
+    "add_kernel",
+    "triad_kernel",
+    "StreamResult",
+    "run_stream",
+]
+
+
+def copy_kernel(i, a, c):
+    """STREAM Copy: ``c[i] = a[i]``."""
+    c[i] = a[i]
+
+
+def scale_kernel(i, scalar, b, c):
+    """STREAM Scale: ``b[i] = scalar * c[i]``."""
+    b[i] = scalar * c[i]
+
+
+def add_kernel(i, a, b, c):
+    """STREAM Add: ``c[i] = a[i] + b[i]``."""
+    c[i] = a[i] + b[i]
+
+
+def triad_kernel(i, scalar, a, b, c):
+    """STREAM Triad: ``a[i] = b[i] + scalar * c[i]``."""
+    a[i] = b[i] + scalar * c[i]
+
+
+#: Bytes moved per lane for each operation (loads + stores, 8 B doubles).
+_BYTES_PER_LANE = {"copy": 16, "scale": 16, "add": 24, "triad": 24}
+
+
+@dataclass
+class StreamResult:
+    """Modeled time and achieved bandwidth per STREAM operation."""
+
+    n: int
+    seconds: dict
+    bandwidth: dict  # B/s, derived from seconds and bytes moved
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        lines = [f"STREAM (n={self.n}, doubles)"]
+        for op in ("copy", "scale", "add", "triad"):
+            gbs = self.bandwidth[op] / 1e9
+            lines.append(f"  {op:<6s} {self.seconds[op] * 1e3:8.3f} ms  {gbs:8.1f} GB/s")
+        return "\n".join(lines)
+
+
+def run_stream(n: int, scalar: float = 3.0) -> StreamResult:
+    """Run the four STREAM kernels on the active backend and report the
+    modeled time + achieved bandwidth of each.
+
+    Results are verified against a NumPy oracle before reporting, so a
+    broken backend cannot return flattering numbers.
+    """
+    rng = np.random.default_rng(0)
+    ah = rng.random(n)
+    bh = rng.random(n)
+    ch = rng.random(n)
+    da, db, dc = array(ah), array(bh), array(ch)
+
+    backend = active_backend()
+
+    def timed(fn, *args):
+        t0 = backend.accounting.sim_time
+        parallel_for(n, fn, *args)
+        return backend.accounting.sim_time - t0
+
+    seconds = {}
+    seconds["copy"] = timed(copy_kernel, da, dc)
+    seconds["scale"] = timed(scale_kernel, scalar, db, dc)
+    seconds["add"] = timed(add_kernel, da, db, dc)
+    seconds["triad"] = timed(triad_kernel, scalar, da, db, dc)
+
+    # Oracle check (the sequence above, replayed in NumPy).
+    c_ref = ah.copy()
+    b_ref = scalar * c_ref
+    c_ref = ah + b_ref
+    a_ref = b_ref + scalar * c_ref
+    np.testing.assert_allclose(to_host(da), a_ref, rtol=1e-12)
+
+    bandwidth = {
+        op: (_BYTES_PER_LANE[op] * n / t if t > 0 else float("inf"))
+        for op, t in seconds.items()
+    }
+    return StreamResult(n=n, seconds=seconds, bandwidth=bandwidth)

@@ -1,0 +1,19 @@
+"""Backends: CPU (serial, interp, threads), simulated GPUs, multi-device.
+
+The registry (:mod:`repro.backends.registry`) is the only module imported
+eagerly; backend modules load lazily on first use (weak-dependency
+analogue)."""
+
+from .registry import (
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,29 @@
+"""Simulated GPU substrate: devices, memory spaces, clocks, vendor APIs.
+
+See DESIGN.md §2 — this package replaces the A100/MI100/Max 1550 hardware
+and the CUDA.jl/AMDGPU.jl/oneAPI.jl runtimes the paper measures on."""
+
+from .backend import GpuSimBackend
+from .clock import Event, SimClock
+from .device import DEFAULT_REDUCE_BLOCK, Device
+from .memory import DeviceArray, ManagedArray, MemorySpace
+from .simt import BarrierDivergenceError, ThreadContext, simt_launch
+from .vendor import VendorAPI, cuda, hip, oneapi
+
+__all__ = [
+    "BarrierDivergenceError",
+    "DEFAULT_REDUCE_BLOCK",
+    "Device",
+    "DeviceArray",
+    "Event",
+    "GpuSimBackend",
+    "ManagedArray",
+    "MemorySpace",
+    "SimClock",
+    "ThreadContext",
+    "VendorAPI",
+    "cuda",
+    "hip",
+    "oneapi",
+    "simt_launch",
+]

@@ -1,0 +1,63 @@
+"""Simulated device clock and event timeline.
+
+Each simulated device owns a :class:`SimClock`.  Every modeled operation
+(kernel launch, transfer, allocation) advances the clock by its analytic
+cost and, optionally, appends an :class:`Event` to a bounded timeline so
+tests and reports can inspect *what* was charged, not just the total.
+
+The clock is the device's notion of time; it never consults the host's
+wall clock.  ``elapsed_between`` + :meth:`SimClock.mark` give the harness
+scoped measurements (the simulated analogue of ``CUDA.@elapsed``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Event", "SimClock"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One charged operation on the device timeline."""
+
+    kind: str  # "kernel" | "h2d" | "d2h" | "alloc" | "dispatch"
+    label: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class SimClock:
+    """Monotonic simulated clock with an optional bounded event log."""
+
+    def __init__(self, record_events: bool = False, max_events: int = 100_000):
+        self.now: float = 0.0
+        self.record_events = record_events
+        self.max_events = max_events
+        self.events: list[Event] = []
+
+    def advance(self, duration: float, kind: str = "kernel", label: str = "") -> float:
+        """Charge ``duration`` seconds; returns the new time."""
+        if duration < 0:
+            raise ValueError(f"cannot advance the clock by {duration} s")
+        if self.record_events and len(self.events) < self.max_events:
+            self.events.append(Event(kind, label, self.now, duration))
+        self.now += duration
+        return self.now
+
+    def mark(self) -> float:
+        """Current simulated time (use pairs of marks to scope a region)."""
+        return self.now
+
+    def elapsed_between(self, start_mark: float, end_mark: Optional[float] = None) -> float:
+        end = self.now if end_mark is None else end_mark
+        return end - start_mark
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.events.clear()

@@ -1,0 +1,180 @@
+"""Simulated device memory: buffers, transfers, allocation tracking.
+
+A simulated GPU owns a distinct memory space.  Host data must be copied
+in (``Device.to_device`` / ``JACC.array``) and results copied out — the
+code path a real JACC GPU backend exercises with ``CuArray``/``ROCArray``/
+``oneArray``.  Storage is a private NumPy array per buffer; the *costs*
+(allocation latency, link latency + bytes/bandwidth) are charged to the
+device clock by :class:`~repro.backends.gpusim.device.Device`.
+
+:class:`DeviceArray` is the user-visible handle.  It intentionally does
+NOT behave like an ndarray: elementwise host-side arithmetic on a device
+array would hide transfers, the exact thing the unified front end is
+supposed to make explicit.  Kernels receive the underlying storage via the
+backend's ``unwrap``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ...core.exceptions import DeviceError, MemoryError_
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .device import Device
+
+__all__ = ["DeviceArray", "ManagedArray", "MemorySpace"]
+
+
+class DeviceArray:
+    """Handle to an array living in a simulated device's memory space."""
+
+    #: Marker consumed by :func:`repro.core.array.is_backend_array` and
+    #: ``Backend.resolve_args``.
+    __pyacc_array__ = True
+
+    __slots__ = ("_device", "_data", "_valid")
+
+    def __init__(self, device: "Device", data: np.ndarray):
+        self._device = device
+        self._data = data
+        self._valid = True
+
+    # -- metadata ---------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    @property
+    def device(self) -> "Device":
+        return self._device
+
+    def __len__(self) -> int:
+        if self._data.ndim == 0:
+            raise TypeError("len() of a 0-d device array")
+        return self._data.shape[0]
+
+    # -- storage access (runtime internals only) ----------------------------
+    def storage(self, for_device: "Device") -> np.ndarray:
+        """The raw storage, checked against the accessing device.
+
+        Kernels launched on device A must not read buffers of device B —
+        the bug class this check catches is passing a ``CuArray`` to a HIP
+        kernel, which on real hardware is a crash.
+        """
+        if not self._valid:
+            raise DeviceError("use of a freed device array")
+        if for_device is not self._device:
+            raise DeviceError(
+                f"device array of {self._device.name!r} used on device "
+                f"{for_device.name!r}; copy through the host first"
+            )
+        return self._data
+
+    def copy_to_host(self) -> np.ndarray:
+        """Explicit D2H copy (charged to the device clock)."""
+        return self._device.to_host(self)
+
+    def free(self) -> None:
+        """Release the buffer (further use raises)."""
+        if self._valid:
+            self._device._release(self.nbytes)
+            self._valid = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self._valid else " (freed)"
+        return (
+            f"<DeviceArray {self.shape} {self.dtype} on "
+            f"{self._device.name}{state}>"
+        )
+
+
+class ManagedArray(DeviceArray):
+    """Unified/managed memory: one array visible to host and device, with
+    page migration charged on residency changes.
+
+    This models the paper's §VII future-work direction ("heterogeneous
+    memory architectures") the way CUDA managed memory behaves: touching
+    the array from the side it is not resident on migrates it (a
+    transfer-priced event on the simulated clock).  Migration tracking is
+    conservative — any device kernel access marks it device-resident and
+    any host view marks it host-resident — which matches the
+    whole-allocation granularity of first-generation unified memory.
+
+    Functional storage is shared (there is exactly one buffer), so
+    results are always coherent; only *cost* depends on residency.
+    """
+
+    __slots__ = ("_residency",)
+
+    def __init__(self, device: "Device", data: np.ndarray):
+        super().__init__(device, data)
+        self._residency = "host"  # first touch decides placement
+
+    @property
+    def residency(self) -> str:
+        return self._residency
+
+    def storage(self, for_device: "Device") -> np.ndarray:
+        data = super().storage(for_device)
+        if self._residency == "host":
+            self._device._charge_migration(data.nbytes, "h2d")
+            self._residency = "device"
+        return data
+
+    def host_view(self) -> np.ndarray:
+        """Access from the host (may read or write): migrates if the
+        pages are device-resident."""
+        if not self._valid:
+            raise DeviceError("use of a freed managed array")
+        if self._residency == "device":
+            self._device._charge_migration(self._data.nbytes, "d2h")
+            self._residency = "host"
+        return self._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ManagedArray {self.shape} {self.dtype} on "
+            f"{self._device.name} resident={self._residency}>"
+        )
+
+
+class MemorySpace:
+    """Tracks a device's allocation totals against its capacity."""
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        self.capacity = capacity_bytes
+        self.in_use = 0
+        self.peak = 0
+        self.n_allocs = 0
+
+    def allocate(self, nbytes: int) -> None:
+        if self.capacity is not None and self.in_use + nbytes > self.capacity:
+            raise MemoryError_(
+                f"simulated device out of memory: requested {nbytes} B with "
+                f"{self.capacity - self.in_use} B free of {self.capacity} B"
+            )
+        self.in_use += nbytes
+        self.peak = max(self.peak, self.in_use)
+        self.n_allocs += 1
+
+    def release(self, nbytes: int) -> None:
+        self.in_use = max(0, self.in_use - nbytes)

@@ -1,0 +1,234 @@
+"""Cooperative SIMT executor: blocks, shared memory, barriers.
+
+The paper's device-specific codes (Fig. 3) are written at the CUDA level:
+``blockIdx``/``threadIdx``, ``@cuDynamicSharedMem``, ``sync_threads()``.
+The fast simulator path (:mod:`repro.backends.gpusim.device`) models that
+structure's *cost* but executes kernels through the lane-vectorized JIT.
+This module executes it *literally*: every thread of a block is a Python
+generator that runs until it ``yield``s at a barrier; the block scheduler
+interleaves whole barrier phases, which is exactly the synchronization
+contract ``__syncthreads`` guarantees.
+
+It is orders of magnitude slower than the vectorized path and exists for
+**fidelity**: the literal Fig. 3 shared-memory tree reduction runs on it
+(:func:`repro.apps.blas_native.gpu_dot_simt`) and is asserted equal to
+both the fast native path and the portable front end.  It also catches
+real SIMT bugs the vectorized path cannot express — barrier divergence
+(a thread skipping a barrier other threads wait on) and missing-barrier
+races are detected and reported.
+
+Kernel protocol
+---------------
+A SIMT kernel is a *generator function*::
+
+    def kernel(ctx, *args):
+        i = ctx.global_id(0)
+        shared = ctx.shared((512,))
+        ...
+        yield ctx.sync()     # __syncthreads()
+        ...
+
+``ctx`` is a :class:`ThreadContext` carrying this thread's coordinates
+and the block's shared state.  ``yield ctx.sync()`` is the barrier; a
+plain function (no yields) is a barrier-free kernel.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ...core.exceptions import DeviceError, LaunchConfigError
+
+__all__ = ["ThreadContext", "BlockSharedState", "simt_launch", "BarrierDivergenceError"]
+
+
+class BarrierDivergenceError(DeviceError):
+    """Threads of one block disagreed about hitting a barrier.
+
+    On real hardware this is undefined behaviour (usually a hang); the
+    simulator turns it into a hard error naming the block.
+    """
+
+
+class _SyncToken:
+    """Value yielded at a barrier (opaque; exists for API clarity)."""
+
+    __slots__ = ()
+
+
+_SYNC = _SyncToken()
+
+
+class BlockSharedState:
+    """Shared memory arena + barrier bookkeeping for one block.
+
+    Allocation identity is ``(barrier phase, call order within the
+    phase)``: since every thread of a block executes the same program,
+    the k-th ``ctx.shared`` call of phase p names the same buffer in all
+    threads — CUDA's one-allocation-per-block semantics, including for
+    (unusual) allocations made after a barrier.
+    """
+
+    __slots__ = ("allocations", "_next_slot", "phase")
+
+    def __init__(self):
+        self.allocations: dict[tuple[int, int], np.ndarray] = {}
+        self._next_slot = 0
+        self.phase = 0
+
+    def allocate(self, shape, dtype) -> np.ndarray:
+        key = (self.phase, self._next_slot)
+        self._next_slot += 1
+        buf = self.allocations.get(key)
+        if buf is not None:
+            if buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
+                raise DeviceError(
+                    "threads of one block requested mismatched shared "
+                    f"allocations: {buf.shape}/{buf.dtype} vs {shape}/{dtype}"
+                )
+            return buf
+        buf = np.zeros(shape, dtype=dtype)
+        self.allocations[key] = buf
+        return buf
+
+    def reset_cursor(self) -> None:
+        self._next_slot = 0
+
+    def advance_phase(self) -> None:
+        self.phase += 1
+        self._next_slot = 0
+
+
+class ThreadContext:
+    """One thread's view: coordinates, shared memory, barrier token."""
+
+    __slots__ = ("block_idx", "thread_idx", "block_dim", "grid_dim", "_shared")
+
+    def __init__(
+        self,
+        block_idx: tuple[int, ...],
+        thread_idx: tuple[int, ...],
+        block_dim: tuple[int, ...],
+        grid_dim: tuple[int, ...],
+        shared: BlockSharedState,
+    ):
+        self.block_idx = block_idx
+        self.thread_idx = thread_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self._shared = shared
+
+    def global_id(self, axis: int = 0) -> int:
+        """``blockIdx.axis * blockDim.axis + threadIdx.axis`` (0-based)."""
+        return self.block_idx[axis] * self.block_dim[axis] + self.thread_idx[axis]
+
+    def shared(self, shape, dtype=np.float64) -> np.ndarray:
+        """Block-shared array (``@cuDynamicSharedMem`` analogue)."""
+        return self._shared.allocate(tuple(shape), dtype)
+
+    def sync(self) -> _SyncToken:
+        """Barrier token — use as ``yield ctx.sync()``."""
+        return _SYNC
+
+    @property
+    def linear_thread_idx(self) -> int:
+        lin = 0
+        for t, d in zip(self.thread_idx, self.block_dim):
+            lin = lin * d + t
+        return lin
+
+
+def _iter_multi(dims: tuple[int, ...]):
+    if len(dims) == 1:
+        for i in range(dims[0]):
+            yield (i,)
+    else:
+        for i in range(dims[0]):
+            for rest in _iter_multi(dims[1:]):
+                yield (i, *rest)
+
+
+def simt_launch(
+    kernel: Callable,
+    *args: Any,
+    grid: Sequence[int],
+    block: Sequence[int],
+    domain: Optional[Sequence[int]] = None,
+) -> None:
+    """Execute ``kernel`` cooperatively over ``grid × block`` threads.
+
+    ``kernel(ctx, *args)`` may be a plain function (no barriers) or a
+    generator function yielding ``ctx.sync()`` tokens.  ``domain``
+    optionally names the logical index extent; threads whose
+    ``global_id`` falls outside must self-guard (as CUDA kernels do) —
+    the executor runs every launched thread regardless, exactly like
+    hardware.
+
+    Barrier semantics: all *live* threads of a block must reach barrier
+    ``k`` before any proceeds past it.  A thread that finishes while
+    others still wait on a barrier triggers
+    :class:`BarrierDivergenceError` — the classic ``__syncthreads`` in a
+    divergent branch bug.
+    """
+    grid = tuple(int(g) for g in grid)
+    block = tuple(int(b) for b in block)
+    if not grid or not block or len(grid) != len(block):
+        raise LaunchConfigError(
+            f"grid {grid} and block {block} must be non-empty and same rank"
+        )
+    if any(g <= 0 for g in grid) or any(b <= 0 for b in block):
+        raise LaunchConfigError(f"grid {grid} / block {block} must be positive")
+    threads_per_block = math.prod(block)
+    if threads_per_block > 4096:
+        raise LaunchConfigError(
+            f"{threads_per_block} threads/block exceeds the simulator's cap"
+        )
+
+    is_gen = inspect.isgeneratorfunction(kernel)
+
+    for block_idx in _iter_multi(grid):
+        shared = BlockSharedState()
+        if not is_gen:
+            # Barrier-free kernel: plain per-thread calls.
+            for thread_idx in _iter_multi(block):
+                shared.reset_cursor()
+                ctx = ThreadContext(block_idx, thread_idx, block, grid, shared)
+                kernel(ctx, *args)
+            continue
+
+        # Cooperative execution in barrier phases.
+        threads = []
+        for thread_idx in _iter_multi(block):
+            shared.reset_cursor()
+            ctx = ThreadContext(block_idx, thread_idx, block, grid, shared)
+            threads.append(kernel(ctx, *args))
+
+        live = list(range(len(threads)))
+        while live:
+            arrived: list[int] = []
+            finished: list[int] = []
+            for t in live:
+                shared.reset_cursor()
+                try:
+                    token = next(threads[t])
+                except StopIteration:
+                    finished.append(t)
+                    continue
+                if not isinstance(token, _SyncToken):
+                    raise DeviceError(
+                        "SIMT kernels may only yield ctx.sync() tokens, "
+                        f"got {token!r}"
+                    )
+                arrived.append(t)
+            if arrived and finished:
+                raise BarrierDivergenceError(
+                    f"block {block_idx}: {len(finished)} thread(s) exited "
+                    f"while {len(arrived)} wait at a barrier — "
+                    "__syncthreads() inside a divergent branch"
+                )
+            shared.advance_phase()
+            live = arrived

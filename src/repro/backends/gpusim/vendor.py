@@ -1,0 +1,106 @@
+"""Vendor-flavoured native APIs over the simulated devices.
+
+The paper's baselines are *device-specific* Julia codes written straight
+against CUDA.jl / AMDGPU.jl / oneAPI.jl.  These thin modules give our
+native baselines the same shape: a per-vendor module with the vendor's
+array constructor and launch entry points, bound to a module-level default
+device — ``cuda.cu_array(x)`` stands where ``CuArray(x)`` stood, and
+``cuda.launch(kernel, n, ...)`` where ``@cuda threads=... blocks=...``.
+
+All three vendors share :class:`VendorAPI`; :mod:`repro.backends.gpusim`
+exports pre-built ``cuda`` (A100), ``hip`` (MI100) and ``oneapi``
+(Max 1550) instances.  ``reset()`` swaps in a fresh device so tests and
+benchmark repetitions start from a zeroed clock and empty memory space.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ...core.launch import LaunchConfig
+from .device import DEFAULT_REDUCE_BLOCK, Device
+from .memory import DeviceArray
+
+__all__ = ["VendorAPI", "cuda", "hip", "oneapi"]
+
+
+class VendorAPI:
+    """One vendor's native programming surface on a simulated device."""
+
+    def __init__(self, vendor: str, profile_name: str, array_name: str):
+        self.vendor = vendor
+        self.profile_name = profile_name
+        self.array_name = array_name  # e.g. "CuArray" — for diagnostics
+        self._device: Optional[Device] = None
+
+    # -- device lifetime ---------------------------------------------------
+    def device(self) -> Device:
+        """The module-level default device (created on first use)."""
+        if self._device is None:
+            self._device = Device(self.profile_name, name=self.vendor)
+        return self._device
+
+    def reset(self, *, record_events: bool = False) -> Device:
+        """Replace the default device with a fresh one."""
+        self._device = Device(
+            self.profile_name, name=self.vendor, record_events=record_events
+        )
+        return self._device
+
+    # -- memory --------------------------------------------------------------
+    def to_device(self, host: Any) -> DeviceArray:
+        """The vendor array constructor (``CuArray(x)`` etc.)."""
+        return self.device().to_device(np.asarray(host))
+
+    def zeros(self, shape, dtype=np.float64) -> DeviceArray:
+        return self.device().zeros(shape, dtype=dtype)
+
+    def to_host(self, arr: DeviceArray) -> np.ndarray:
+        return self.device().to_host(arr)
+
+    def copy(self, arr: DeviceArray) -> DeviceArray:
+        return self.device().copy(arr)
+
+    def copyto(self, dst: DeviceArray, src: DeviceArray) -> None:
+        self.device().copyto(dst, src)
+
+    # -- compute ---------------------------------------------------------------
+    def launch(
+        self, fn, dims, *args: Any, config: Optional[LaunchConfig] = None
+    ) -> None:
+        """Native kernel launch + implicit synchronize (``@sync @cuda``)."""
+        self.device().launch(fn, dims, *args, config=config)
+
+    def block_partials(
+        self, fn, dims, *args: Any, block: int = DEFAULT_REDUCE_BLOCK, op: str = "add"
+    ) -> DeviceArray:
+        """First kernel of the Fig. 3 reduction: per-block partials."""
+        return self.device().map_block_partials(fn, dims, *args, block=block, op=op)
+
+    def fold(self, partials: DeviceArray, op: str = "add") -> DeviceArray:
+        """Second kernel of the Fig. 3 reduction."""
+        return self.device().fold_partials(partials, op=op)
+
+    def scalar_to_host(self, one: DeviceArray) -> float:
+        return self.device().scalar_to_host(one)
+
+    def synchronize(self) -> None:
+        self.device().synchronize()
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds on the default device's clock."""
+        return self.device().clock.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VendorAPI {self.vendor} ({self.array_name}) on {self.profile_name}>"
+
+
+#: CUDA.jl analogue on the NVIDIA A100.
+cuda = VendorAPI("cuda", "a100", "CuArray")
+#: AMDGPU.jl analogue on the AMD MI100.
+hip = VendorAPI("hip", "mi100", "ROCArray")
+#: oneAPI.jl analogue on the Intel Max 1550.
+oneapi = VendorAPI("oneapi", "max1550", "oneArray")

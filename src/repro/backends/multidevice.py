@@ -1,0 +1,180 @@
+"""Multi-device extension — the paper's §VII future work.
+
+The paper closes with "heterogeneous multi-device nodes" as future work;
+JACC.jl later grew a ``JACC.multi`` module.  This backend models that
+direction on the simulator: the launch domain's leading axis is split
+into one contiguous chunk per simulated device, each device's clock is
+charged for its chunk, and the construct completes at
+``max(device times) + coordination latency`` — the textbook strong-scaling
+model with explicit launch/fork overheads.
+
+Functional semantics: chunks execute against shared host storage (the
+simulated analogue of unified/managed memory), so every kernel that is
+correct on a single device — including ones with cross-chunk *reads*,
+e.g. stencils — is correct here without halo exchange.  ``array`` charges
+each device an H2D transfer of its shard, which is what a sharded
+multi-GPU allocation pays.
+
+Reductions fold per-device partials on the host after a per-device scalar
+readback, matching how a real multi-GPU reduction finishes.
+
+**Heterogeneous nodes** (the §VII phrase is "heterogeneous multi-device
+nodes"): when the devices differ, equal chunks would leave the fast
+device idle, so the domain is split proportionally to each device's
+achieved streaming bandwidth (largest-remainder apportionment, see
+:func:`repro.core.launch.weighted_chunks`).  Under the bandwidth-bound
+model this makes all devices finish together, which is the optimal
+static schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core.backend import Backend
+from ..core.launch import cpu_chunks, weighted_chunks
+from ..ir.compile import CompiledKernel
+from ..ir.vectorizer import IndexDomain
+from .gpusim.device import Device
+
+__all__ = ["MultiDeviceBackend"]
+
+#: Per-construct host-side coordination cost (one dispatch across devices).
+_COORDINATION_LATENCY = 10e-6
+
+
+class MultiDeviceBackend(Backend):
+    """Portable backend spreading constructs over several simulated GPUs."""
+
+    device_kind = "gpu"
+
+    def __init__(self, devices: Sequence[Device], name: str = "multi-sim"):
+        super().__init__()
+        if not devices:
+            raise ValueError("MultiDeviceBackend needs at least one device")
+        self.devices = list(devices)
+        self.name = name
+
+    @classmethod
+    def with_devices(
+        cls, profile_name: str, count: int, name: str = "multi-sim"
+    ) -> "MultiDeviceBackend":
+        if count <= 0:
+            raise ValueError(f"device count must be positive, got {count}")
+        return cls(
+            [Device(profile_name, name=f"{profile_name}[{k}]") for k in range(count)],
+            name=name,
+        )
+
+    @classmethod
+    def heterogeneous(
+        cls, profile_names: Sequence[str], name: str = "hetero-sim"
+    ) -> "MultiDeviceBackend":
+        """A mixed node, e.g. ``["a100", "mi100"]`` (paper §VII)."""
+        if not profile_names:
+            raise ValueError("heterogeneous node needs at least one device")
+        return cls(
+            [
+                Device(p, name=f"{p}[{k}]")
+                for k, p in enumerate(profile_names)
+            ],
+            name=name,
+        )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return len({d.profile.name for d in self.devices}) > 1
+
+    def _weights(self) -> list[float]:
+        """Per-device throughput weights: achieved streaming bandwidth."""
+        return [d.profile.eff_bw["stream"] for d in self.devices]
+
+    # -- memory ----------------------------------------------------------
+    def array(self, data: Any) -> np.ndarray:
+        host = np.array(data, copy=True)
+        # Each device pays the H2D transfer of its shard of the array.
+        chunks = cpu_chunks(host.shape or (1,), len(self.devices))
+        per_elem = host.nbytes / max(1, host.size)
+        lead = host.shape[0] if host.ndim else 1
+        row_bytes = host.nbytes / max(1, lead)
+        for dev, (lo, hi) in zip(self.devices, chunks):
+            dev.accounting.n_h2d += 1
+            nbytes = int((hi - lo) * row_bytes)
+            dev.accounting.bytes_h2d += nbytes
+            dev.clock.advance(
+                dev.model.transfer_cost(nbytes), kind="h2d", label="shard"
+            )
+        del per_elem
+        return host
+
+    def to_host(self, arr: Any) -> np.ndarray:
+        return np.asarray(arr)
+
+    def unwrap(self, arr: Any) -> np.ndarray:
+        return np.asarray(arr)
+
+    # -- compute -----------------------------------------------------------
+    def _chunk_domains(self, dims: tuple[int, ...]) -> list[IndexDomain]:
+        if self.is_heterogeneous:
+            chunks = weighted_chunks(dims, self._weights())
+        else:
+            chunks = cpu_chunks(dims, len(self.devices))
+            # cpu_chunks may return fewer chunks than devices on tiny
+            # domains; pad with empty ranges so zip stays aligned.
+            while len(chunks) < len(self.devices):
+                end = chunks[-1][1] if chunks else 0
+                chunks.append((end, end))
+        tail = [(0, d) for d in dims[1:]]
+        return [IndexDomain([(lo, hi)] + tail) for lo, hi in chunks]
+
+    def _charge(self, kernel: CompiledKernel, domains, dims) -> None:
+        start = max(dev.clock.now for dev in self.devices)
+        ends = []
+        for dev, dom in zip(self.devices, domains):
+            cost = dev.model.for_cost(kernel.stats, dom.size, len(dims)).total
+            dev.clock.advance(cost, kind="kernel", label="multi_chunk")
+            dev.accounting.n_kernel_launches += 1
+            ends.append(start + cost)
+        self.accounting.sim_time += (
+            max(ends) - start if ends else 0.0
+        ) + _COORDINATION_LATENCY
+
+    def run_for(
+        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
+    ) -> None:
+        domains = self._chunk_domains(dims)
+        for dom in domains:
+            kernel.run_for(dom, args)
+        self.accounting.n_kernel_launches += len(domains)
+        self._charge(kernel, domains, dims)
+
+    def run_reduce(
+        self,
+        dims: tuple[int, ...],
+        kernel: CompiledKernel,
+        args: Sequence[Any],
+        op: str = "add",
+    ) -> float:
+        domains = self._chunk_domains(dims)
+        partials = [kernel.run_reduce(dom, args, op) for dom in domains]
+        self.accounting.n_kernel_launches += 2 * len(domains)
+        # Per-device reduction cost + per-device scalar readback.
+        start = max(dev.clock.now for dev in self.devices)
+        ends = []
+        for dev, dom in zip(self.devices, domains):
+            cost = dev.model.reduce_cost(kernel.stats, dom.size, len(dims)).total
+            dev.clock.advance(cost, kind="kernel", label="multi_reduce")
+            dev.accounting.n_kernel_launches += 2
+            ends.append(start + cost)
+        self.accounting.sim_time += (
+            max(ends) - start if ends else 0.0
+        ) + _COORDINATION_LATENCY
+        if op == "add":
+            return float(sum(partials))
+        if op == "min":
+            return float(min(partials))
+        if op == "max":
+            return float(max(partials))
+        raise ValueError(f"unsupported reduction op {op!r}")

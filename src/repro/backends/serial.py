@@ -1,0 +1,82 @@
+"""Serial reference backends.
+
+Two registry entries share this module:
+
+* ``serial`` — single-threaded *vectorized* execution of the compiled
+  trace.  The semantics oracle for the threads backend (same executor, no
+  chunking, no pool) and a convenient default for small problems.
+* ``interp`` — pure scalar interpretation of the original kernel
+  function.  The slowest and most literal executor; differential tests
+  run it against every other backend.
+
+Neither owns a device boundary: ``array`` copies (value semantics match
+the GPU backends, where ``JACC.array`` always materializes a new buffer)
+and ``to_host`` returns the same storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.backend import Backend
+from ..ir.compile import CompiledKernel
+from ..ir.interpreter import interpret_for, interpret_reduce
+from ..ir.vectorizer import IndexDomain
+
+__all__ = ["SerialBackend", "InterpreterBackend"]
+
+
+class SerialBackend(Backend):
+    """Single-threaded vectorized execution (no worker pool)."""
+
+    name = "serial"
+    device_kind = "cpu"
+
+    def array(self, data: Any) -> np.ndarray:
+        return np.array(data, copy=True)
+
+    def to_host(self, arr: Any) -> np.ndarray:
+        return np.asarray(arr)
+
+    def unwrap(self, arr: Any) -> np.ndarray:
+        return np.asarray(arr)
+
+    def run_for(
+        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
+    ) -> None:
+        self.accounting.n_kernel_launches += 1
+        kernel.run_for(IndexDomain.full(dims), args)
+
+    def run_reduce(
+        self,
+        dims: tuple[int, ...],
+        kernel: CompiledKernel,
+        args: Sequence[Any],
+        op: str = "add",
+    ) -> float:
+        self.accounting.n_kernel_launches += 1
+        return kernel.run_reduce(IndexDomain.full(dims), args, op)
+
+
+class InterpreterBackend(SerialBackend):
+    """Scalar interpretation of the original kernel (reference oracle)."""
+
+    name = "interp"
+
+    def run_for(
+        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
+    ) -> None:
+        self.accounting.n_kernel_launches += 1
+        interpret_for(kernel.fn, IndexDomain.full(dims), args)
+
+    def run_reduce(
+        self,
+        dims: tuple[int, ...],
+        kernel: CompiledKernel,
+        args: Sequence[Any],
+        op: str = "add",
+    ) -> float:
+        self.accounting.n_kernel_launches += 1
+        return interpret_reduce(kernel.fn, IndexDomain.full(dims), args, op)

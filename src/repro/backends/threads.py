@@ -1,0 +1,181 @@
+"""The Base.Threads-analogue CPU backend.
+
+JACC's default backend decorates the loop with ``Threads.@sync
+Threads.@threads`` (paper Fig. 5): a static, coarse-grained split of the
+iteration space across OS threads, synchronized before returning.  This
+backend reproduces that shape:
+
+* the *leading* axis of the launch domain is split into one contiguous
+  chunk per worker (Julia splits the trailing axis because its arrays are
+  column-major; NumPy is row-major, so the leading axis gives the same
+  "each thread owns contiguous memory" property — see
+  :mod:`repro.core.launch`);
+* each worker executes the compiled (vectorized) trace over its chunk
+  through a shared :class:`~concurrent.futures.ThreadPoolExecutor` —
+  NumPy releases the GIL for large array operations, so chunks genuinely
+  overlap;
+* the construct joins all chunks before returning (synchronous API).
+
+Reductions fold per-chunk partials with the requested operation; addition
+of float64 partials is associative-enough for the paper's tolerance and is
+exactly what ``Threads.@threads`` + per-thread accumulators does.
+
+Worker count comes from ``PYACC_NUM_THREADS`` (default: ``os.cpu_count``),
+mirroring ``JULIA_NUM_THREADS``.  Domains smaller than
+``min_parallel_size`` run inline — forking threads for a 1000-element
+AXPY only measures pool overhead, on this machine and in the paper alike.
+
+Modeled time: the backend carries the Rome CPU profile by default so the
+benchmark harness can place CPU results on the same simulated-time axis
+as the (simulated) GPUs; wall-clock time is still the real execution.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core.backend import Backend
+from ..core.launch import cpu_chunks
+from ..ir.compile import CompiledKernel
+from ..ir.vectorizer import IndexDomain
+from ..perfmodel import PerfModel, get_overhead, get_profile
+
+__all__ = ["ThreadsBackend", "default_num_threads"]
+
+_ENV_THREADS = "PYACC_NUM_THREADS"
+
+
+def default_num_threads() -> int:
+    """Worker count: ``PYACC_NUM_THREADS`` or the machine's CPU count."""
+    env = os.environ.get(_ENV_THREADS)
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_THREADS} must be an integer, got {env!r}"
+            ) from None
+        if n <= 0:
+            raise ValueError(f"{_ENV_THREADS} must be positive, got {n}")
+        return n
+    return os.cpu_count() or 1
+
+
+class ThreadsBackend(Backend):
+    """Coarse-grained multi-threaded CPU backend (Base.Threads analogue)."""
+
+    name = "threads"
+    device_kind = "cpu"
+
+    def __init__(
+        self,
+        n_threads: Optional[int] = None,
+        *,
+        profile_name: str = "rome",
+        min_parallel_size: int = 1 << 14,
+    ):
+        super().__init__()
+        self.n_threads = n_threads if n_threads is not None else default_num_threads()
+        if self.n_threads <= 0:
+            raise ValueError(f"n_threads must be positive, got {self.n_threads}")
+        self.min_parallel_size = min_parallel_size
+        self.model = PerfModel(get_profile(profile_name))
+        self._overhead = get_overhead(self.name)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- memory ----------------------------------------------------------
+    def array(self, data: Any) -> np.ndarray:
+        return np.array(data, copy=True)
+
+    def to_host(self, arr: Any) -> np.ndarray:
+        return np.asarray(arr)
+
+    def unwrap(self, arr: Any) -> np.ndarray:
+        return np.asarray(arr)
+
+    # -- pool -------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_threads, thread_name_prefix="pyacc"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (tests; normally process-lifetime)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- compute -----------------------------------------------------------
+    def _domains(self, dims: tuple[int, ...]) -> list[IndexDomain]:
+        chunks = cpu_chunks(dims, self.n_threads)
+        tail = [(0, d) for d in dims[1:]]
+        return [IndexDomain([(lo, hi)] + tail) for lo, hi in chunks]
+
+    def run_for(
+        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
+    ) -> None:
+        self.accounting.n_kernel_launches += 1
+        lanes = int(np.prod(dims))
+        self.accounting.sim_time += self.model.for_cost(
+            kernel.stats, lanes, len(dims)
+        ).total
+        if (
+            self.n_threads == 1
+            or lanes < self.min_parallel_size
+            or kernel.trace is None  # interpreter fallback stays inline
+        ):
+            kernel.run_for(IndexDomain.full(dims), args)
+            return
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(kernel.run_for, dom, args) for dom in self._domains(dims)
+        ]
+        for fut in futures:
+            fut.result()  # join + re-raise worker errors (Threads.@sync)
+
+    def run_reduce(
+        self,
+        dims: tuple[int, ...],
+        kernel: CompiledKernel,
+        args: Sequence[Any],
+        op: str = "add",
+    ) -> float:
+        self.accounting.n_kernel_launches += 1
+        lanes = int(np.prod(dims))
+        self.accounting.sim_time += self.model.reduce_cost(
+            kernel.stats, lanes, len(dims)
+        ).total
+        if (
+            self.n_threads == 1
+            or lanes < self.min_parallel_size
+            or kernel.trace is None
+        ):
+            return kernel.run_reduce(IndexDomain.full(dims), args, op)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(kernel.run_reduce, dom, args, op)
+            for dom in self._domains(dims)
+        ]
+        partials = [fut.result() for fut in futures]
+        if op == "add":
+            return float(sum(partials))
+        if op == "min":
+            return float(min(partials))
+        if op == "max":
+            return float(max(partials))
+        raise ValueError(f"unsupported reduction op {op!r}")
+
+    # -- portable-dispatch accounting ---------------------------------------
+    def account_portable_dispatch(
+        self, construct: str, dims: tuple[int, ...]
+    ) -> None:
+        oh = self._overhead
+        self.accounting.sim_time += (
+            oh.for_latency if construct == "for" else oh.reduce_latency
+        )

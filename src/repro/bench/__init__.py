@@ -1,0 +1,39 @@
+"""Benchmark harness + per-figure regeneration (see DESIGN.md §4)."""
+
+from .figures import (
+    HeadlineResult,
+    figure8,
+    figure9,
+    figure11,
+    figure13,
+    headline_speedups,
+)
+from .harness import (
+    ARCHES,
+    ArchSpec,
+    get_arch,
+    measure_axpy,
+    measure_cg,
+    measure_dot,
+    measure_lbm,
+    modeled_cg_iteration,
+    modeled_construct_time,
+)
+
+__all__ = [
+    "ARCHES",
+    "ArchSpec",
+    "HeadlineResult",
+    "figure8",
+    "figure9",
+    "figure11",
+    "figure13",
+    "get_arch",
+    "headline_speedups",
+    "measure_axpy",
+    "measure_cg",
+    "measure_dot",
+    "measure_lbm",
+    "modeled_cg_iteration",
+    "modeled_construct_time",
+]

@@ -1,0 +1,338 @@
+"""Benchmark harness: run the paper's workloads on all four modeled
+architectures, native vs JACC, and collect modeled-time series.
+
+Two measurement modes:
+
+* **Executed** (``measure_*``): the workload actually runs (vectorized
+  NumPy under the simulated clock); the reported number is the backend's
+  modeled time delta across the operation.  This is what the figure
+  sweeps use — every data point corresponds to a real execution of the
+  real kernels.
+* **Analytic** (``modeled_*``): pure model evaluation from compiled
+  kernel stats, used for the paper's headline numbers at sizes that are
+  executable on a DOE node but not in CI (the 100M-unknown CG, 2^28
+  vectors).  The stats still come from actually tracing the kernels —
+  only the lane count is scaled.
+
+Architectures are fresh per measurement so clocks, memory spaces and
+allocation counters start from zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..backends.gpusim import Device, GpuSimBackend
+from ..backends.gpusim.vendor import VendorAPI
+from ..backends.threads import ThreadsBackend
+from ..core import api as core_api
+from ..core.array import array as make_array
+from ..ir.compile import compile_kernel
+from ..perfmodel import PerfModel, get_overhead, get_profile
+from ..apps import blas, blas_native, cg, cg_native, lbm
+
+__all__ = [
+    "ArchSpec",
+    "ARCHES",
+    "get_arch",
+    "measure_axpy",
+    "measure_dot",
+    "measure_lbm",
+    "measure_cg",
+    "modeled_construct_time",
+    "modeled_cg_iteration",
+    "kernel_stats",
+]
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One evaluation architecture: how to build its JACC backend and its
+    native (device-specific) execution context."""
+
+    key: str
+    display: str
+    kind: str  # "cpu" | "gpu"
+    profile_name: str
+    jacc_backend_name: str
+    vendor_name: Optional[str] = None  # GPU only
+
+    def make_jacc_backend(self):
+        if self.kind == "cpu":
+            return ThreadsBackend(profile_name=self.profile_name)
+        return GpuSimBackend(
+            Device(self.profile_name), name=self.jacc_backend_name
+        )
+
+    def make_vendor(self) -> VendorAPI:
+        if self.kind != "gpu":
+            raise ValueError(f"{self.key} is a CPU architecture")
+        api = VendorAPI(self.vendor_name, self.profile_name, self.vendor_name)
+        api.reset()
+        return api
+
+
+ARCHES: tuple[ArchSpec, ...] = (
+    ArchSpec("rome", "AMD Rome CPU", "cpu", "rome", "threads"),
+    ArchSpec("mi100", "AMD MI100", "gpu", "mi100", "rocm-sim", "hip"),
+    ArchSpec("a100", "NVIDIA A100", "gpu", "a100", "cuda-sim", "cuda"),
+    ArchSpec("max1550", "Intel Max 1550", "gpu", "max1550", "oneapi-sim", "oneapi"),
+)
+
+
+def get_arch(key: str) -> ArchSpec:
+    for a in ARCHES:
+        if a.key == key:
+            return a
+    raise KeyError(f"unknown architecture {key!r}; have {[a.key for a in ARCHES]}")
+
+
+class _use_backend:
+    """Temporarily install a backend as the active one."""
+
+    def __init__(self, backend):
+        self.backend = backend
+
+    def __enter__(self):
+        self._prev = core_api._active
+        core_api.set_backend(self.backend)
+        return self.backend
+
+    def __exit__(self, *exc):
+        core_api._active = self._prev
+        return False
+
+
+def _clock_of(backend) -> Callable[[], float]:
+    if isinstance(backend, GpuSimBackend):
+        return lambda: backend.device.clock.now
+    return lambda: backend.accounting.sim_time
+
+
+# ---------------------------------------------------------------------------
+# Executed measurements (modeled time around real runs)
+# ---------------------------------------------------------------------------
+
+
+def _rand(shape) -> np.ndarray:
+    rng = np.random.default_rng(42)
+    # The paper uses round.(rand(...) * 100); values are irrelevant to
+    # timing but keep them in the same range.
+    return np.round(rng.random(shape) * 100.0)
+
+
+def measure_axpy(arch: ArchSpec, dims) -> tuple[float, float]:
+    """(native_seconds, jacc_seconds) for one AXPY over ``dims``."""
+    shape = dims if isinstance(dims, tuple) else (int(dims),)
+    xh, yh = _rand(shape), _rand(shape)
+
+    if arch.kind == "gpu":
+        api = arch.make_vendor()
+        dx, dy = api.to_device(xh), api.to_device(yh)
+        t0 = api.elapsed
+        blas_native.gpu_axpy(api, dims, 2.5, dx, dy)
+        t_native = api.elapsed - t0
+    else:
+        backend = ThreadsBackend(profile_name=arch.profile_name)
+        x, y = xh.copy(), yh.copy()
+        t0 = backend.accounting.sim_time
+        blas_native.cpu_axpy(backend, dims, 2.5, x, y)
+        t_native = backend.accounting.sim_time - t0
+
+    with _use_backend(arch.make_jacc_backend()) as backend:
+        dx, dy = make_array(xh), make_array(yh)
+        clock = _clock_of(backend)
+        t0 = clock()
+        blas.axpy(dims, 2.5, dx, dy)
+        t_jacc = clock() - t0
+    return t_native, t_jacc
+
+
+def measure_dot(arch: ArchSpec, dims) -> tuple[float, float]:
+    """(native_seconds, jacc_seconds) for one DOT over ``dims``."""
+    shape = dims if isinstance(dims, tuple) else (int(dims),)
+    xh, yh = _rand(shape), _rand(shape)
+
+    if arch.kind == "gpu":
+        api = arch.make_vendor()
+        dx, dy = api.to_device(xh), api.to_device(yh)
+        t0 = api.elapsed
+        blas_native.gpu_dot(api, dims, dx, dy)
+        t_native = api.elapsed - t0
+    else:
+        backend = ThreadsBackend(profile_name=arch.profile_name)
+        t0 = backend.accounting.sim_time
+        blas_native.cpu_dot(backend, dims, xh, yh)
+        t_native = backend.accounting.sim_time - t0
+
+    with _use_backend(arch.make_jacc_backend()) as backend:
+        dx, dy = make_array(xh), make_array(yh)
+        clock = _clock_of(backend)
+        t0 = clock()
+        blas.dot(dims, dx, dy)
+        t_jacc = clock() - t0
+    return t_native, t_jacc
+
+
+def measure_lbm(arch: ArchSpec, n: int, steps: int = 1) -> tuple[float, float]:
+    """(native, jacc) modeled seconds for ``steps`` LBM updates on an
+    ``n × n`` lattice (per the paper, one fused 2-D parallel_for each)."""
+    feq = lbm.equilibrium(
+        np.ones((n, n)), np.zeros((n, n)), np.zeros((n, n))
+    ).reshape(-1)
+
+    if arch.kind == "gpu":
+        api = arch.make_vendor()
+        df = api.to_device(feq)
+        df1 = api.to_device(feq)
+        df2 = api.to_device(feq)
+        dw = api.to_device(lbm.WEIGHTS)
+        dcx = api.to_device(lbm.CX)
+        dcy = api.to_device(lbm.CY)
+        t0 = api.elapsed
+        for _ in range(steps):
+            lbm.step_native_gpu(api, n, df, df1, df2, 0.8, dw, dcx, dcy)
+            df1, df2 = df2, df1
+        t_native = api.elapsed - t0
+    else:
+        backend = ThreadsBackend(profile_name=arch.profile_name)
+        f, f1, f2 = feq.copy(), feq.copy(), feq.copy()
+        t0 = backend.accounting.sim_time
+        for _ in range(steps):
+            lbm.step_native_cpu(backend, n, f, f1, f2, 0.8)
+            f1, f2 = f2, f1
+        t_native = backend.accounting.sim_time - t0
+
+    with _use_backend(arch.make_jacc_backend()) as backend:
+        sim = lbm.LBM(n, tau=0.8)
+        clock = _clock_of(backend)
+        t0 = clock()
+        sim.step(steps)
+        t_jacc = clock() - t0
+    return t_native / steps, t_jacc / steps
+
+
+def measure_cg(arch: ArchSpec, n: int) -> tuple[float, float]:
+    """(native, jacc) modeled seconds for one CG iteration on the paper's
+    tridiagonal system of size ``n``."""
+    if arch.kind == "gpu":
+        api = arch.make_vendor()
+        state = cg_native.make_native_gpu_state(api, n)
+        t0 = api.elapsed
+        cg_native.cg_iteration_native_gpu(api, state)
+        t_native = api.elapsed - t0
+    else:
+        backend = ThreadsBackend(profile_name=arch.profile_name)
+        state = cg_native.make_native_cpu_state(n)
+        t0 = backend.accounting.sim_time
+        cg_native.cg_iteration_native_cpu(backend, state)
+        t_native = backend.accounting.sim_time - t0
+
+    with _use_backend(arch.make_jacc_backend()) as backend:
+        state = cg.make_paper_cg_state(n)
+        clock = _clock_of(backend)
+        t0 = clock()
+        cg.cg_iteration_paper(state)
+        t_jacc = clock() - t0
+    return t_native, t_jacc
+
+
+# ---------------------------------------------------------------------------
+# Analytic (model-only) evaluation at paper-scale sizes
+# ---------------------------------------------------------------------------
+
+_STATS_PROBE = 64  # array length used only to trace kernels for stats
+
+
+def kernel_stats(fn, ndim: int, args, *, reduce: bool = False):
+    """Compile a kernel against probe arguments and return its stats."""
+    return compile_kernel(fn, ndim, args, reduce=reduce).stats
+
+
+def modeled_construct_time(
+    profile_name: str,
+    fn,
+    args,
+    lanes: int,
+    ndim: int,
+    *,
+    reduce: bool = False,
+    jacc: bool = False,
+    backend_name: Optional[str] = None,
+) -> float:
+    """Pure-model time of one construct with ``lanes`` total lanes.
+
+    The kernel is traced against the given (small) probe ``args``; only
+    the lane count is scaled to the target size.  With ``jacc=True`` the
+    per-backend portable overhead is added (``backend_name`` picks the
+    overhead row; defaults to the canonical backend of the profile).
+    """
+    model = PerfModel(get_profile(profile_name))
+    kernel = compile_kernel(fn, ndim, args, reduce=reduce)
+    if reduce:
+        cost = model.reduce_cost(kernel.stats, lanes, ndim)
+    else:
+        cost = model.for_cost(kernel.stats, lanes, ndim)
+    if not jacc:
+        return cost.total
+    name = backend_name or _CANONICAL_BACKEND[profile_name]
+    oh = get_overhead(name)
+    total = cost.latency + cost.transfer
+    if reduce:
+        total += oh.reduce_latency
+        total += max(cost.bandwidth / oh.reduce_bw_mult, cost.compute)
+    else:
+        total += oh.for_latency
+        total += max(cost.bandwidth, cost.compute)
+        if ndim >= 2 and oh.for_allocs_2d:
+            total += oh.for_allocs_2d * model.profile.alloc_latency
+    return total
+
+
+_CANONICAL_BACKEND = {
+    "rome": "threads",
+    "mi100": "rocm-sim",
+    "a100": "cuda-sim",
+    "max1550": "oneapi-sim",
+}
+
+
+def modeled_cg_iteration(profile_name: str, n: int, *, jacc: bool) -> float:
+    """Analytic time of one paper-mix CG iteration at size ``n``.
+
+    Construct inventory (cg_iteration_paper): copy, matvec, 2×dot,
+    2×axpy, 2×dot, copy, xpby, dot — 6 parallel_for + 5 parallel_reduce.
+    """
+    probe = _STATS_PROBE
+    ones = np.ones(probe)
+    t = 0.0
+    t += modeled_construct_time(
+        profile_name, cg.copy_kernel, [ones, ones.copy()], n, 1, jacc=jacc
+    ) * 2
+    t += modeled_construct_time(
+        profile_name,
+        cg.matvec_tridiag_kernel,
+        [ones, ones, ones, ones, ones.copy(), probe],
+        n,
+        1,
+        jacc=jacc,
+    )
+    t += modeled_construct_time(
+        profile_name, blas.axpy_kernel_1d, [2.5, ones.copy(), ones], n, 1, jacc=jacc
+    ) * 2
+    t += modeled_construct_time(
+        profile_name, cg.xpby_kernel, [0.5, ones, ones.copy()], n, 1, jacc=jacc
+    )
+    t += modeled_construct_time(
+        profile_name,
+        blas.dot_kernel_1d,
+        [ones, ones],
+        n,
+        1,
+        reduce=True,
+        jacc=jacc,
+    ) * 5
+    return t

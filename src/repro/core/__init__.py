@@ -1,0 +1,34 @@
+"""Core of the portable programming model: API, array, backends contract,
+preferences and launch-configuration math."""
+
+from .api import (
+    active_backend,
+    parallel_for,
+    parallel_reduce,
+    reset_backend,
+    set_backend,
+    synchronize,
+)
+from .array import array, is_backend_array, ones, to_host, zeros
+from .backend import Accounting, Backend, normalize_dims
+from .launch import LaunchConfig, cpu_chunks, gpu_launch_config
+
+__all__ = [
+    "Accounting",
+    "Backend",
+    "LaunchConfig",
+    "active_backend",
+    "array",
+    "cpu_chunks",
+    "gpu_launch_config",
+    "is_backend_array",
+    "normalize_dims",
+    "ones",
+    "parallel_for",
+    "parallel_reduce",
+    "reset_backend",
+    "set_backend",
+    "synchronize",
+    "to_host",
+    "zeros",
+]

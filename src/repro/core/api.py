@@ -1,0 +1,137 @@
+"""The portable front end: ``parallel_for`` and ``parallel_reduce``.
+
+These two constructs are the whole user-facing compute surface of the
+model (paper §III): the programmer writes a scalar kernel ``f(i, ...)`` /
+``f(i, j, ...)`` separately and in advance, then hands it to a construct
+together with the iteration count(s) and the kernel's arguments.  Both
+constructs are **synchronous** — when they return, the computation has
+completed on the backend (paper §IV, last paragraph).
+
+Backend selection follows the paper's Preferences mechanism (see
+:mod:`repro.core.preferences`): the active backend is resolved lazily on
+first use from ``PYACC_BACKEND`` / ``LocalPreferences.toml`` and defaults
+to the threads (Base.Threads-analogue) backend.  ``set_backend`` switches
+at runtime and can persist the choice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from ..ir.compile import compile_kernel
+from .backend import Backend, normalize_dims
+from .exceptions import BackendError
+from .preferences import resolve_backend_name, write_preference
+
+__all__ = [
+    "parallel_for",
+    "parallel_reduce",
+    "active_backend",
+    "set_backend",
+    "reset_backend",
+    "synchronize",
+]
+
+_active: Optional[Backend] = None
+
+
+def active_backend() -> Backend:
+    """The backend in use, resolving preferences on first call."""
+    global _active
+    if _active is None:
+        name = resolve_backend_name()
+        _active = _instantiate(name)
+    return _active
+
+
+def _instantiate(name: str) -> Backend:
+    # Imported here (not at module top) so the registry's lazy loading —
+    # the weak-dependency analogue — actually stays lazy.
+    from ..backends.registry import create_backend
+
+    return create_backend(name)
+
+
+def set_backend(
+    backend: Union[str, Backend], *, persist: bool = False
+) -> Backend:
+    """Select the active backend by registry name or instance.
+
+    With ``persist=True`` the name is also written to
+    ``LocalPreferences.toml`` so future processes pick it up, mirroring
+    Preferences.jl.  Persisting an ad-hoc instance is rejected because it
+    cannot be reconstructed from a name.
+    """
+    global _active
+    if isinstance(backend, Backend):
+        if persist:
+            raise BackendError(
+                "cannot persist a backend instance; pass its registry name"
+            )
+        _active = backend
+        return _active
+    instance = _instantiate(backend)
+    if persist:
+        write_preference("backend", backend)
+    _active = instance
+    return _active
+
+
+def reset_backend() -> None:
+    """Drop the active backend so the next use re-resolves preferences."""
+    global _active
+    _active = None
+
+
+def synchronize() -> None:
+    """Explicit synchronization point.  The constructs already synchronize
+    (the API is synchronous); this exists for symmetry with the vendor
+    models and is a no-op on CPU backends."""
+    active_backend().synchronize()
+
+
+def parallel_for(dims, f: Callable, *args: Any) -> None:
+    """Apply the scalar kernel ``f`` at every index of the launch domain.
+
+    Parameters
+    ----------
+    dims:
+        ``N`` (1-D), ``(M, N)`` (2-D) or ``(L, M, N)`` (3-D) — the number
+        of iterations per axis, typically the array sizes (paper Fig. 2).
+    f:
+        The kernel: ``f(i, *args)``, ``f(i, j, *args)`` or
+        ``f(i, j, k, *args)``.  Indices are 0-based.
+    *args:
+        The kernel's parameters — backend arrays (from
+        :func:`repro.array`), plain ndarrays (CPU backends), and scalars.
+
+    The call returns only after the computation has completed.
+    """
+    shape = normalize_dims(dims)
+    backend = active_backend()
+    kargs = backend.resolve_args(args)
+    kernel = compile_kernel(f, len(shape), kargs, reduce=False)
+    backend.accounting.n_for += 1
+    backend.account_portable_dispatch("for", shape)
+    backend.run_for(shape, kernel, kargs)
+
+
+def parallel_reduce(dims, f: Callable, *args: Any, op: str = "add") -> float:
+    """Reduce the values returned by ``f`` over the launch domain.
+
+    Same shape/kernel conventions as :func:`parallel_for`; ``f`` must
+    return a value on every path.  ``op`` selects the fold: ``"add"``
+    (default, the paper's only reduction), ``"min"`` or ``"max"``.
+
+    Returns the reduced value as a Python float.  (JACC returns a
+    one-element device array; we return the host scalar directly and
+    charge the device→host copy to the model, which is what the paper's
+    DOT timing includes.)
+    """
+    shape = normalize_dims(dims)
+    backend = active_backend()
+    kargs = backend.resolve_args(args)
+    kernel = compile_kernel(f, len(shape), kargs, reduce=True)
+    backend.accounting.n_reduce += 1
+    backend.account_portable_dispatch("reduce", shape)
+    return backend.run_reduce(shape, kernel, kargs, op=op)

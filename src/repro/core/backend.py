@@ -1,0 +1,145 @@
+"""The backend contract: compute + memory components (paper Fig. 1).
+
+A JACC backend supplies two things — a *memory* component (how
+``JACC.array`` materializes data on the target and how results come back)
+and a *compute* component (how a compiled kernel is executed over a launch
+domain).  Everything else (tracing, caching, launch math, the public API)
+is shared, which is precisely the "lightweight front end" claim of the
+paper.
+
+Accounting
+----------
+Every backend carries an :class:`Accounting` record.  Wall-clock time is
+always measurable from outside; *modeled* time (``sim_time``) is advanced
+by backends that own an analytic performance profile (the GPU simulators
+always do; the threads backend does when one is attached) so the benchmark
+harness can put all four of the paper's architectures on one consistent
+time axis.  ``alloc_count`` exists because the paper attributes JACC's 2-D
+AXPY overhead on the A100 to extra allocations made by the
+metaprogramming layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..ir.compile import CompiledKernel
+
+__all__ = ["Accounting", "Backend", "normalize_dims"]
+
+
+@dataclass
+class Accounting:
+    """Operation counters + modeled time for one backend instance."""
+
+    n_for: int = 0
+    n_reduce: int = 0
+    n_kernel_launches: int = 0
+    n_h2d: int = 0
+    n_d2h: int = 0
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    alloc_count: int = 0
+    alloc_bytes: int = 0
+    sim_time: float = 0.0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+    def reset(self) -> None:
+        for k in self.__dict__:
+            setattr(self, k, 0 if k != "sim_time" else 0.0)
+
+
+def normalize_dims(dims) -> tuple[int, ...]:
+    """Accept the paper's ``N`` / ``(M, N)`` / ``(L, M, N)`` launch spec."""
+    if isinstance(dims, (int, np.integer)):
+        out: tuple[int, ...] = (int(dims),)
+    else:
+        out = tuple(int(d) for d in dims)
+    if not 1 <= len(out) <= 3:
+        raise ValueError(f"launch domain must be 1-D..3-D, got {out!r}")
+    if any(d <= 0 for d in out):
+        raise ValueError(f"launch dims must be positive, got {out!r}")
+    return out
+
+
+class Backend(ABC):
+    """Abstract backend.  Subclasses: serial, threads, gpusim, multidevice."""
+
+    #: Registry name, e.g. ``"threads"`` or ``"cuda-sim"``.
+    name: str = "?"
+    #: ``"cpu"`` or ``"gpu"`` — decides coarse vs fine decomposition.
+    device_kind: str = "cpu"
+
+    def __init__(self) -> None:
+        self.accounting = Accounting()
+
+    # ---- memory component --------------------------------------------
+    @abstractmethod
+    def array(self, data: Any) -> Any:
+        """``JACC.array``: materialize host data on this backend.
+
+        Returns the backend's native array handle (a plain ndarray for
+        CPU backends, a device-array wrapper for simulated GPUs).
+        """
+
+    @abstractmethod
+    def to_host(self, arr: Any) -> np.ndarray:
+        """Copy a backend array back to a host ndarray."""
+
+    @abstractmethod
+    def unwrap(self, arr: Any) -> np.ndarray:
+        """Expose the raw ndarray storage a kernel executes against."""
+
+    # ---- compute component --------------------------------------------
+    @abstractmethod
+    def run_for(
+        self,
+        dims: tuple[int, ...],
+        kernel: CompiledKernel,
+        args: Sequence[Any],
+    ) -> None:
+        """Execute a compiled for-kernel over the full domain, then
+        synchronize (JACC is a synchronous API)."""
+
+    @abstractmethod
+    def run_reduce(
+        self,
+        dims: tuple[int, ...],
+        kernel: CompiledKernel,
+        args: Sequence[Any],
+        op: str = "add",
+    ) -> float:
+        """Execute a compiled reduce-kernel and return the folded value."""
+
+    def synchronize(self) -> None:
+        """Block until outstanding work completes.  CPU backends are
+        synchronous already; simulated devices override."""
+
+    # ---- dispatch-overhead hook -----------------------------------------
+    def account_portable_dispatch(self, construct: str, dims: tuple[int, ...]) -> None:
+        """Charge the modeled cost of going through the portable front end
+        (vs calling the backend natively).  Default: free — overridden by
+        backends with a calibrated overhead profile."""
+
+    # ---- convenience ---------------------------------------------------
+    def resolve_args(self, args: Sequence[Any]) -> list[Any]:
+        """Map user-visible args (backend arrays, scalars) to kernel args
+        (raw ndarrays, scalars)."""
+        out = []
+        for a in args:
+            if isinstance(a, np.ndarray):
+                out.append(a)
+            elif hasattr(a, "__pyacc_array__"):
+                out.append(self.unwrap(a))
+            else:
+                out.append(a)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r} kind={self.device_kind!r}>"

@@ -1,0 +1,99 @@
+"""Error taxonomy for the PyACC runtime.
+
+The hierarchy mirrors the places a kernel can fail on its way from Python
+source to execution:
+
+* :class:`PyACCError` — root of everything raised by this package.
+* :class:`BackendError` — backend registry / selection problems.
+* :class:`TraceError` — the tracing JIT could not build an IR for a kernel.
+  Its subclasses signal *recoverable* conditions that the compile driver
+  uses to fall down the specialization ladder (symbolic trace →
+  value-specialized trace → interpreter):
+
+  - :class:`ConcretizationRequired` — a scalar argument was used in a way
+    that needs a concrete Python value (e.g. as a loop bound or via
+    ``__index__``/``__int__``).  Retraced with scalars baked in as
+    constants.
+  - :class:`TraceFallback` — the kernel is outside what the vectorizer can
+    express (e.g. too many control-flow paths); executed by the scalar
+    interpreter instead.
+
+* :class:`KernelExecutionError` — the kernel IR was built but executing it
+  failed (e.g. an out-of-bounds store on a taken path).
+"""
+
+from __future__ import annotations
+
+
+class PyACCError(Exception):
+    """Base class for all errors raised by the repro/PyACC package."""
+
+
+class BackendError(PyACCError):
+    """A backend could not be found, loaded, or used."""
+
+
+class UnknownBackendError(BackendError):
+    """The requested backend name is not registered."""
+
+    def __init__(self, name: str, available: tuple[str, ...]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown backend {name!r}; available backends: {', '.join(available)}"
+        )
+
+
+class PreferencesError(PyACCError):
+    """The preferences file is malformed or unwritable."""
+
+
+class TraceError(PyACCError):
+    """The tracing JIT failed to build an IR for a kernel."""
+
+
+class ConcretizationRequired(TraceError):
+    """A symbolic scalar needs a concrete value to continue tracing.
+
+    Raised when kernel code calls ``int()``, ``__index__``, ``float()``,
+    ``len()`` or iterates over a symbolic scalar.  The compile driver
+    catches this and retraces with scalar arguments bound to their
+    concrete runtime values (specializing the trace on them).
+    """
+
+    def __init__(self, what: str = "a symbolic scalar"):
+        self.what = what
+        super().__init__(
+            f"tracing requires a concrete value for {what}; "
+            "the kernel will be re-specialized on concrete scalar arguments"
+        )
+
+
+class TraceFallback(TraceError):
+    """The kernel cannot be vectorized; fall back to the interpreter."""
+
+
+class TooManyPathsError(TraceFallback):
+    """Branch forking exceeded the configured path budget."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(
+            f"kernel control flow produced more than {limit} distinct paths"
+        )
+
+
+class KernelExecutionError(PyACCError):
+    """Executing a compiled kernel failed."""
+
+
+class LaunchConfigError(PyACCError):
+    """An invalid launch configuration (dims, block shape) was requested."""
+
+
+class DeviceError(PyACCError):
+    """A simulated-device operation failed (bad handle, wrong device...)."""
+
+
+class MemoryError_(DeviceError):
+    """A simulated device ran out of its configured memory capacity."""

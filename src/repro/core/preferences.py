@@ -1,0 +1,120 @@
+"""Backend preferences — the LocalPreferences.toml analogue.
+
+JACC selects its backend with Julia's Preferences.jl, which persists the
+choice in a ``LocalPreferences.toml`` next to the active project before
+precompilation.  We reproduce the same mechanism:
+
+* The preferences file is ``LocalPreferences.toml`` in the current working
+  directory, overridable with the ``PYACC_PREFERENCES`` environment
+  variable (a path).
+* The backend preference lives under a ``[repro]`` table, key
+  ``backend``.  The environment variable ``PYACC_BACKEND`` overrides the
+  file (handy for CI matrices, like the paper's per-backend GitHub
+  runners).
+* :func:`resolve_backend_name` is consulted once at first use; the
+  runtime default is ``"threads"`` — the same default JACC ships
+  (Base.Threads on CPUs).
+
+Reading uses the standard library ``tomllib``; writing emits the minimal
+single-table document ourselves (no TOML writer in the stdlib).
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from pathlib import Path
+from typing import Optional
+
+from .exceptions import PreferencesError
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "preferences_path",
+    "read_preferences",
+    "write_preference",
+    "resolve_backend_name",
+]
+
+#: The paper's default backend is Base.Threads; ours is its analogue.
+DEFAULT_BACKEND = "threads"
+
+_ENV_FILE = "PYACC_PREFERENCES"
+_ENV_BACKEND = "PYACC_BACKEND"
+_TABLE = "repro"
+_FILENAME = "LocalPreferences.toml"
+
+
+def preferences_path() -> Path:
+    """Location of the preferences file for this process."""
+    override = os.environ.get(_ENV_FILE)
+    if override:
+        return Path(override)
+    return Path.cwd() / _FILENAME
+
+
+def read_preferences(path: Optional[Path] = None) -> dict:
+    """Read the ``[repro]`` preferences table; missing file → ``{}``."""
+    p = path or preferences_path()
+    if not p.exists():
+        return {}
+    try:
+        with open(p, "rb") as fh:
+            doc = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise PreferencesError(f"cannot read preferences file {p}: {exc}") from exc
+    table = doc.get(_TABLE, {})
+    if not isinstance(table, dict):
+        raise PreferencesError(
+            f"preferences file {p} has a non-table [{_TABLE}] entry"
+        )
+    return table
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise PreferencesError(
+        f"unsupported preference value type {type(value).__name__}"
+    )
+
+
+def write_preference(key: str, value, path: Optional[Path] = None) -> Path:
+    """Persist one preference under ``[repro]``, keeping existing keys.
+
+    Other tables in an existing file are preserved verbatim is *not*
+    attempted — the file is owned by this package, matching how
+    Preferences.jl rewrites LocalPreferences.toml.
+    """
+    p = path or preferences_path()
+    table = {}
+    if p.exists():
+        table = read_preferences(p)
+    table[key] = value
+    lines = [f"[{_TABLE}]"]
+    for k in sorted(table):
+        lines.append(f"{k} = {_format_value(table[k])}")
+    try:
+        p.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise PreferencesError(f"cannot write preferences file {p}: {exc}") from exc
+    return p
+
+
+def resolve_backend_name() -> str:
+    """Decide the backend name: env var > preferences file > default."""
+    env = os.environ.get(_ENV_BACKEND)
+    if env:
+        return env
+    prefs = read_preferences()
+    backend = prefs.get("backend", DEFAULT_BACKEND)
+    if not isinstance(backend, str):
+        raise PreferencesError(
+            f"preference 'backend' must be a string, got {backend!r}"
+        )
+    return backend

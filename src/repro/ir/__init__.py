@@ -1,0 +1,28 @@
+"""Tracing-JIT substrate: scalar kernels → expression IR → vectorized NumPy.
+
+This package is the reproduction's stand-in for Julia's LLVM JIT (see
+DESIGN.md §2).  Public surface:
+
+* :func:`repro.ir.compile.compile_kernel` — the specialization ladder.
+* :mod:`repro.ir.intrinsics` — portable math usable inside kernels.
+* :class:`repro.ir.vectorizer.IndexDomain` — launch sub-domains.
+"""
+
+from .compile import (
+    CompiledKernel,
+    cache_info,
+    clear_cache,
+    compile_kernel,
+)
+from .inspect import KernelReport, inspect_kernel
+from .vectorizer import IndexDomain
+
+__all__ = [
+    "CompiledKernel",
+    "IndexDomain",
+    "KernelReport",
+    "inspect_kernel",
+    "cache_info",
+    "clear_cache",
+    "compile_kernel",
+]

@@ -1,0 +1,300 @@
+"""Kernel compilation driver: specialization ladder + trace cache.
+
+This module mirrors Julia's method-specialization machinery for our
+tracing JIT.  ``compile_kernel(fn, ndim, args, reduce=...)`` returns a
+:class:`CompiledKernel` ready to execute, choosing the cheapest strategy
+that works:
+
+1. **Symbolic trace** — scalars stay symbolic, so one trace serves every
+   future call with the same argument *types* (the common case; analogue
+   of Julia specializing on types).
+2. **Value-specialized trace** — if the kernel needs concrete scalar
+   values (loop bounds, ``int()``), re-trace with scalars baked in as
+   constants; the cache key then includes those values (analogue of
+   ``Val{N}`` specialization).
+3. **Interpreter** — if tracing still fails (unbounded control flow,
+   unsupported constructs), fall back to the scalar reference executor.
+
+Caching is keyed on the kernel function object plus an argument-type
+signature; shape-dependent traces (kernels that call ``len``) include the
+array shapes in the key.  Cache statistics are exposed for the
+trace-cache ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ConcretizationRequired, TraceError, TraceFallback
+from . import nodes as N
+from .interpreter import interpret_for, interpret_reduce
+from .optimize import optimize_trace
+from .stats import TraceStats, analyze
+from .tracer import trace_kernel
+from .vectorizer import IndexDomain, execute_trace, reduce_trace
+
+__all__ = [
+    "CompiledKernel",
+    "KernelCache",
+    "compile_kernel",
+    "clear_cache",
+    "cache_info",
+]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """An executable kernel: either a vectorizable trace or an
+    interpreter-bound Python function.
+
+    Attributes
+    ----------
+    fn:
+        The original kernel function (always kept — the interpreter and
+        diagnostics need it).
+    ndim:
+        Launch-domain rank.
+    mode:
+        ``"vector"``, ``"vector-specialized"`` or ``"interpreter"``.
+    trace:
+        The IR trace (``None`` in interpreter mode).
+    stats:
+        Static work analysis (interpreter mode gets a conservative
+        placeholder with ``n_paths = 0``).
+    fallback_reason:
+        Why the ladder descended, for diagnostics (``None`` for plain
+        vector mode).
+    """
+
+    fn: Callable
+    ndim: int
+    mode: str
+    trace: Optional[N.Trace]
+    stats: TraceStats
+    fallback_reason: Optional[str] = None
+
+    @property
+    def is_reduction(self) -> bool:
+        if self.trace is not None:
+            return self.trace.is_reduction
+        return True  # interpreter kernels are checked at run time
+
+    def run_for(self, domain: IndexDomain, args: Sequence[Any]) -> None:
+        """Execute as a ``parallel_for`` body over ``domain``."""
+        if self.trace is not None:
+            execute_trace(self.trace, domain, args)
+        else:
+            interpret_for(self.fn, domain, args)
+
+    def run_reduce(
+        self, domain: IndexDomain, args: Sequence[Any], op: str = "add"
+    ) -> float:
+        """Execute as a ``parallel_reduce`` body over ``domain``."""
+        if self.trace is not None:
+            return reduce_trace(self.trace, domain, args, op)
+        return interpret_reduce(self.fn, domain, args, op)
+
+
+def _scalar_value(a: Any) -> Any:
+    return a.item() if isinstance(a, np.generic) else a
+
+
+def _type_signature(args: Sequence[Any]) -> tuple:
+    """Type-level signature: array rank+dtype kind, scalar Python type."""
+    sig = []
+    for a in args:
+        if isinstance(a, np.ndarray):
+            sig.append(("arr", a.ndim, a.dtype.str))
+        else:
+            sig.append(("scl", type(_scalar_value(a))))
+    return tuple(sig)
+
+
+def _shape_signature(args: Sequence[Any]) -> tuple:
+    return tuple(a.shape if isinstance(a, np.ndarray) else None for a in args)
+
+
+def _value_signature(args: Sequence[Any]) -> tuple:
+    sig = []
+    for a in args:
+        if isinstance(a, np.ndarray):
+            sig.append(None)
+            continue
+        v = _scalar_value(a)
+        try:
+            hash(v)
+        except TypeError:
+            # Unhashable exotic argument (dict, list, ...): key on object
+            # identity — the kernel runs interpreted anyway, and a fresh
+            # object simply recompiles.
+            v = ("unhashable", id(a))
+        sig.append(v)
+    return tuple(sig)
+
+
+@dataclass
+class KernelCache:
+    """Per-process cache of compiled kernels.
+
+    Thread-safe: applications may issue constructs from several Python
+    threads (e.g. one per simulated device); lookups and stores hold one
+    lock.  A duplicate compile race is benign — both threads produce
+    equivalent CompiledKernels and the last store wins.
+    """
+
+    entries: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def lookup(self, key: tuple) -> Optional[CompiledKernel]:
+        with self._lock:
+            ck = self.entries.get(key)
+            if ck is not None:
+                self.hits += 1
+            return ck
+
+    def store(self, key: tuple, ck: CompiledKernel) -> None:
+        with self._lock:
+            self.misses += 1
+            self.entries[key] = ck
+
+    def clear(self) -> None:
+        with self._lock:
+            self.entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_CACHE = KernelCache()
+
+
+def clear_cache() -> None:
+    """Drop all compiled kernels (tests / ablation benchmarks)."""
+    _CACHE.clear()
+
+
+def cache_info() -> dict:
+    """Return cache statistics: size, hits, misses."""
+    return {
+        "size": len(_CACHE.entries),
+        "hits": _CACHE.hits,
+        "misses": _CACHE.misses,
+    }
+
+
+def _analyze_or_placeholder(trace: Optional[N.Trace]) -> TraceStats:
+    if trace is None:
+        return TraceStats(loads=0.0, stores=0.0, flops=0.0, n_paths=0)
+    return analyze(trace)
+
+
+def compile_kernel(
+    fn: Callable,
+    ndim: int,
+    args: Sequence[Any],
+    *,
+    reduce: bool = False,
+    max_paths: Optional[int] = None,
+) -> CompiledKernel:
+    """Compile (or fetch from cache) a kernel for the given call site.
+
+    ``args`` are the runtime arguments; only their types (and, when the
+    ladder requires it, shapes/values) enter the cache key.
+    """
+    base_key = (fn, ndim, bool(reduce), _type_signature(args))
+
+    # 1. Generic (type-specialized) entry.
+    ck = _CACHE.lookup(base_key)
+    if ck is not None:
+        return ck
+    # 2. Shape-specialized entry (kernel observed len()/shape).
+    shape_key = base_key + ("shape", _shape_signature(args))
+    ck = _CACHE.lookup(shape_key)
+    if ck is not None:
+        return ck
+    # 3. Value-specialized entry (kernel needed concrete scalars).
+    value_key = (
+        base_key
+        + ("shape", _shape_signature(args))
+        + ("values", _value_signature(args))
+    )
+    ck = _CACHE.lookup(value_key)
+    if ck is not None:
+        return ck
+
+    kwargs = {} if max_paths is None else {"max_paths": max_paths}
+    trace: Optional[N.Trace] = None
+    mode = "vector"
+    reason: Optional[str] = None
+    try:
+        trace = trace_kernel(fn, ndim, args, **kwargs)
+    except ConcretizationRequired as exc:
+        reason = str(exc)
+        try:
+            trace = trace_kernel(
+                fn, ndim, args, concretize_scalars=True, **kwargs
+            )
+            mode = "vector-specialized"
+        except TraceError as exc2:
+            reason = f"{reason}; then: {exc2}"
+            trace = None
+            mode = "interpreter"
+    except TraceFallback as exc:
+        reason = str(exc)
+        trace = None
+        mode = "interpreter"
+    except TraceError as exc:
+        reason = str(exc)
+        trace = None
+        mode = "interpreter"
+
+    if trace is not None and reduce and trace.result is None:
+        raise TraceError(
+            f"kernel {getattr(fn, '__name__', fn)!r} was used with "
+            "parallel_reduce but returns no value on any path"
+        )
+    if trace is not None:
+        # JIT middle-end: constant folding, identities, hash-consing
+        # (see repro.ir.optimize).  Semantics-preserving by construction;
+        # the differential suite runs compiled (optimized) kernels
+        # against the interpreter.
+        trace = optimize_trace(trace)
+    if trace is not None and not reduce and trace.result is not None:
+        # A for-kernel that returns a value is legal (the value is simply
+        # discarded), matching JACC's parallel_for semantics.
+        trace = N.Trace(
+            ndim=trace.ndim,
+            stores=trace.stores,
+            result=None,
+            array_args=trace.array_args,
+            scalar_args=trace.scalar_args,
+            const_args=trace.const_args,
+            n_paths=trace.n_paths,
+            shape_dependent=trace.shape_dependent,
+        )
+
+    ck = CompiledKernel(
+        fn=fn,
+        ndim=ndim,
+        mode=mode,
+        trace=trace,
+        stats=_analyze_or_placeholder(trace),
+        fallback_reason=reason,
+    )
+
+    if mode == "vector" and trace is not None and not trace.shape_dependent:
+        _CACHE.store(base_key, ck)
+    elif mode == "vector" and trace is not None:
+        _CACHE.store(shape_key, ck)
+    elif mode == "vector-specialized":
+        _CACHE.store(value_key, ck)
+    else:
+        # Interpreter fallback: cache under the value key so a different
+        # scalar value (e.g. a different loop bound) recompiles.
+        _CACHE.store(value_key, ck)
+    return ck

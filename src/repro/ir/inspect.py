@@ -1,0 +1,140 @@
+"""Kernel inspection: what did the JIT do with my kernel?
+
+``inspect_kernel`` compiles a kernel exactly as ``parallel_for`` /
+``parallel_reduce`` would and reports everything a user needs to reason
+about its performance: which executor tier it landed on (and why, if it
+fell), the traced IR, the per-lane work profile, and its performance
+class on each modeled architecture.  The moral equivalent of Julia's
+``@code_typed`` / ``@device_code`` for this model.
+
+>>> import numpy as np
+>>> from repro.ir.inspect import inspect_kernel
+>>> def axpy(i, alpha, x, y):
+...     x[i] += alpha * y[i]
+>>> report = inspect_kernel(axpy, 1, [2.5, np.ones(4), np.ones(4)])
+>>> report.mode
+'vector'
+>>> report.stats.loads
+2.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..core.exceptions import PyACCError
+from . import nodes as N
+from .compile import CompiledKernel, compile_kernel
+from .stats import TraceStats
+
+__all__ = ["KernelReport", "inspect_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Everything the JIT knows about one compiled kernel."""
+
+    name: str
+    ndim: int
+    mode: str  # "vector" | "vector-specialized" | "interpreter"
+    n_paths: int
+    stats: TraceStats
+    ir: str  # formatted trace, "" in interpreter mode
+    fallback_reason: Optional[str]
+    specialized_on: dict  # arg position -> baked-in value
+    kernel_class: str  # perf class at this ndim ("n/a" for interpreter)
+
+    def explain(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"kernel {self.name!r} ({self.ndim}-D launch domain)"]
+        if self.mode == "interpreter":
+            lines.append("  tier: scalar interpreter (NOT vectorized)")
+            if self.fallback_reason:
+                lines.append(f"  reason: {self.fallback_reason}")
+            lines.append(
+                "  hint: see docs/PORTING.md — data-dependent loop bounds "
+                "and int()/float() on traced values prevent tracing"
+            )
+            return "\n".join(lines)
+        tier = "vectorized trace"
+        if self.mode == "vector-specialized":
+            tier += f" (value-specialized on {self.specialized_on})"
+        lines.append(f"  tier: {tier}")
+        lines.append(
+            f"  control flow: {self.n_paths} path(s)"
+            + ("" if self.n_paths == 1 else " (branches traced + masked)")
+        )
+        lines.append(
+            f"  per lane: {self.stats.loads:g} loads, {self.stats.stores:g} "
+            f"stores, {self.stats.flops:g} flops "
+            f"({self.stats.bytes_per_lane:g} B, intensity "
+            f"{self.stats.intensity:.3f} F/B)"
+        )
+        lines.append(f"  performance class: {self.kernel_class}")
+        lines.append("  IR:")
+        lines += [f"    {line}" for line in self.ir.splitlines()]
+        return "\n".join(lines)
+
+
+def _format_trace(trace: N.Trace) -> str:
+    lines = []
+    for st in trace.stores:
+        idx = ", ".join(N.format_node(ix) for ix in st.indices)
+        guard = (
+            f"  if {N.format_node(st.condition)}"
+            if st.condition is not None
+            else ""
+        )
+        lines.append(f"arg{st.array.pos}[{idx}] = {N.format_node(st.value)}{guard}")
+    if trace.result is not None:
+        lines.append(f"return {N.format_node(trace.result)}")
+    return "\n".join(lines)
+
+
+def inspect_kernel(
+    fn,
+    ndim_or_dims,
+    args: Sequence[Any],
+    *,
+    reduce: bool = False,
+) -> KernelReport:
+    """Compile ``fn`` for the given call signature and report on it.
+
+    ``ndim_or_dims`` is the launch rank (1/2/3) or a dims tuple whose
+    length is used.  ``args`` are representative runtime arguments —
+    small probe arrays are fine; only types/shapes/values-on-demand
+    matter, exactly as for a real construct call.
+    """
+    if isinstance(ndim_or_dims, (tuple, list)):
+        ndim = len(ndim_or_dims)
+    else:
+        ndim = int(ndim_or_dims)
+    if ndim not in (1, 2, 3):
+        raise PyACCError(f"launch rank must be 1..3, got {ndim}")
+    ck: CompiledKernel = compile_kernel(fn, ndim, args, reduce=reduce)
+
+    if ck.trace is None:
+        kernel_class = "n/a"
+        ir = ""
+        specialized: dict = {}
+        n_paths = 0
+    else:
+        from ..perfmodel import classify
+
+        kernel_class = classify(ck.stats, ndim)
+        ir = _format_trace(ck.trace)
+        specialized = dict(ck.trace.const_args)
+        n_paths = ck.trace.n_paths
+
+    return KernelReport(
+        name=getattr(fn, "__name__", repr(fn)),
+        ndim=ndim,
+        mode=ck.mode,
+        n_paths=n_paths,
+        stats=ck.stats,
+        ir=ir,
+        fallback_reason=ck.fallback_reason,
+        specialized_on=specialized,
+        kernel_class=kernel_class,
+    )

@@ -1,0 +1,82 @@
+"""Reference scalar executor for kernels.
+
+Runs the *original Python kernel function* in a plain loop over the index
+domain — no tracing, no vectorization.  It defines the semantics every
+other executor must match and serves two roles:
+
+1. **Fallback**: kernels the tracer cannot express (data-dependent loop
+   bounds even after value specialization, too many control-flow paths,
+   unsupported Python constructs) still run correctly, just slowly — the
+   same way Julia falls back to unspecialized dynamic dispatch.
+2. **Differential oracle**: property-based tests execute random kernels
+   through both the interpreter and the vectorizer and require bit-for-bit
+   comparable results (see ``tests/test_differential.py``).
+
+The interpreter is also what the ``serial`` backend uses, giving a
+dependency-light reference backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import KernelExecutionError
+from .vectorizer import IndexDomain
+
+__all__ = ["interpret_for", "interpret_reduce"]
+
+
+def _index_iter(domain: IndexDomain):
+    """Iterate index tuples of ``domain`` in row-major order."""
+    return itertools.product(*(range(lo, hi) for lo, hi in domain.ranges))
+
+
+def interpret_for(
+    fn: Callable, domain: IndexDomain, args: Sequence[Any]
+) -> None:
+    """Apply ``fn(*idx, *args)`` at every index of ``domain``."""
+    for idx in _index_iter(domain):
+        fn(*idx, *args)
+
+
+def interpret_reduce(
+    fn: Callable,
+    domain: IndexDomain,
+    args: Sequence[Any],
+    op: str = "add",
+) -> float:
+    """Reduce ``fn(*idx, *args)`` over ``domain`` with ``op``.
+
+    Matches :func:`repro.ir.vectorizer.reduce_trace`: the per-index values
+    are folded as float64 with the requested operation.
+    """
+    if op == "add":
+        acc = 0.0
+        for idx in _index_iter(domain):
+            v = fn(*idx, *args)
+            if v is None:
+                raise KernelExecutionError(
+                    "parallel_reduce kernel returned None at index "
+                    f"{idx}; reduction kernels must return a value"
+                )
+            acc += float(v)
+        return acc
+    if op in ("min", "max"):
+        fold = min if op == "min" else max
+        acc = None
+        for idx in _index_iter(domain):
+            v = fn(*idx, *args)
+            if v is None:
+                raise KernelExecutionError(
+                    "parallel_reduce kernel returned None at index "
+                    f"{idx}; reduction kernels must return a value"
+                )
+            v = float(v)
+            acc = v if acc is None else fold(acc, v)
+        if acc is None:
+            acc = float(np.inf if op == "min" else -np.inf)
+        return acc
+    raise KernelExecutionError(f"unsupported reduction op {op!r}")

@@ -1,0 +1,300 @@
+"""IR optimizer: constant folding, algebraic identities, hash-consing.
+
+The tracer emits one fresh node per Python operation, so an unrolled loop
+like the LBM kernel's ``k*n*n + x*n + y`` (9 iterations × 3 uses) creates
+dozens of structurally identical subtrees.  The vectorizer memoizes *per
+node object*, so without sharing it would evaluate each copy separately.
+This pass runs between tracing and caching and performs what a JIT's
+early middle-end would:
+
+* **constant folding** — operations on ``Const`` operands evaluate at
+  compile time (including comparisons, boolean ops, selects and casts);
+* **algebraic identities** — ``x+0``, ``x-0``, ``x*1``, ``x/1``,
+  ``x**1``, ``--x``, ``!!b``, ``b & True``, ``b | False``, trivial
+  selects;
+* **hash-consing** — structurally identical pure subtrees are collapsed
+  onto one node object, turning the trace into a maximally-shared DAG so
+  the executor computes each distinct value exactly once.
+
+``x*0 → 0`` is deliberately **not** applied: it changes results for
+NaN/Inf lanes, and unlike a ``-ffast-math`` compiler we promise the
+interpreter's exact semantics (the differential suite holds us to it).
+
+Loads hash-cons like pure nodes *within* the region between stores to
+their array: folding is done per-expression here, and cross-store load
+reuse is already handled (conservatively invalidated) by the executor's
+memoization, so sharing Load nodes is safe — two structurally equal loads
+in the same trace always observe the same memory state per executor rules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+from . import nodes as N
+
+__all__ = ["optimize_trace", "simplify", "count_nodes"]
+
+Num = Union[int, float, bool]
+
+_FOLD_BIN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "truediv": lambda a, b: a / b,
+    "floordiv": lambda a, b: a // b,
+    "mod": lambda a, b: a % b,
+    "pow": lambda a, b: a**b,
+    "min": min,
+    "max": max,
+}
+
+_FOLD_UN = {
+    "neg": lambda a: -a,
+    "abs": abs,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "tanh": math.tanh,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "sign": lambda a: (a > 0) - (a < 0),
+}
+
+_FOLD_CMP = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+_FOLD_BOOL = {
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+    "xor": lambda a, b: bool(a) != bool(b),
+}
+
+
+def _is_const(node: N.Node, value: Optional[Num] = None) -> bool:
+    if not isinstance(node, N.Const):
+        return False
+    if value is None:
+        return True
+    # bool is an int in Python; require exact numeric equality but not
+    # for bool-vs-number confusion on identity checks like x*1.
+    return not isinstance(node.value, bool) and node.value == value
+
+
+class _Simplifier:
+    """One optimization run: memoized simplification + hash-consing."""
+
+    def __init__(self):
+        self._memo: dict[int, N.Node] = {}
+        self._interned: dict[tuple, N.Node] = {}
+
+    # -- hash-consing -----------------------------------------------------
+    def _key(self, node: N.Node) -> Optional[tuple]:
+        if isinstance(node, N.Const):
+            return ("const", type(node.value).__name__, node.value)
+        if isinstance(node, N.Index):
+            return ("index", node.axis)
+        if isinstance(node, N.ScalarArg):
+            return ("sarg", node.pos)
+        if isinstance(node, N.ArrayArg):
+            return ("aarg", node.pos, node.ndim)
+        if isinstance(node, N.Load):
+            return (
+                "load",
+                node.array.pos,
+                tuple(id(ix) for ix in node.indices),
+            )
+        if isinstance(node, N.BinOp):
+            return ("bin", node.op, id(node.lhs), id(node.rhs))
+        if isinstance(node, N.UnOp):
+            return ("un", node.op, id(node.operand))
+        if isinstance(node, N.Compare):
+            return ("cmp", node.op, id(node.lhs), id(node.rhs))
+        if isinstance(node, N.BoolOp):
+            return ("bool", node.op, id(node.lhs), id(node.rhs))
+        if isinstance(node, N.Not):
+            return ("not", id(node.operand))
+        if isinstance(node, N.Select):
+            return ("sel", id(node.cond), id(node.if_true), id(node.if_false))
+        if isinstance(node, N.Cast):
+            return ("cast", node.kind, id(node.operand))
+        return None
+
+    def _intern(self, node: N.Node) -> N.Node:
+        key = self._key(node)
+        if key is None:
+            return node
+        existing = self._interned.get(key)
+        if existing is not None:
+            return existing
+        self._interned[key] = node
+        return node
+
+    # -- simplification -----------------------------------------------------
+    def simplify(self, node: N.Node) -> N.Node:
+        nid = id(node)
+        got = self._memo.get(nid)
+        if got is not None:
+            return got
+        out = self._intern(self._rewrite(node))
+        self._memo[nid] = out
+        return out
+
+    def _rewrite(self, node: N.Node) -> N.Node:
+        if isinstance(node, (N.Const, N.Index, N.ScalarArg, N.ArrayArg)):
+            return node
+        if isinstance(node, N.Load):
+            return N.Load(node.array, [self.simplify(ix) for ix in node.indices])
+        if isinstance(node, N.BinOp):
+            return self._rewrite_bin(
+                node.op, self.simplify(node.lhs), self.simplify(node.rhs)
+            )
+        if isinstance(node, N.UnOp):
+            return self._rewrite_un(node.op, self.simplify(node.operand))
+        if isinstance(node, N.Compare):
+            lhs = self.simplify(node.lhs)
+            rhs = self.simplify(node.rhs)
+            if isinstance(lhs, N.Const) and isinstance(rhs, N.Const):
+                return N.Const(bool(_FOLD_CMP[node.op](lhs.value, rhs.value)))
+            return N.Compare(node.op, lhs, rhs)
+        if isinstance(node, N.BoolOp):
+            return self._rewrite_boolop(
+                node.op, self.simplify(node.lhs), self.simplify(node.rhs)
+            )
+        if isinstance(node, N.Not):
+            inner = self.simplify(node.operand)
+            if isinstance(inner, N.Const):
+                return N.Const(not inner.value)
+            if isinstance(inner, N.Not):
+                return inner.operand
+            return N.Not(inner)
+        if isinstance(node, N.Select):
+            cond = self.simplify(node.cond)
+            t = self.simplify(node.if_true)
+            f = self.simplify(node.if_false)
+            if isinstance(cond, N.Const):
+                return t if cond.value else f
+            if t is f:
+                return t
+            return N.Select(cond, t, f)
+        if isinstance(node, N.Cast):
+            inner = self.simplify(node.operand)
+            if isinstance(inner, N.Const):
+                value = int(inner.value) if node.kind == "int" else float(inner.value)
+                return N.Const(value)
+            return N.Cast(node.kind, inner)
+        return node
+
+    def _rewrite_bin(self, op: str, lhs: N.Node, rhs: N.Node) -> N.Node:
+        if isinstance(lhs, N.Const) and isinstance(rhs, N.Const):
+            try:
+                return N.Const(_FOLD_BIN[op](lhs.value, rhs.value))
+            except (ZeroDivisionError, OverflowError, ValueError):
+                pass  # leave the fault to run time, like a compiler would
+        if op == "add":
+            if _is_const(rhs, 0):
+                return lhs
+            if _is_const(lhs, 0):
+                return rhs
+        elif op == "sub":
+            if _is_const(rhs, 0):
+                return lhs
+        elif op == "mul":
+            if _is_const(rhs, 1):
+                return lhs
+            if _is_const(lhs, 1):
+                return rhs
+        elif op == "truediv":
+            if _is_const(rhs, 1):
+                return lhs
+        elif op == "pow":
+            if _is_const(rhs, 1):
+                return lhs
+        elif op in ("min", "max"):
+            if lhs is rhs:
+                return lhs
+        return N.BinOp(op, lhs, rhs)
+
+    def _rewrite_un(self, op: str, operand: N.Node) -> N.Node:
+        if isinstance(operand, N.Const):
+            try:
+                return N.Const(_FOLD_UN[op](operand.value))
+            except (ValueError, OverflowError):
+                pass
+        if op == "neg" and isinstance(operand, N.UnOp) and operand.op == "neg":
+            return operand.operand
+        if op == "abs" and isinstance(operand, N.UnOp) and operand.op == "abs":
+            return operand
+        return N.UnOp(op, operand)
+
+    def _rewrite_boolop(self, op: str, lhs: N.Node, rhs: N.Node) -> N.Node:
+        if isinstance(lhs, N.Const) and isinstance(rhs, N.Const):
+            return N.Const(_FOLD_BOOL[op](lhs.value, rhs.value))
+        for a, b in ((lhs, rhs), (rhs, lhs)):
+            if isinstance(a, N.Const):
+                if op == "and":
+                    return b if a.value else N.Const(False)
+                if op == "or":
+                    return N.Const(True) if a.value else b
+                if op == "xor":
+                    return N.Not(b) if a.value else b
+        if lhs is rhs and op in ("and", "or"):
+            return lhs
+        return N.BoolOp(op, lhs, rhs)
+
+
+def simplify(node: N.Node) -> N.Node:
+    """Simplify a single expression (convenience for tests)."""
+    return _Simplifier().simplify(node)
+
+
+def optimize_trace(trace: N.Trace) -> N.Trace:
+    """Optimize every expression of a trace under one shared intern
+    table, so equal subtrees across stores/guards/result collapse."""
+    s = _Simplifier()
+    stores = []
+    for st in trace.stores:
+        cond = None if st.condition is None else s.simplify(st.condition)
+        if isinstance(cond, N.Const):
+            if not cond.value:
+                continue  # statically dead store
+            cond = None  # statically always-on guard
+        stores.append(
+            N.Store(
+                st.array,
+                [s.simplify(ix) for ix in st.indices],
+                s.simplify(st.value),
+                cond,
+            )
+        )
+    result = None if trace.result is None else s.simplify(trace.result)
+    return N.Trace(
+        ndim=trace.ndim,
+        stores=stores,
+        result=result,
+        array_args=trace.array_args,
+        scalar_args=trace.scalar_args,
+        const_args=trace.const_args,
+        n_paths=trace.n_paths,
+        shape_dependent=trace.shape_dependent,
+    )
+
+
+def count_nodes(trace: N.Trace) -> int:
+    """Number of distinct node objects reachable from a trace (a proxy
+    for executor work; drops under hash-consing)."""
+    seen: set[int] = set()
+    for root in trace.expressions():
+        for node in N.walk(root):
+            seen.add(id(node))
+    return len(seen)

@@ -1,0 +1,178 @@
+"""Static work/traffic analysis of kernel traces.
+
+The analytic performance model (:mod:`repro.perfmodel`) needs, per launch,
+how many bytes a kernel moves and how many floating-point operations it
+performs *per lane*.  Because the tracer produces a complete expression
+DAG, both are compile-time properties of the trace: count distinct loads,
+stores and arithmetic nodes once (CSE-shared values count once, exactly as
+a register-allocated kernel would execute them).
+
+Branch-guarded work is weighted by a *coverage* heuristic: the paper's
+kernels guard either boundary lanes (almost-always-true interior guards)
+or single lanes (``i == 0``).  We charge guarded stores fully when the
+guard is an interior-style inequality and proportionally (treated as ~0
+coverage) when the guard is a single-lane equality.  The heuristic only
+affects modeled time, never computed results, and for the paper's kernels
+the boundary contribution is negligible at benchmark sizes anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import nodes as N
+
+__all__ = ["TraceStats", "analyze"]
+
+_ELEM_BYTES = 8  # all paper workloads are double precision
+
+#: Flop weight per operator.  Division and transcendental functions are
+#: charged more than one flop, roughly matching instruction throughput
+#: ratios on the modeled hardware.
+_FLOP_WEIGHT = {
+    "add": 1.0,
+    "sub": 1.0,
+    "mul": 1.0,
+    "truediv": 4.0,
+    "floordiv": 4.0,
+    "mod": 4.0,
+    "pow": 8.0,
+    "min": 1.0,
+    "max": 1.0,
+    "neg": 1.0,
+    "abs": 1.0,
+    "sqrt": 8.0,
+    "exp": 16.0,
+    "log": 16.0,
+    "sin": 16.0,
+    "cos": 16.0,
+    "tan": 24.0,
+    "tanh": 20.0,
+    "floor": 1.0,
+    "ceil": 1.0,
+    "sign": 2.0,
+}
+
+
+@dataclass
+class TraceStats:
+    """Per-lane work and traffic of a kernel trace.
+
+    Attributes
+    ----------
+    loads / stores:
+        Number of distinct element loads / stores per lane.
+    flops:
+        Weighted floating-point operations per lane.
+    bytes_per_lane:
+        ``(loads + stores) * 8`` — the DRAM traffic a cache-less execution
+        of one lane generates; the roofline model multiplies by lane count.
+    n_paths:
+        Control-flow paths in the trace (diagnostic).
+    is_reduction:
+        Whether the trace produces a per-lane value to be folded.
+    arrays_touched:
+        Distinct array argument positions referenced.
+    """
+
+    loads: float = 0.0
+    stores: float = 0.0
+    flops: float = 0.0
+    n_paths: int = 1
+    is_reduction: bool = False
+    arrays_touched: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def bytes_per_lane(self) -> float:
+        return (self.loads + self.stores) * _ELEM_BYTES
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity in flop/byte (0 if no traffic)."""
+        b = self.bytes_per_lane
+        return self.flops / b if b else 0.0
+
+
+def _guard_coverage(cond: N.Node | None) -> float:
+    """Fraction of lanes a store guard is expected to cover.
+
+    ``None`` → 1.0.  A conjunction of inequalities (interior guard) →
+    ~1.0.  Anything involving an equality on an index → ~0.0 (single
+    lane / boundary row).  Mixed guards take the minimum of their parts.
+    """
+    if cond is None:
+        return 1.0
+    if isinstance(cond, N.Compare):
+        return 0.0 if cond.op == "eq" else 1.0
+    if isinstance(cond, N.BoolOp):
+        a = _guard_coverage(cond.lhs)
+        b = _guard_coverage(cond.rhs)
+        if cond.op == "and":
+            return min(a, b)
+        return max(a, b)
+    if isinstance(cond, N.Not):
+        inner = cond.operand
+        if isinstance(inner, N.Compare) and inner.op == "eq":
+            return 1.0  # != covers almost everything
+        return 1.0 - _guard_coverage(inner)
+    return 1.0
+
+
+def analyze(trace: N.Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace.
+
+    Expressions shared between stores / the result are counted once
+    (the DAG is walked with per-object dedup via :func:`repro.ir.nodes.walk`).
+    Guarded stores and their value expressions are weighted by
+    :func:`_guard_coverage`.
+    """
+    loads = 0.0
+    stores = 0.0
+    flops = 0.0
+    arrays: set[int] = set()
+    seen: set[int] = set()
+
+    def count_expr(root: N.Node, weight: float) -> None:
+        nonlocal loads, flops
+        for node in N.walk(root):
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, N.Load):
+                loads += weight
+                arrays.add(node.array.pos)
+            elif isinstance(node, (N.BinOp, N.UnOp)):
+                flops += weight * _FLOP_WEIGHT[node.op]
+            elif isinstance(node, (N.Compare, N.Not, N.BoolOp)):
+                flops += weight * 1.0
+            elif isinstance(node, N.Select):
+                flops += weight * 1.0
+
+    # Collect (weight, expression) pairs first and count in descending
+    # weight order: hash-consed subtrees shared between a full-weight
+    # consumer (interior store, guard, result) and a ~zero-weight one
+    # (boundary store) must be charged at the highest weight that
+    # actually evaluates them.
+    work: list[tuple[float, N.Node]] = []
+    for st in trace.stores:
+        w = _guard_coverage(st.condition)
+        work.append((w, st.value))
+        for ix in st.indices:
+            work.append((w, ix))
+        if st.condition is not None:
+            work.append((1.0, st.condition))  # guards evaluate everywhere
+        stores += w
+        arrays.add(st.array.pos)
+    if trace.result is not None:
+        work.append((1.0, trace.result))
+    for w, expr in sorted(work, key=lambda p: -p[0]):
+        count_expr(expr, w)
+
+    return TraceStats(
+        loads=loads,
+        stores=stores,
+        flops=flops,
+        n_paths=trace.n_paths,
+        is_reduction=trace.result is not None,
+        arrays_touched=frozenset(arrays),
+    )

@@ -1,0 +1,499 @@
+"""Symbolic tracing of scalar kernels into the expression IR.
+
+This module is the front half of the package's tracing JIT — the stand-in
+for Julia's LLVM-based kernel specialization.  A kernel like the paper's
+
+.. code-block:: python
+
+    def axpy(i, alpha, x, y):
+        x[i] += alpha * y[i]
+
+is executed once (or a few times, see below) with *symbolic* arguments:
+``i`` is a :class:`SymScalar` wrapping an :class:`~repro.ir.nodes.Index`
+node, ``alpha`` a symbolic scalar, and ``x``/``y`` :class:`SymArray`
+proxies.  Arithmetic on the proxies builds IR nodes; subscript assignment
+records :class:`~repro.ir.nodes.Store` effects; ``return`` values become
+the reduction expression.
+
+Control flow
+------------
+Python evaluates ``if``/``and``/``or`` eagerly, so a branch on a symbolic
+condition calls ``SymBool.__bool__``.  The tracer handles this with
+**branch forking**: the first execution answers every such query with
+``True`` and records, for each query, an alternative decision prefix; the
+kernel is then re-executed once per unexplored prefix.  Each execution
+contributes only the effects that occur *after* it diverges from
+previously explored prefixes, each guarded by the conjunction of the
+branch decisions live at that point.  This is exactly how the paper's
+boundary-conditioned kernels (``matvecmul``'s ``if i == 0 / elif i ==
+n-1 / else`` and the LBM interior guard) become masked vector code.
+
+Kernels must be *pure* Python w.r.t. tracing: deterministic, no I/O, no
+mutation of Python state other than subscript stores into array
+arguments.  Loops over **concrete** ranges are unrolled; a loop bound that
+depends on a symbolic scalar raises
+:class:`~repro.core.exceptions.ConcretizationRequired`, which the compile
+driver (:mod:`repro.ir.compile`) answers by re-tracing with scalar
+arguments baked in as constants (value specialization).
+"""
+
+from __future__ import annotations
+
+import numbers
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import (
+    ConcretizationRequired,
+    TooManyPathsError,
+    TraceError,
+)
+from . import nodes as N
+
+__all__ = [
+    "SymScalar",
+    "SymBool",
+    "SymArray",
+    "trace_kernel",
+    "as_node",
+    "MAX_PATHS",
+]
+
+#: Default budget for branch-forking path enumeration.
+MAX_PATHS = 128
+
+_TLS = threading.local()
+
+
+def _recorder() -> "_PathRecorder":
+    rec = getattr(_TLS, "recorder", None)
+    if rec is None:
+        raise TraceError(
+            "symbolic value used outside of an active kernel trace; "
+            "symbolic scalars/arrays must not escape the kernel function"
+        )
+    return rec
+
+
+def as_node(value: Any) -> N.Node:
+    """Coerce a Python number or symbolic proxy to an IR node."""
+    if isinstance(value, SymScalar):
+        return value._node
+    if isinstance(value, (bool, np.bool_)):
+        return N.Const(bool(value))
+    if isinstance(value, numbers.Integral):
+        return N.Const(int(value))
+    if isinstance(value, numbers.Real):
+        return N.Const(float(value))
+    raise TraceError(
+        f"cannot use a value of type {type(value).__name__} inside a kernel "
+        "expression; kernels may combine indices, scalar arguments, array "
+        "elements and Python numbers"
+    )
+
+
+def _binop(op: str, lhs: Any, rhs: Any) -> "SymScalar":
+    return SymScalar(N.BinOp(op, as_node(lhs), as_node(rhs)))
+
+
+def _compare(op: str, lhs: Any, rhs: Any) -> "SymBool":
+    return SymBool(N.Compare(op, as_node(lhs), as_node(rhs)))
+
+
+class SymScalar:
+    """A symbolic scalar value flowing through a kernel trace."""
+
+    __slots__ = ("_node",)
+
+    def __init__(self, node: N.Node):
+        self._node = node
+
+    # -- arithmetic ---------------------------------------------------
+    def __add__(self, other):
+        return _binop("add", self, other)
+
+    def __radd__(self, other):
+        return _binop("add", other, self)
+
+    def __sub__(self, other):
+        return _binop("sub", self, other)
+
+    def __rsub__(self, other):
+        return _binop("sub", other, self)
+
+    def __mul__(self, other):
+        return _binop("mul", self, other)
+
+    def __rmul__(self, other):
+        return _binop("mul", other, self)
+
+    def __truediv__(self, other):
+        return _binop("truediv", self, other)
+
+    def __rtruediv__(self, other):
+        return _binop("truediv", other, self)
+
+    def __floordiv__(self, other):
+        return _binop("floordiv", self, other)
+
+    def __rfloordiv__(self, other):
+        return _binop("floordiv", other, self)
+
+    def __mod__(self, other):
+        return _binop("mod", self, other)
+
+    def __rmod__(self, other):
+        return _binop("mod", other, self)
+
+    def __pow__(self, other):
+        return _binop("pow", self, other)
+
+    def __rpow__(self, other):
+        return _binop("pow", other, self)
+
+    def __neg__(self):
+        return SymScalar(N.UnOp("neg", self._node))
+
+    def __pos__(self):
+        return self
+
+    def __abs__(self):
+        return SymScalar(N.UnOp("abs", self._node))
+
+    # -- comparisons ---------------------------------------------------
+    def __lt__(self, other):
+        return _compare("lt", self, other)
+
+    def __le__(self, other):
+        return _compare("le", self, other)
+
+    def __gt__(self, other):
+        return _compare("gt", self, other)
+
+    def __ge__(self, other):
+        return _compare("ge", self, other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return _compare("eq", self, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return _compare("ne", self, other)
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-semantics proxy
+
+    # -- concretization traps -------------------------------------------
+    def __bool__(self) -> bool:
+        # A non-boolean scalar in boolean context (e.g. ``if alpha:``):
+        # treat like a branch on ``value != 0`` for tracing purposes.
+        return bool(self != 0)
+
+    def __int__(self):
+        raise ConcretizationRequired("int() of a symbolic scalar")
+
+    def __index__(self):
+        raise ConcretizationRequired("use of a symbolic scalar as an index/bound")
+
+    def __float__(self):
+        raise ConcretizationRequired("float() of a symbolic scalar")
+
+    def __iter__(self):
+        raise ConcretizationRequired("iteration over a symbolic scalar")
+
+    def __len__(self):
+        raise ConcretizationRequired("len() of a symbolic scalar")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SymScalar({N.format_node(self._node)})"
+
+
+class SymBool(SymScalar):
+    """A symbolic boolean.  ``bool(x)`` triggers branch forking."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return _recorder().query(self._node)
+
+    def __and__(self, other):
+        return SymBool(N.BoolOp("and", self._node, as_node(other)))
+
+    def __rand__(self, other):
+        return SymBool(N.BoolOp("and", as_node(other), self._node))
+
+    def __or__(self, other):
+        return SymBool(N.BoolOp("or", self._node, as_node(other)))
+
+    def __ror__(self, other):
+        return SymBool(N.BoolOp("or", as_node(other), self._node))
+
+    def __xor__(self, other):
+        return SymBool(N.BoolOp("xor", self._node, as_node(other)))
+
+    def __rxor__(self, other):
+        return SymBool(N.BoolOp("xor", as_node(other), self._node))
+
+    def __invert__(self):
+        return SymBool(N.Not(self._node))
+
+
+class SymArray:
+    """A symbolic array argument.
+
+    Supports element loads (``a[i]``, ``a[i, j]``) and element stores
+    (including augmented assignment, which Python desugars to a load, an
+    arithmetic op, and a store).  Whole-array operations are deliberately
+    unsupported inside kernels — the programming model, like JACC's, is
+    one element per (virtual) thread.
+    """
+
+    __slots__ = ("_arg", "_shape")
+
+    def __init__(self, pos: int, ndim: int, shape: tuple[int, ...]):
+        self._arg = N.ArrayArg(pos, ndim)
+        self._shape = shape
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """The concrete shape.  Observing it makes the trace
+        shape-dependent (cached per shape, like a value specialization)."""
+        rec = getattr(_TLS, "recorder", None)
+        if rec is not None:
+            rec.shape_used = True
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return self._arg.ndim
+
+    def _index_nodes(self, key: Any) -> tuple[N.Node, ...]:
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) != self._arg.ndim:
+            raise TraceError(
+                f"array argument {self._arg.pos} is {self._arg.ndim}-D but was "
+                f"indexed with {len(key)} indices; slicing and partial "
+                "indexing are not supported inside kernels"
+            )
+        out = []
+        for k in key:
+            if isinstance(k, slice):
+                raise TraceError(
+                    "slicing an array inside a kernel is not supported; "
+                    "kernels address one element per index"
+                )
+            out.append(as_node(k))
+        return tuple(out)
+
+    def __getitem__(self, key) -> SymScalar:
+        return SymScalar(N.Load(self._arg, self._index_nodes(key)))
+
+    def __setitem__(self, key, value) -> None:
+        rec = _recorder()
+        rec.emit_store(
+            N.Store(
+                self._arg,
+                self._index_nodes(key),
+                as_node(value),
+                rec.current_condition(),
+            )
+        )
+
+    def __len__(self) -> int:
+        rec = getattr(_TLS, "recorder", None)
+        if rec is not None:
+            rec.shape_used = True
+        return self._shape[0]
+
+    def __iter__(self):
+        raise TraceError(
+            "iterating over an array inside a kernel is not supported"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SymArray(arg{self._arg.pos}, shape={self.shape})"
+
+
+class _PathRecorder:
+    """Records branch decisions and effects for one kernel execution.
+
+    ``forced`` is the decision prefix to replay.  Queries beyond the
+    prefix default to ``True`` and enqueue the ``False`` alternative.
+    Effects emitted while replaying the forced prefix are duplicates of a
+    previously explored execution and are skipped (``count <
+    len(forced)``); effects at or past the divergence point are recorded
+    with the currently-live condition conjunction.
+    """
+
+    __slots__ = ("forced", "taken", "conds", "count", "alternatives", "stores",
+                 "max_paths", "paths_so_far", "shape_used")
+
+    def __init__(self, forced: tuple[bool, ...], max_paths: int, paths_so_far: int):
+        self.forced = forced
+        self.taken: list[bool] = []
+        self.conds: list[N.Node] = []
+        self.count = 0
+        self.alternatives: list[tuple[bool, ...]] = []
+        self.stores: list[N.Store] = []
+        self.max_paths = max_paths
+        self.paths_so_far = paths_so_far
+        self.shape_used = False
+
+    def query(self, cond: N.Node) -> bool:
+        idx = self.count
+        if idx < len(self.forced):
+            decision = self.forced[idx]
+        else:
+            decision = True
+            alt = tuple(self.taken) + (False,)
+            if self.paths_so_far + len(self.alternatives) + 1 >= self.max_paths:
+                raise TooManyPathsError(self.max_paths)
+            self.alternatives.append(alt)
+        self.taken.append(decision)
+        self.conds.append(cond)
+        self.count += 1
+        return decision
+
+    def current_condition(self) -> Optional[N.Node]:
+        """Conjunction of live branch decisions, or None at top level."""
+        cond: Optional[N.Node] = None
+        for c, taken in zip(self.conds, self.taken):
+            term = c if taken else N.Not(c)
+            cond = term if cond is None else N.BoolOp("and", cond, term)
+        return cond
+
+    def emit_store(self, store: N.Store) -> None:
+        # Skip effects that are pure replays of an already-explored prefix.
+        if self.count >= len(self.forced):
+            self.stores.append(store)
+
+
+def _make_symbolic_args(
+    args: Sequence[Any],
+    concretize_scalars: bool,
+) -> tuple[list[Any], list[int], list[int], dict[int, Any]]:
+    """Build the symbolic argument list for tracing.
+
+    Returns ``(sym_args, array_positions, scalar_positions, const_args)``.
+    """
+    sym_args: list[Any] = []
+    array_pos: list[int] = []
+    scalar_pos: list[int] = []
+    const_args: dict[int, Any] = {}
+    for pos, a in enumerate(args):
+        if isinstance(a, np.ndarray):
+            if a.ndim < 1 or a.ndim > 3:
+                raise TraceError(
+                    f"array argument {pos} has ndim={a.ndim}; kernels support "
+                    "1-D to 3-D arrays"
+                )
+            sym_args.append(SymArray(pos, a.ndim, a.shape))
+            array_pos.append(pos)
+        elif isinstance(a, (numbers.Number, np.generic)):
+            if concretize_scalars:
+                value = a.item() if isinstance(a, np.generic) else a
+                sym_args.append(value)
+                const_args[pos] = value
+            else:
+                sym_args.append(SymScalar(N.ScalarArg(pos)))
+                scalar_pos.append(pos)
+        else:
+            raise TraceError(
+                f"kernel argument {pos} has unsupported type "
+                f"{type(a).__name__}; pass arrays and scalars only"
+            )
+    return sym_args, array_pos, scalar_pos, const_args
+
+
+def _merge_results(
+    path_results: list[tuple[Optional[N.Node], Optional[N.Node]]]
+) -> Optional[N.Node]:
+    """Merge per-path return expressions into one Select chain.
+
+    ``path_results`` holds ``(condition, value)`` pairs in exploration
+    order; a ``None`` value means the path fell off the end of the kernel
+    without returning, which contributes the reduction-neutral 0.
+    """
+    if all(value is None for _, value in path_results):
+        return None
+    merged: Optional[N.Node] = None
+    for cond, value in reversed(path_results):
+        v = value if value is not None else N.Const(0.0)
+        if merged is None or cond is None:
+            merged = v
+        else:
+            merged = N.Select(cond, v, merged)
+    return merged
+
+
+def trace_kernel(
+    fn: Callable,
+    ndim: int,
+    args: Sequence[Any],
+    *,
+    concretize_scalars: bool = False,
+    max_paths: int = MAX_PATHS,
+) -> N.Trace:
+    """Trace a scalar kernel into a :class:`~repro.ir.nodes.Trace`.
+
+    Parameters
+    ----------
+    fn:
+        The kernel, with signature ``fn(i, *args)`` (``ndim == 1``),
+        ``fn(i, j, *args)`` (2) or ``fn(i, j, k, *args)`` (3).
+    ndim:
+        Launch-domain rank.
+    args:
+        The *runtime* arguments.  Arrays contribute shape/rank to the
+        trace; scalars are symbolic unless ``concretize_scalars``.
+    concretize_scalars:
+        Bake scalar argument values into the trace as constants.  Used by
+        the compile driver after a :class:`ConcretizationRequired`.
+    max_paths:
+        Budget for branch forking; exceeded → :class:`TooManyPathsError`.
+    """
+    if ndim not in (1, 2, 3):
+        raise TraceError(f"launch domain must be 1-D..3-D, got ndim={ndim}")
+    index_syms = [SymScalar(N.Index(ax)) for ax in range(ndim)]
+    sym_args, array_pos, scalar_pos, const_args = _make_symbolic_args(
+        args, concretize_scalars
+    )
+
+    stores: list[N.Store] = []
+    path_results: list[tuple[Optional[N.Node], Optional[N.Node]]] = []
+    pending: list[tuple[bool, ...]] = [()]
+    explored = 0
+    shape_dependent = False
+
+    while pending:
+        forced = pending.pop(0)
+        rec = _PathRecorder(forced, max_paths, explored + len(pending))
+        prev = getattr(_TLS, "recorder", None)
+        _TLS.recorder = rec
+        try:
+            ret = fn(*index_syms, *sym_args)
+        finally:
+            _TLS.recorder = prev
+        explored += 1
+        shape_dependent = shape_dependent or rec.shape_used
+        stores.extend(rec.stores)
+        ret_node: Optional[N.Node]
+        if ret is None:
+            ret_node = None
+        else:
+            ret_node = as_node(ret)
+        path_results.append((rec.current_condition(), ret_node))
+        pending.extend(rec.alternatives)
+
+    result = _merge_results(path_results)
+    return N.Trace(
+        ndim=ndim,
+        stores=stores,
+        result=result,
+        array_args=array_pos,
+        scalar_args=scalar_pos,
+        const_args=const_args,
+        n_paths=explored,
+        shape_dependent=shape_dependent,
+    )

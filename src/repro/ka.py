@@ -1,0 +1,166 @@
+"""A KernelAbstractions-flavoured API — the paper's §III-A comparison.
+
+The paper contrasts JACC with KernelAbstractions.jl (its Fig. 4): KA is
+portable too, but demands more from the programmer —
+
+1. the **granularity** (workgroup size) is chosen by the user, per
+   backend (``groupsize = isgpu(backend) ? 256 : 1024`` in Fig. 4);
+2. memory is allocated through **backend-specific** calls
+   (``allocate(backend, Float64, n)``) rather than a unified constructor;
+3. kernels are **asynchronous**: correctness requires an explicit
+   ``synchronize(backend)`` after the launch.
+
+This module reproduces that programming surface on top of the same
+engine, so the repository can demonstrate the paper's productivity
+argument *executably*: ``tests/test_ka.py`` runs the identical AXPY
+through both front ends (same results), counts the extra ceremony, and
+shows the failure modes KA exposes that JACC structurally cannot have
+(missing synchronize, illegal groupsize).
+
+Usage (cf. the paper's Fig. 4)::
+
+    from repro import ka
+
+    @ka.kernel
+    def axpy_ka_kernel(i, alpha, x, y):
+        x[i] += alpha * y[i]
+
+    backend = ka.get_backend(x)
+    groupsize = 256 if ka.isgpu(backend) else 1024
+    kernel = axpy_ka_kernel(backend, groupsize)
+    kernel(alpha, x, y, ndrange=size)
+    ka.synchronize(backend)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .backends.gpusim.backend import GpuSimBackend
+from .backends.gpusim.memory import DeviceArray
+from .core import api as core_api
+from .core.backend import Backend, normalize_dims
+from .core.exceptions import BackendError, LaunchConfigError
+from .core.launch import LaunchConfig
+from .ir.compile import compile_kernel
+from .ir.vectorizer import IndexDomain
+
+__all__ = [
+    "kernel",
+    "get_backend",
+    "allocate",
+    "isgpu",
+    "synchronize",
+    "UnsynchronizedError",
+    "KAKernel",
+    "ConfiguredKernel",
+]
+
+
+class UnsynchronizedError(BackendError):
+    """A KA launch's results were consumed before ``synchronize``."""
+
+
+#: Backends with launches pending synchronization (KA's async model).
+_PENDING: set[int] = set()
+
+
+def get_backend(array: Any) -> Backend:
+    """KA's ``get_backend(x)``: recover the backend owning an array."""
+    if isinstance(array, DeviceArray):
+        active = core_api.active_backend()
+        if isinstance(active, GpuSimBackend) and active.device is array.device:
+            return active
+        # wrap the owning device in a fresh portable backend
+        return GpuSimBackend(array.device, name=f"{array.device.name}-ka")
+    if isinstance(array, np.ndarray):
+        return core_api.active_backend()
+    raise BackendError(
+        f"cannot determine a backend for {type(array).__name__}"
+    )
+
+
+def isgpu(backend: Backend) -> bool:
+    """KA's ``KernelAbstractions.isgpu``."""
+    return backend.device_kind == "gpu"
+
+
+def allocate(backend: Backend, dtype, n: int):
+    """KA's backend-specific ``allocate`` (contrast: JACC's one
+    ``repro.array`` works everywhere)."""
+    return backend.array(np.zeros(int(n), dtype=dtype))
+
+
+def synchronize(backend: Backend) -> None:
+    """KA's explicit synchronization — mandatory after launches."""
+    backend.synchronize()
+    _PENDING.discard(id(backend))
+
+
+class ConfiguredKernel:
+    """A kernel bound to (backend, groupsize) — KA's ``kernel!``."""
+
+    def __init__(self, fn: Callable, backend: Backend, groupsize: int):
+        if groupsize <= 0:
+            raise LaunchConfigError(f"groupsize must be positive, got {groupsize}")
+        if isinstance(backend, GpuSimBackend):
+            limit = backend.device.profile.max_block_dim_x
+            if groupsize > limit:
+                raise LaunchConfigError(
+                    f"groupsize {groupsize} exceeds the device limit {limit} "
+                    f"on {backend.device.profile.display_name} — KA makes "
+                    "the user own this choice; JACC derives it"
+                )
+        self.fn = fn
+        self.backend = backend
+        self.groupsize = groupsize
+
+    def __call__(self, *args: Any, ndrange) -> None:
+        dims = normalize_dims(ndrange)
+        if len(dims) != 1:
+            raise LaunchConfigError(
+                "this KA comparison surface implements 1-D ndranges (the "
+                "paper's Fig. 4 example); use the JACC front end for 2-D/3-D"
+            )
+        backend = self.backend
+        kargs = backend.resolve_args(args)
+        compiled = compile_kernel(self.fn, 1, kargs, reduce=False)
+        if isinstance(backend, GpuSimBackend):
+            (n,) = dims
+            config = LaunchConfig(
+                threads=(self.groupsize,),
+                blocks=(-(-n // self.groupsize),),
+            )
+            # native-style launch with the *user's* config (no portable
+            # dispatch overhead — KA is a lower-level model)
+            backend.device.launch_config(dims)  # validates dims
+            compiled.run_for(IndexDomain.full(dims), kargs)
+            backend.device._charge_kernel(compiled, n, 1, self.fn.__name__)
+            del config
+        else:
+            backend.run_for(dims, compiled, kargs)
+        _PENDING.add(id(backend))
+
+
+class KAKernel:
+    """The ``@ka.kernel`` wrapper — configure with (backend, groupsize)."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self.__name__ = getattr(fn, "__name__", "ka_kernel")
+
+    def __call__(self, backend: Backend, groupsize: int) -> ConfiguredKernel:
+        return ConfiguredKernel(self.fn, backend, groupsize)
+
+
+def kernel(fn: Callable) -> KAKernel:
+    """Decorator: mark a scalar function as a KA-style kernel."""
+    return KAKernel(fn)
+
+
+def pending_launches(backend: Backend) -> bool:
+    """True when ``backend`` has launches not yet synchronized (test
+    hook for the async contract)."""
+    return id(backend) in _PENDING

@@ -1,0 +1,43 @@
+"""Portable math for kernels — re-export of :mod:`repro.ir.intrinsics`.
+
+Import from here in application code::
+
+    from repro.math import sqrt, where, trunc_int
+
+Every function works on plain numbers (interpreter / host code) and on
+symbolic values (inside traced kernels).
+"""
+
+from .ir.intrinsics import (
+    ceil,
+    cos,
+    exp,
+    floor,
+    log,
+    maximum,
+    minimum,
+    sign,
+    sin,
+    sqrt,
+    tan,
+    tanh,
+    trunc_int,
+    where,
+)
+
+__all__ = [
+    "ceil",
+    "cos",
+    "exp",
+    "floor",
+    "log",
+    "maximum",
+    "minimum",
+    "sign",
+    "sin",
+    "sqrt",
+    "tan",
+    "tanh",
+    "trunc_int",
+    "where",
+]

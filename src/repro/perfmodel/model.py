@@ -1,0 +1,115 @@
+"""Analytic timing: roofline + latency model for launches and transfers.
+
+Every modeled operation costs::
+
+    t = fixed_latency + max(bandwidth_term, compute_term)
+
+with ``bandwidth_term = lanes * bytes_per_lane / achieved_bw(class)`` and
+``compute_term = lanes * flops_per_lane / peak_flops``.  The paper's
+kernels are all strongly memory-bound, so the bandwidth term dominates at
+large sizes and the fixed latencies dominate at small sizes — which is
+exactly the structure of the paper's log-log figures (flat left tail,
+linear right tail, crossovers where the terms exchange dominance).
+
+Reductions are special-cased to the two-kernel scheme the paper's Fig. 3
+device code (and JACC's GPU backends) use: a main kernel producing one
+partial per block, a second kernel folding the partials, then a scalar
+device→host copy.  On the CPU the fold is part of the single parallel
+region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.stats import TraceStats
+from .profiles import HardwareProfile
+
+__all__ = ["classify", "LaunchCost", "PerfModel"]
+
+_PARTIAL_BLOCK = 512  # threads per block in the paper's reduction kernels
+
+
+def classify(stats: TraceStats, ndim: int) -> str:
+    """Map a kernel's static profile to a performance class.
+
+    * reductions → ``reduce`` (1-D) / ``reduce2d`` (multi-D)
+    * ≥10 distinct loads per lane → ``stencil`` (the LBM kernel)
+    * multi-path control flow → ``spmv`` (guarded few-point kernels)
+    * everything else → ``stream``
+    """
+    if stats.is_reduction:
+        return "reduce" if ndim == 1 else "reduce2d"
+    if stats.loads >= 10:
+        return "stencil"
+    if stats.n_paths > 1:
+        return "spmv"
+    return "stream"
+
+
+@dataclass(frozen=True)
+class LaunchCost:
+    """Breakdown of one modeled operation (seconds)."""
+
+    latency: float
+    bandwidth: float
+    compute: float
+    transfer: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.latency + max(self.bandwidth, self.compute) + self.transfer
+
+
+class PerfModel:
+    """Timing oracle for one hardware profile."""
+
+    def __init__(self, profile: HardwareProfile):
+        self.profile = profile
+
+    # -- kernels ---------------------------------------------------------
+    def for_cost(self, stats: TraceStats, lanes: int, ndim: int) -> LaunchCost:
+        """One ``parallel_for``-style launch (including synchronization)."""
+        cls = classify(stats, ndim)
+        return LaunchCost(
+            latency=self.profile.launch_latency,
+            bandwidth=lanes * stats.bytes_per_lane / self.profile.eff_bw[cls],
+            compute=lanes * stats.flops / self.profile.peak_flops,
+        )
+
+    def reduce_cost(self, stats: TraceStats, lanes: int, ndim: int) -> LaunchCost:
+        """A full reduction: map kernel + partial fold + scalar readback.
+
+        GPU: two launches (paper Fig. 3) and a device→host scalar copy.
+        CPU: one parallel region; the readback is free.
+        """
+        cls = classify(stats, ndim)
+        p = self.profile
+        bw = p.eff_bw[cls]
+        main_bytes = lanes * stats.bytes_per_lane
+        if p.is_gpu:
+            n_partials = max(1, -(-lanes // _PARTIAL_BLOCK))
+            partial_bytes = n_partials * 8 * 2  # write then read partials
+            return LaunchCost(
+                latency=2 * p.launch_latency,
+                bandwidth=(main_bytes + partial_bytes) / bw,
+                compute=lanes * stats.flops / p.peak_flops,
+                transfer=p.link_latency + 8 / p.link_bw,
+            )
+        return LaunchCost(
+            latency=p.launch_latency,
+            bandwidth=main_bytes / bw,
+            compute=lanes * stats.flops / p.peak_flops,
+        )
+
+    # -- memory ----------------------------------------------------------
+    def transfer_cost(self, nbytes: int) -> float:
+        """Host↔device copy of ``nbytes`` (0 on CPU profiles)."""
+        p = self.profile
+        if not p.is_gpu:
+            return 0.0
+        return p.link_latency + nbytes / p.link_bw
+
+    def alloc_cost(self, count: int = 1) -> float:
+        """``count`` device allocations."""
+        return count * self.profile.alloc_latency

@@ -1,0 +1,237 @@
+"""Hardware profiles for the paper's four evaluation architectures.
+
+The paper measures on one AMD EPYC 7742 "Rome" CPU (Frontier/crusher-class
+node), one AMD MI100, one NVIDIA A100 (Perlmutter) and one Intel Data
+Center Max 1550 (Aurora).  We have none of that hardware, so the simulated
+backends charge time from these analytic profiles instead (DESIGN.md §2).
+
+Each profile carries:
+
+* nominal link/launch/allocation latencies from public microbenchmark
+  literature for each runtime (CUDA/HIP/Level Zero launch costs, PCIe/
+  NVLink transfer latency), and
+* **achieved bandwidth per kernel class** (`eff_bw`).  This is the one
+  place the paper's *measured* results enter the model: achieved fractions
+  of peak differ per kernel class and per software stack (Julia's
+  Base.Threads BLAS-1 on Rome is far below STREAM; AMDGPU.jl reductions on
+  MI100 are far below its HBM peak; oneAPI.jl on Max 1550 was young), and
+  we calibrate those fractions so the model reproduces the paper's quoted
+  speedups.  The calibration derivation — which paper number pins which
+  entry — is spelled out next to each profile and asserted by
+  ``tests/test_calibration.py``.
+
+Kernel classes (see :func:`repro.perfmodel.model.classify`):
+
+* ``stream``  — BLAS-1-like map kernels (AXPY, copies, scaled updates)
+* ``stencil`` — neighbourhood-heavy kernels (the LBM D2Q9 pull)
+* ``spmv``    — guarded few-point kernels (the CG tridiagonal matvec)
+* ``reduce``  — 1-D reduction kernels (DOT)
+* ``reduce2d``— multidimensional reductions (geometric-mean behaviour;
+  the paper observes the AXPY/DOT gap shrinking in 2-D on every GPU)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["HardwareProfile", "PROFILES", "get_profile", "KERNEL_CLASSES"]
+
+KERNEL_CLASSES = ("stream", "stencil", "spmv", "reduce", "reduce2d")
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Analytic description of one evaluation architecture.
+
+    Attributes
+    ----------
+    name / display_name / vendor / kind:
+        Identity; ``kind`` is ``"cpu"`` or ``"gpu"``.
+    mem_bw:
+        Nominal peak memory bandwidth (B/s) — documentation only; the
+        model reads :attr:`eff_bw`.
+    eff_bw:
+        Achieved bandwidth (B/s) per kernel class (calibrated).
+    peak_flops:
+        FP64 peak (F/s) for the roofline compute term.
+    launch_latency:
+        Cost to launch + synchronize one kernel (s).  For the CPU this is
+        the ``Threads.@threads`` fork/join cost.
+    link_latency / link_bw:
+        Host↔device transfer latency (s) and bandwidth (B/s).  Zero
+        latency and infinite bandwidth on the CPU (no device boundary).
+    alloc_latency:
+        Cost of one device allocation (s) — the paper attributes JACC's
+        2-D AXPY overhead on the A100 to extra allocations.
+    n_cores / max_block_dim_x:
+        Topology used by the backends (CPU chunk count, GPU launch math).
+    """
+
+    name: str
+    display_name: str
+    vendor: str
+    kind: str
+    mem_bw: float
+    eff_bw: Mapping[str, float]
+    peak_flops: float
+    launch_latency: float
+    link_latency: float
+    link_bw: float
+    alloc_latency: float
+    n_cores: int = 1
+    max_block_dim_x: int = 1024
+
+    def __post_init__(self):
+        missing = [c for c in KERNEL_CLASSES if c not in self.eff_bw]
+        if missing:
+            raise ValueError(
+                f"profile {self.name!r} missing eff_bw for classes {missing}"
+            )
+        object.__setattr__(self, "eff_bw", MappingProxyType(dict(self.eff_bw)))
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+
+def _geo(a: float, b: float) -> float:
+    return math.sqrt(a * b)
+
+
+# --------------------------------------------------------------------------
+# AMD EPYC 7742 "Rome", 64 cores, 8×DDR4-3200 (204.8 GB/s nominal).
+#
+# Calibration: the paper reports the *same JACC AXPY code* running ~70x
+# faster on the MI100 than on this CPU (§V-A), LBM ~14x (§V-B) and CG ~17x
+# (§V-C).  With the MI100 entries below, those pin Rome's achieved
+# bandwidths at ~13 GB/s (stream; Julia Base.Threads BLAS-1 well below
+# STREAM — consistent with the paper's own measurement), ~52 GB/s
+# (stencil; cache reuse across the 9 neighbour loads makes the CPU look
+# *better* than STREAM per apparent byte) and ~40 GB/s for read-only
+# reductions (the paper shows the CPU *winning* small DOT by ~2x).
+_ROME = HardwareProfile(
+    name="rome",
+    display_name="AMD EPYC 7742 Rome (64c)",
+    vendor="amd",
+    kind="cpu",
+    mem_bw=204.8e9,
+    eff_bw={
+        "stream": 13.2e9,
+        "stencil": 52.0e9,
+        "spmv": 20.0e9,
+        "reduce": 40.0e9,
+        "reduce2d": _geo(13.2e9, 40.0e9),
+    },
+    peak_flops=2.0e12,
+    launch_latency=15e-6,  # Threads.@threads fork+join on 64 cores
+    link_latency=0.0,
+    link_bw=float("inf"),
+    alloc_latency=1e-6,
+    n_cores=64,
+    max_block_dim_x=1,  # unused on CPU
+)
+
+# --------------------------------------------------------------------------
+# AMD MI100, 1.23 TB/s HBM2, PCIe gen4 host link (Frontier's ExCL testbed
+# node in the paper, not the MI250X production blades).
+#
+# Calibration: stream 0.92 TB/s (75% of peak — typical HIP triad);
+# reductions only ~0.12 TB/s — the paper's Fig. 8 shows MI100 DOT far
+# slower than AXPY *even at large N* (two kernels + slow host link), and
+# CG lands at 17x vs Rome only if reduces drag it down this far.
+_MI100 = HardwareProfile(
+    name="mi100",
+    display_name="AMD MI100",
+    vendor="amd",
+    kind="gpu",
+    mem_bw=1.23e12,
+    eff_bw={
+        "stream": 0.92e12,
+        "stencil": 0.738e12,
+        "spmv": 0.50e12,
+        "reduce": 0.123e12,
+        "reduce2d": _geo(0.92e12, 0.123e12),
+    },
+    peak_flops=11.5e12,
+    launch_latency=10e-6,
+    link_latency=8e-6,
+    link_bw=16e9,
+    alloc_latency=8e-6,
+    n_cores=120,  # compute units
+    max_block_dim_x=1024,
+)
+
+# --------------------------------------------------------------------------
+# NVIDIA A100-40GB (Perlmutter), 1.555 TB/s HBM2e, fast host link.
+#
+# Calibration: stream 1.09 TB/s (70%), reductions 0.93 TB/s — the paper
+# notes the AXPY/DOT gap is "minimal when computing large vectors" on the
+# A100; CG 68x vs Rome follows.
+_A100 = HardwareProfile(
+    name="a100",
+    display_name="NVIDIA A100",
+    vendor="nvidia",
+    kind="gpu",
+    mem_bw=1.555e12,
+    eff_bw={
+        "stream": 1.09e12,
+        "stencil": 1.05e12,
+        "spmv": 0.80e12,
+        "reduce": 0.933e12,
+        "reduce2d": _geo(1.09e12, 0.933e12),
+    },
+    peak_flops=9.7e12,
+    launch_latency=6e-6,
+    link_latency=5e-6,
+    link_bw=25e9,
+    alloc_latency=6e-6,
+    n_cores=108,  # SMs
+    max_block_dim_x=1024,
+)
+
+# --------------------------------------------------------------------------
+# Intel Data Center GPU Max 1550 (Aurora), 3.28 TB/s nominal HBM2e.
+#
+# Calibration: the paper's Intel results are far below the card's nominal
+# peak everywhere (oneAPI.jl was young): LBM only 6.5x vs Rome pins
+# stencil at ~0.34 TB/s; CG at 4x vs Rome needs reduces near 0.045 TB/s;
+# stream sits at 0.30 TB/s so Intel AXPY tracks the AMD GPU's *times*
+# order-of-magnitude in Fig. 8 while staying behind on reductions.
+_MAX1550 = HardwareProfile(
+    name="max1550",
+    display_name="Intel Max 1550",
+    vendor="intel",
+    kind="gpu",
+    mem_bw=3.2768e12,
+    eff_bw={
+        "stream": 0.30e12,
+        "stencil": 0.342e12,
+        "spmv": 0.15e12,
+        "reduce": 0.045e12,
+        "reduce2d": _geo(0.30e12, 0.045e12),
+    },
+    peak_flops=26.0e12,
+    launch_latency=12e-6,
+    link_latency=10e-6,
+    link_bw=20e9,
+    alloc_latency=10e-6,
+    n_cores=128,  # Xe cores per stack
+    max_block_dim_x=1024,
+)
+
+PROFILES: Mapping[str, HardwareProfile] = MappingProxyType(
+    {p.name: p for p in (_ROME, _MI100, _A100, _MAX1550)}
+)
+
+
+def get_profile(name: str) -> HardwareProfile:
+    """Look up a profile by name (``rome``/``mi100``/``a100``/``max1550``)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hardware profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

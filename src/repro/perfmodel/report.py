@@ -1,0 +1,141 @@
+"""Series containers and terminal rendering for the benchmark harness.
+
+The paper's figures are log-log "time vs size" plots with one line per
+(architecture, model) pair.  The harness produces :class:`Series` objects;
+this module renders them as aligned tables (the rows the paper plots) and
+as a rough ASCII log-log chart for quick shape checks in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Series", "Panel", "format_table", "ascii_chart", "format_timeline"]
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label and (size, seconds) points."""
+
+    label: str
+    sizes: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    def add(self, size: int, seconds: float) -> None:
+        self.sizes.append(int(size))
+        self.times.append(float(seconds))
+
+    def time_at(self, size: int) -> float:
+        """Time at an exact size (KeyError if the sweep didn't include it)."""
+        try:
+            return self.times[self.sizes.index(int(size))]
+        except ValueError:
+            raise KeyError(f"series {self.label!r} has no size {size}") from None
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+
+@dataclass
+class Panel:
+    """One figure panel: a title plus series sharing an x-axis."""
+
+    title: str
+    series: list[Series] = field(default_factory=list)
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"panel {self.title!r} has no series {label!r}")
+
+
+def _fmt_time(t: float) -> str:
+    if t <= 0 or not math.isfinite(t):
+        return f"{t:.3g}"
+    if t < 1e-6:
+        return f"{t * 1e9:.3g}ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.3g}us"
+    if t < 1.0:
+        return f"{t * 1e3:.3g}ms"
+    return f"{t:.3g}s"
+
+
+def format_table(panel: Panel) -> str:
+    """Render a panel as an aligned size × series table."""
+    if not panel.series:
+        return f"== {panel.title} ==\n(no data)"
+    sizes = panel.series[0].sizes
+    headers = ["size"] + [s.label for s in panel.series]
+    rows = []
+    for k, size in enumerate(sizes):
+        row = [str(size)]
+        for s in panel.series:
+            row.append(_fmt_time(s.times[k]) if k < len(s.times) else "-")
+        rows.append(row)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) for c in range(len(headers))
+    ]
+    out = [f"== {panel.title} =="]
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        out.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_timeline(events, limit: int = 50) -> str:
+    """Render a device event log (``SimClock(record_events=True)``) as an
+    aligned table: start / duration / kind / label.
+
+    The simulated analogue of a profiler trace — used to answer "where
+    did the modeled time go?" for a workload (e.g. the five reductions
+    inside one CG iteration).
+    """
+    rows = [("t_start", "duration", "kind", "label")]
+    shown = list(events)[:limit]
+    for e in shown:
+        rows.append((_fmt_time(e.start), _fmt_time(e.duration), e.kind, e.label))
+    widths = [max(len(r[c]) for r in rows) for c in range(4)]
+    out = ["  ".join(v.ljust(w) for v, w in zip(r, widths)).rstrip() for r in rows]
+    hidden = len(list(events)) - len(shown)
+    if hidden > 0:
+        out.append(f"... {hidden} more events")
+    return "\n".join(out)
+
+
+def ascii_chart(panel: Panel, width: int = 72, height: int = 18) -> str:
+    """Rough log-log ASCII rendering of a panel (one glyph per series)."""
+    pts = [
+        (s.sizes, s.times)
+        for s in panel.series
+        if s.sizes and any(t > 0 for t in s.times)
+    ]
+    if not pts:
+        return f"== {panel.title} == (no data)"
+    all_x = [x for xs, _ in pts for x in xs if x > 0]
+    all_y = [y for _, ys in pts for y in ys if y > 0]
+    lx0, lx1 = math.log10(min(all_x)), math.log10(max(all_x))
+    ly0, ly1 = math.log10(min(all_y)), math.log10(max(all_y))
+    lx1 = lx1 if lx1 > lx0 else lx0 + 1
+    ly1 = ly1 if ly1 > ly0 else ly0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*#@%&"
+    for si, s in enumerate(panel.series):
+        g = glyphs[si % len(glyphs)]
+        for x, y in zip(s.sizes, s.times):
+            if x <= 0 or y <= 0:
+                continue
+            cx = round((math.log10(x) - lx0) / (lx1 - lx0) * (width - 1))
+            cy = round((math.log10(y) - ly0) / (ly1 - ly0) * (height - 1))
+            grid[height - 1 - cy][cx] = g
+    lines = [f"== {panel.title} ==  (log-log; y: time, x: size)"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "   ".join(
+        f"{glyphs[si % len(glyphs)]}={s.label}" for si, s in enumerate(panel.series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Roofline analysis: where each kernel sits on each machine's roof.
+
+The model's timing rule is exactly the roofline law —
+``t = latency + max(bytes/BW, flops/peak)`` — so every (kernel,
+architecture) pair has a well-defined position: its arithmetic intensity
+(flop/byte) against the machine balance (peak / achieved bandwidth).
+This module computes and renders that placement, answering the question
+the paper's §V keeps circling: *which kernels are bandwidth-bound where,
+and how far from the roof do they sit* (the AXPY/DOT gap, the LBM's
+relative immunity to portable-layer overhead, CG's reduction drag).
+
+Used by ``tests/test_roofline.py`` and available to users as an analysis
+API::
+
+    from repro.perfmodel.roofline import roofline_report
+    print(roofline_report([("axpy", axpy_stats, 1), ...]))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..ir.stats import TraceStats
+from .model import classify
+from .profiles import PROFILES, HardwareProfile, get_profile
+
+__all__ = ["RooflinePoint", "place_kernel", "roofline_report"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's placement on one machine's roofline."""
+
+    kernel: str
+    profile: str
+    kernel_class: str
+    intensity: float  # flop/byte of the kernel
+    balance: float  # flop/byte where the roofs meet (machine balance)
+    bound: str  # "bandwidth" | "compute"
+    attainable_flops: float  # F/s the roof allows at this intensity
+    roof_fraction: float  # attainable / peak
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel:<12s} on {self.profile:<8s} [{self.kernel_class:<8s}] "
+            f"I={self.intensity:6.3f} F/B  balance={self.balance:6.1f}  "
+            f"{self.bound}-bound  attainable={self.attainable_flops / 1e9:8.1f} GF/s "
+            f"({self.roof_fraction * 100:5.1f}% of peak)"
+        )
+
+
+def place_kernel(
+    name: str, stats: TraceStats, ndim: int, profile: HardwareProfile
+) -> RooflinePoint:
+    """Place one kernel on one machine's roofline.
+
+    The bandwidth roof uses the *achieved* bandwidth of the kernel's
+    class (that is what the timing model charges), so the placement
+    agrees exactly with the model's predictions.
+    """
+    cls = classify(stats, ndim)
+    bw = profile.eff_bw[cls]
+    balance = profile.peak_flops / bw
+    intensity = stats.intensity
+    if intensity <= 0:
+        # pure data movement: pin to the bandwidth roof at zero flops
+        return RooflinePoint(
+            kernel=name,
+            profile=profile.name,
+            kernel_class=cls,
+            intensity=0.0,
+            balance=balance,
+            bound="bandwidth",
+            attainable_flops=0.0,
+            roof_fraction=0.0,
+        )
+    attainable = min(profile.peak_flops, intensity * bw)
+    bound = "bandwidth" if intensity < balance else "compute"
+    return RooflinePoint(
+        kernel=name,
+        profile=profile.name,
+        kernel_class=cls,
+        intensity=intensity,
+        balance=balance,
+        bound=bound,
+        attainable_flops=attainable,
+        roof_fraction=attainable / profile.peak_flops,
+    )
+
+
+def roofline_report(
+    kernels: Sequence[tuple[str, TraceStats, int]],
+    profiles: Iterable[str] = ("rome", "mi100", "a100", "max1550"),
+) -> str:
+    """Render the full kernels × machines placement table.
+
+    ``kernels`` holds ``(name, stats, ndim)`` triples (stats from
+    :func:`repro.ir.stats.analyze` or ``CompiledKernel.stats``).
+    """
+    lines = ["== roofline placement (achieved-bandwidth roofs) =="]
+    for pname in profiles:
+        profile = get_profile(pname)
+        lines.append(
+            f"-- {profile.display_name}: peak {profile.peak_flops / 1e12:.1f} TF/s --"
+        )
+        for name, stats, ndim in kernels:
+            lines.append("  " + str(place_kernel(name, stats, ndim, profile)))
+    return "\n".join(lines)
+
+
+def paper_kernel_placements() -> list[RooflinePoint]:
+    """Placements of the paper's four workload kernels on all machines
+    (convenience for reports and tests)."""
+    import numpy as np
+
+    from ..apps.blas import axpy_kernel_1d, dot_kernel_1d
+    from ..apps.cg import matvec_tridiag_kernel
+    from ..apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+    from ..ir.compile import compile_kernel
+
+    ones = np.ones(64)
+    f = np.ones(9 * 64)
+    kernels = [
+        ("axpy", compile_kernel(axpy_kernel_1d, 1, [2.5, ones, ones]).stats, 1),
+        (
+            "dot",
+            compile_kernel(dot_kernel_1d, 1, [ones, ones], reduce=True).stats,
+            1,
+        ),
+        (
+            "matvec",
+            compile_kernel(
+                matvec_tridiag_kernel, 1, [ones, ones, ones, ones, ones.copy(), 64]
+            ).stats,
+            1,
+        ),
+        (
+            "lbm",
+            compile_kernel(
+                lbm_kernel,
+                2,
+                [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, 8],
+            ).stats,
+            2,
+        ),
+    ]
+    out = []
+    for pname in PROFILES:
+        for name, stats, ndim in kernels:
+            out.append(place_kernel(name, stats, ndim, get_profile(pname)))
+    return out

@@ -1,0 +1,109 @@
+"""Contract tests for the Backend ABC shared across all implementations.
+
+Each registered backend must satisfy the same observable contract —
+the compute/memory split of the paper's Fig. 1.  Parametrized over every
+registry entry so a future backend automatically inherits the checks.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.registry import available_backends, create_backend
+from repro.core.backend import Backend
+
+ALL = sorted(available_backends())
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+def dot(i, x, y):
+    return x[i] * y[i]
+
+
+@pytest.fixture(autouse=True)
+def restore():
+    yield
+    repro.set_backend("serial")
+
+
+class TestAbstractBase:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            Backend()
+
+    def test_all_builtins_registered(self):
+        assert set(ALL) >= {
+            "threads",
+            "serial",
+            "interp",
+            "cuda-sim",
+            "rocm-sim",
+            "oneapi-sim",
+            "multi-sim",
+            "hetero-sim",
+        }
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestPerBackendContract:
+    def test_construction_and_metadata(self, name):
+        b = create_backend(name)
+        assert isinstance(b, Backend)
+        assert b.device_kind in ("cpu", "gpu")
+        assert b.accounting.n_for == 0
+
+    def test_array_roundtrip_preserves_values(self, name):
+        b = create_backend(name)
+        host = np.linspace(-3, 3, 17)
+        arr = b.array(host)
+        np.testing.assert_array_equal(b.to_host(arr), host)
+
+    def test_array_copies_not_aliases(self, name):
+        b = create_backend(name)
+        host = np.ones(8)
+        arr = b.array(host)
+        host[:] = -9
+        np.testing.assert_array_equal(b.to_host(arr), np.ones(8))
+
+    def test_unwrap_gives_kernel_visible_storage(self, name):
+        b = create_backend(name)
+        arr = b.array(np.arange(4.0))
+        raw = b.unwrap(arr)
+        assert isinstance(raw, np.ndarray)
+        np.testing.assert_array_equal(raw, np.arange(4.0))
+
+    def test_for_then_reduce_end_to_end(self, name):
+        repro.set_backend(create_backend(name))
+        x = repro.array(np.full(33, 2.0))
+        y = repro.array(np.full(33, 3.0))
+        repro.parallel_for(33, axpy, 2.0, x, y)  # x = 2 + 6 = 8
+        r = repro.parallel_reduce(33, dot, x, y)
+        assert r == pytest.approx(33 * 8.0 * 3.0)
+
+    def test_constructs_count_and_synchronize(self, name):
+        b = create_backend(name)
+        repro.set_backend(b)
+        x = repro.array(np.ones(8))
+        y = repro.array(np.ones(8))
+        repro.parallel_for(8, axpy, 1.0, x, y)
+        repro.parallel_reduce(8, dot, x, y)
+        assert b.accounting.n_for == 1
+        assert b.accounting.n_reduce == 1
+        b.synchronize()  # must not raise on any backend
+
+    def test_2d_construct(self, name):
+        def set2(i, j, x):
+            x[i, j] = i + 10.0 * j
+
+        repro.set_backend(create_backend(name))
+        x = repro.array(np.zeros((5, 7)))
+        repro.parallel_for((5, 7), set2, x)
+        h = repro.to_host(x)
+        assert h[3, 4] == 43.0
+
+    def test_repr_names_backend(self, name):
+        b = create_backend(name)
+        assert b.name in repr(b) or type(b).__name__ in repr(b)

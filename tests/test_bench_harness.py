@@ -1,0 +1,217 @@
+"""Tests for the benchmark harness and figure regeneration (repro.bench)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench import figures
+from repro.bench.harness import (
+    ARCHES,
+    get_arch,
+    measure_axpy,
+    measure_cg,
+    measure_dot,
+    measure_lbm,
+    modeled_cg_iteration,
+    modeled_construct_time,
+)
+from repro.perfmodel import Panel
+
+
+@pytest.fixture(autouse=True)
+def restore():
+    yield
+    repro.set_backend("serial")
+
+
+class TestArchSpecs:
+    def test_four_architectures(self):
+        assert [a.key for a in ARCHES] == ["rome", "mi100", "a100", "max1550"]
+
+    def test_jacc_backends_constructible(self):
+        for arch in ARCHES:
+            b = arch.make_jacc_backend()
+            assert b.name == arch.jacc_backend_name
+
+    def test_vendor_only_on_gpus(self):
+        with pytest.raises(ValueError):
+            get_arch("rome").make_vendor()
+        api = get_arch("a100").make_vendor()
+        assert api.profile_name == "a100"
+
+    def test_unknown_arch(self):
+        with pytest.raises(KeyError):
+            get_arch("m1")
+
+
+class TestMeasurements:
+    @pytest.mark.parametrize("key", ["rome", "mi100", "a100", "max1550"])
+    def test_axpy_returns_positive_pair(self, key):
+        t_native, t_jacc = measure_axpy(get_arch(key), 1 << 12)
+        assert t_native > 0 and t_jacc > 0
+        assert t_jacc >= t_native * 0.99  # portable layer never faster
+
+    @pytest.mark.parametrize("key", ["rome", "a100"])
+    def test_dot_returns_positive_pair(self, key):
+        t_native, t_jacc = measure_dot(get_arch(key), 1 << 12)
+        assert t_native > 0 and t_jacc > 0
+
+    def test_2d_dims_accepted(self):
+        t_native, t_jacc = measure_axpy(get_arch("a100"), (64, 64))
+        assert t_native > 0 and t_jacc > 0
+
+    def test_lbm_per_step_time(self):
+        t_native, t_jacc = measure_lbm(get_arch("mi100"), 32, steps=2)
+        assert t_native > 0 and t_jacc > 0
+
+    def test_cg_measurement(self):
+        t_native, t_jacc = measure_cg(get_arch("max1550"), 1 << 12)
+        assert t_jacc > t_native > 0
+
+    def test_measurement_excludes_setup_transfers(self):
+        # Doubling the size should scale time by ~bandwidth, not by the
+        # (excluded) H2D setup cost; both must remain finite & ordered.
+        arch = get_arch("a100")
+        t1 = measure_axpy(arch, 1 << 20)[1]
+        t2 = measure_axpy(arch, 1 << 21)[1]
+        assert t2 > t1
+
+    def test_measurements_are_reproducible(self):
+        arch = get_arch("mi100")
+        a = measure_axpy(arch, 1 << 14)
+        b = measure_axpy(arch, 1 << 14)
+        assert a == b  # simulated clocks are deterministic
+
+
+class TestModeledHelpers:
+    def test_modeled_time_scales_linearly_at_large_sizes(self):
+        from repro.apps.blas import axpy_kernel_1d
+
+        args = [2.5, np.ones(8), np.ones(8)]
+        t1 = modeled_construct_time("a100", axpy_kernel_1d, args, 1 << 26, 1)
+        t2 = modeled_construct_time("a100", axpy_kernel_1d, args, 1 << 27, 1)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+    def test_jacc_flag_adds_overhead(self):
+        from repro.apps.blas import dot_kernel_1d
+
+        args = [np.ones(8), np.ones(8)]
+        t_nat = modeled_construct_time(
+            "max1550", dot_kernel_1d, args, 1 << 24, 1, reduce=True, jacc=False
+        )
+        t_jacc = modeled_construct_time(
+            "max1550", dot_kernel_1d, args, 1 << 24, 1, reduce=True, jacc=True
+        )
+        assert t_jacc > t_nat
+
+    def test_modeled_cg_iteration_positive_and_ordered(self):
+        n = 10_000_000
+        t = {p: modeled_cg_iteration(p, n, jacc=True) for p in ("rome", "a100")}
+        assert t["a100"] < t["rome"]
+
+
+class TestFigureGeneration:
+    def test_figure8_panels(self):
+        panels = figures.figure8(sizes=[256, 1024])
+        assert len(panels) == 2
+        for p in panels:
+            assert isinstance(p, Panel)
+            assert len(p.series) == 8  # 4 archs x {native, jacc}
+            for s in p.series:
+                assert len(s) == 2
+                assert all(t > 0 for t in s.times)
+
+    def test_figure9_panels(self):
+        panels = figures.figure9(sizes=[16, 32])
+        assert len(panels) == 2
+        assert all(len(s) == 2 for p in panels for s in p.series)
+
+    def test_figure11_panel(self):
+        (panel,) = figures.figure11(sizes=[16, 24])
+        assert len(panel.series) == 8
+        # LBM on GPUs beats the CPU at any size the paper plots
+        assert panel.get("a100-jacc").times[-1] < panel.get("rome-jacc").times[-1]
+
+    def test_figure13_panel(self):
+        panel = figures.figure13(n=1 << 14)
+        assert len(panel.series) == 8
+        assert panel.get("a100-jacc").times[0] < panel.get("rome-jacc").times[0]
+
+    def test_headline_results_structure(self):
+        results = figures.headline_speedups()
+        names = [r.name for r in results]
+        assert len(results) == 9
+        assert any("70x" in n for n in names)
+        assert any("Intel DOT" in n for n in names)
+        for r in results:
+            assert r.measured > 0
+            assert str(r)  # renders
+
+
+class TestCLI:
+    def test_cli_headline(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "paper=" in out
+        assert "all within 2x band" in out
+
+    def test_cli_fig13_small(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig13", "--n", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "CG iteration" in out
+        assert "rome-native" in out
+
+    def test_cli_json_export(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        path = tmp_path / "fig13.json"
+        assert main(["fig13", "--n", "4096", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert len(doc["panels"]) == 1
+        labels = {s["label"] for s in doc["panels"][0]["series"]}
+        assert "a100-jacc" in labels
+        for s in doc["panels"][0]["series"]:
+            assert s["sizes"] == [4096]
+            assert s["seconds"][0] > 0
+
+    def test_cli_stream_target(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["stream", "--n", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "STREAM" in out
+        assert "triad" in out
+        assert "Intel Max 1550" in out
+
+    def test_cli_roofline_target(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["roofline"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth-bound" in out
+        assert "lbm" in out
+
+    def test_cli_arch_filter(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig13", "--n", "4096", "--arch", "rome,a100"]) == 0
+        out = capsys.readouterr().out
+        assert "a100-jacc" in out
+        assert "mi100" not in out
+
+    def test_cli_headline_json_includes_ratios(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        path = tmp_path / "headline.json"
+        assert main(["headline", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert len(doc["headline"]) == 9
+        assert all(h["model"] > 0 for h in doc["headline"])

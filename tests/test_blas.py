@@ -1,0 +1,149 @@
+"""Tests for the BLAS-1 workloads (repro.apps.blas / blas_native)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import blas, blas_native
+from repro.backends.threads import ThreadsBackend
+
+
+@pytest.fixture(autouse=True)
+def serial_default():
+    repro.set_backend("serial")
+    yield
+    repro.set_backend("serial")
+
+
+def _data(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.round(rng.random(shape) * 100), np.round(rng.random(shape) * 100)
+
+
+class TestPortable1D:
+    def test_axpy(self):
+        x, y = _data(100)
+        dx, dy = repro.array(x), repro.array(y)
+        blas.axpy(100, 2.5, dx, dy)
+        np.testing.assert_allclose(repro.to_host(dx), x + 2.5 * y)
+
+    def test_dot(self):
+        x, y = _data(100)
+        assert blas.dot(100, repro.array(x), repro.array(y)) == pytest.approx(
+            float(x @ y)
+        )
+
+    def test_axpy_then_dot_composition(self):
+        # The quickstart sequence from the paper's Fig. 2.
+        x, y = _data(1000)
+        dx, dy = repro.array(x), repro.array(y)
+        blas.axpy(1000, 2.5, dx, dy)
+        r = blas.dot(1000, dx, dy)
+        assert r == pytest.approx(float((x + 2.5 * y) @ y))
+
+
+class TestPortable2D:
+    def test_axpy_2d(self):
+        x, y = _data((20, 30))
+        dx, dy = repro.array(x), repro.array(y)
+        blas.axpy((20, 30), 1.5, dx, dy)
+        np.testing.assert_allclose(repro.to_host(dx), x + 1.5 * y)
+
+    def test_dot_2d(self):
+        x, y = _data((20, 30))
+        r = blas.dot((20, 30), repro.array(x), repro.array(y))
+        assert r == pytest.approx(float((x * y).sum()))
+
+    def test_rectangular_domains(self):
+        x, y = _data((5, 64))
+        dx, dy = repro.array(x), repro.array(y)
+        blas.axpy((5, 64), 2.0, dx, dy)
+        np.testing.assert_allclose(repro.to_host(dx), x + 2 * y)
+
+
+class TestPortableOnAllBackends:
+    @pytest.mark.parametrize(
+        "backend", ["serial", "interp", "threads", "cuda-sim", "rocm-sim", "oneapi-sim", "multi-sim"]
+    )
+    def test_axpy_dot_agree(self, backend):
+        repro.set_backend(backend)
+        x, y = _data(257)  # odd size exercises chunk remainders
+        dx, dy = repro.array(x), repro.array(y)
+        blas.axpy(257, 2.5, dx, dy)
+        np.testing.assert_allclose(repro.to_host(dx), x + 2.5 * y)
+        assert blas.dot(257, dx, dy) == pytest.approx(float((x + 2.5 * y) @ y))
+
+
+class TestNativeGpu:
+    def test_native_axpy_matches(self):
+        from repro.bench.harness import get_arch
+
+        api = get_arch("a100").make_vendor()
+        x, y = _data(500)
+        dx, dy = api.to_device(x), api.to_device(y)
+        blas_native.gpu_axpy(api, 500, 2.5, dx, dy)
+        np.testing.assert_allclose(api.to_host(dx), x + 2.5 * y)
+
+    def test_native_dot_matches(self):
+        from repro.bench.harness import get_arch
+
+        api = get_arch("mi100").make_vendor()
+        x, y = _data(5000)
+        assert blas_native.gpu_dot(
+            api, 5000, api.to_device(x), api.to_device(y)
+        ) == pytest.approx(float(x @ y), rel=1e-12)
+
+    def test_native_2d(self):
+        from repro.bench.harness import get_arch
+
+        api = get_arch("max1550").make_vendor()
+        x, y = _data((16, 24))
+        dx, dy = api.to_device(x), api.to_device(y)
+        blas_native.gpu_axpy(api, (16, 24), 3.0, dx, dy)
+        np.testing.assert_allclose(api.to_host(dx), x + 3 * y)
+        assert blas_native.gpu_dot(api, (16, 24), dx, dy) == pytest.approx(
+            float(((x + 3 * y) * y).sum()), rel=1e-12
+        )
+
+    def test_native_dot_frees_temporaries(self):
+        from repro.bench.harness import get_arch
+
+        api = get_arch("a100").make_vendor()
+        x, y = _data(2048)
+        dx, dy = api.to_device(x), api.to_device(y)
+        in_use_before = api.device().memory.in_use
+        blas_native.gpu_dot(api, 2048, dx, dy)
+        assert api.device().memory.in_use == in_use_before
+
+
+class TestNativeCpu:
+    def test_native_cpu_axpy(self):
+        b = ThreadsBackend(n_threads=2, min_parallel_size=64)
+        x, y = _data(4096)
+        expected = x + 2.5 * y
+        blas_native.cpu_axpy(b, 4096, 2.5, x, y)
+        np.testing.assert_allclose(x, expected)
+        b.close()
+
+    def test_native_cpu_dot(self):
+        b = ThreadsBackend(n_threads=2, min_parallel_size=64)
+        x, y = _data(4096)
+        assert blas_native.cpu_dot(b, 4096, x, y) == pytest.approx(
+            float(x @ y), rel=1e-12
+        )
+        b.close()
+
+    def test_native_pays_no_portable_dispatch(self):
+        # Native code path must not charge account_portable_dispatch.
+        b = ThreadsBackend(n_threads=1)
+        x, y = _data(128)
+        t0 = b.accounting.sim_time
+        blas_native.cpu_axpy(b, 128, 1.0, x, y)
+        native_cost = b.accounting.sim_time - t0
+        repro.set_backend(ThreadsBackend(n_threads=1))
+        be = repro.active_backend()
+        dx, dy = repro.array(x), repro.array(y)
+        t0 = be.accounting.sim_time
+        blas.axpy(128, 1.0, dx, dy)
+        jacc_cost = be.accounting.sim_time - t0
+        assert jacc_cost > native_cost

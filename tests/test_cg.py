@@ -1,0 +1,313 @@
+"""Tests for the conjugate-gradient workload (repro.apps.cg / cg_native)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+import repro
+from repro.apps.cg import (
+    cg_iteration_paper,
+    cg_solve,
+    cg_solve_operator,
+    make_paper_cg_state,
+    matvec_tridiag_kernel,
+    tridiag_matvec_host,
+    tridiagonal_system,
+)
+from repro.apps.cg_native import (
+    cg_iteration_native_cpu,
+    cg_iteration_native_gpu,
+    make_native_cpu_state,
+    make_native_gpu_state,
+)
+
+
+@pytest.fixture(autouse=True)
+def serial_default():
+    repro.set_backend("serial")
+    yield
+    repro.set_backend("serial")
+
+
+class TestSystemGenerator:
+    def test_shapes_and_values(self):
+        lower, diag, upper, b = tridiagonal_system(10)
+        assert len(lower) == len(diag) == len(upper) == len(b) == 10
+        assert np.all(diag == 4.0)
+        assert np.all(lower == 1.0)
+        assert np.all(b == 0.5)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            tridiagonal_system(1)
+
+    def test_non_dominant_rejected(self):
+        with pytest.raises(ValueError):
+            tridiagonal_system(10, diag_value=1.0, off_value=1.0)
+
+    def test_host_matvec_matches_scipy(self):
+        n = 50
+        rng = np.random.default_rng(0)
+        lower = rng.random(n)
+        diag = 4 + rng.random(n)
+        upper = rng.random(n)
+        x = rng.random(n)
+        a = sp.diags(
+            [lower[1:], diag, upper[:-1]], offsets=[-1, 0, 1], format="csr"
+        )
+        np.testing.assert_allclose(
+            tridiag_matvec_host(lower, diag, upper, x), a @ x, rtol=1e-13
+        )
+
+
+class TestMatvecKernel:
+    def test_matches_host_oracle_on_all_backends(self):
+        n = 40
+        rng = np.random.default_rng(2)
+        lower, upper = rng.random(n), rng.random(n)
+        diag = 4 + rng.random(n)
+        x = rng.random(n)
+        expected = tridiag_matvec_host(lower, diag, upper, x)
+        for backend in ("serial", "interp", "threads", "rocm-sim"):
+            repro.set_backend(backend)
+            dl, dd, du = repro.array(lower), repro.array(diag), repro.array(upper)
+            dx, dy = repro.array(x), repro.array(np.zeros(n))
+            repro.parallel_for(n, matvec_tridiag_kernel, dl, dd, du, dx, dy, n)
+            np.testing.assert_allclose(repro.to_host(dy), expected, rtol=1e-13)
+
+    def test_n_equals_two_only_boundary_rows(self):
+        lower = np.array([9.0, 1.0])
+        diag = np.array([4.0, 4.0])
+        upper = np.array([1.0, 9.0])
+        x = np.array([1.0, 2.0])
+        y = np.zeros(2)
+        repro.parallel_for(2, matvec_tridiag_kernel, lower, diag, upper, x, y, 2)
+        np.testing.assert_allclose(y, [4 + 2, 1 + 8])
+
+
+class TestCgSolve:
+    def test_converges_and_solves(self):
+        lower, diag, upper, b = tridiagonal_system(500)
+        res = cg_solve(lower, diag, upper, b, tol=1e-12)
+        assert res.converged
+        resid = tridiag_matvec_host(lower, diag, upper, res.x) - b
+        assert np.abs(resid).max() < 1e-9
+
+    def test_matches_scipy_solution(self):
+        n = 200
+        lower, diag, upper, b = tridiagonal_system(n)
+        a = sp.diags([lower[1:], diag, upper[:-1]], [-1, 0, 1], format="csr")
+        x_ref = spla.spsolve(a.tocsc(), b)
+        res = cg_solve(lower, diag, upper, b, tol=1e-13)
+        np.testing.assert_allclose(res.x, x_ref, rtol=1e-8, atol=1e-10)
+
+    def test_residual_history_decreases(self):
+        lower, diag, upper, b = tridiagonal_system(300)
+        res = cg_solve(lower, diag, upper, b, tol=1e-12)
+        norms = res.residual_norms
+        assert norms[-1] < norms[0]
+        # CG on a well-conditioned SPD system converges fast
+        assert res.iterations < 60
+
+    def test_zero_rhs_short_circuits(self):
+        lower, diag, upper, _ = tridiagonal_system(50)
+        res = cg_solve(lower, diag, upper, np.zeros(50))
+        assert res.converged
+        assert res.iterations == 0
+        assert np.allclose(res.x, 0.0)
+
+    def test_max_iter_respected(self):
+        lower, diag, upper, b = tridiagonal_system(500)
+        res = cg_solve(lower, diag, upper, b, tol=1e-16, max_iter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_warm_start(self):
+        lower, diag, upper, b = tridiagonal_system(100)
+        exact = cg_solve(lower, diag, upper, b, tol=1e-13).x
+        res = cg_solve(lower, diag, upper, b, tol=1e-13, x0=exact)
+        assert res.iterations == 0
+        assert res.converged
+
+    def test_operator_form_with_custom_matvec(self):
+        # dense SPD operator through cg_solve_operator
+        rng = np.random.default_rng(3)
+        n = 30
+        m = rng.random((n, n))
+        a = m @ m.T + n * np.eye(n)
+        b = rng.random(n)
+
+        da = repro.array(a)
+
+        def dense_mv(i, mat, x, y, nn):
+            s = 0.0
+            for j in range(nn):
+                s += mat[i, j] * x[j]
+            y[i] = s
+
+        def apply_mv(dp, ds):
+            repro.parallel_for(n, dense_mv, da, dp, ds, n)
+
+        res = cg_solve_operator(apply_mv, b, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(a @ res.x, b, rtol=1e-8, atol=1e-8)
+
+
+class TestPreconditionedCG:
+    """Jacobi PCG — the step the paper deferred (§V-C)."""
+
+    def _varying_diag_system(self, n, seed=0, spread=50.0):
+        # strongly varying diagonal: where Jacobi actually helps
+        rng = np.random.default_rng(seed)
+        diag = 4.0 + spread * rng.random(n)
+        lower = np.ones(n)
+        upper = np.ones(n)
+        b = rng.random(n)
+        return lower, diag, upper, b
+
+    def _solvers(self, lower, diag, upper, b, tol=1e-10):
+        from repro.apps.cg import pcg_solve_operator
+
+        n = len(b)
+        dl, dd, du = repro.array(lower), repro.array(diag), repro.array(upper)
+
+        def apply_mv(dp, ds):
+            repro.parallel_for(n, matvec_tridiag_kernel, dl, dd, du, dp, ds, n)
+
+        plain = cg_solve(lower, diag, upper, b, tol=tol)
+        pcg = pcg_solve_operator(apply_mv, diag, b, tol=tol)
+        return plain, pcg
+
+    def test_pcg_solves_correctly(self):
+        lower, diag, upper, b = self._varying_diag_system(300)
+        _, pcg = self._solvers(lower, diag, upper, b, tol=1e-12)
+        assert pcg.converged
+        resid = tridiag_matvec_host(lower, diag, upper, pcg.x) - b
+        assert np.abs(resid).max() < 1e-8
+
+    def test_pcg_converges_faster_on_bad_diagonal(self):
+        lower, diag, upper, b = self._varying_diag_system(400, spread=200.0)
+        plain, pcg = self._solvers(lower, diag, upper, b)
+        assert pcg.converged and plain.converged
+        assert pcg.iterations < plain.iterations
+
+    def test_pcg_equals_cg_on_constant_diagonal(self):
+        # Jacobi with a constant diagonal is exact scaling: same
+        # iteration count as plain CG.
+        lower, diag, upper, b = tridiagonal_system(200)
+        b = b + np.linspace(0, 1, 200)
+        plain, pcg = self._solvers(lower, diag, upper, b, tol=1e-11)
+        assert pcg.iterations == plain.iterations
+        np.testing.assert_allclose(pcg.x, plain.x, rtol=1e-8, atol=1e-10)
+
+    def test_zero_diagonal_rejected(self):
+        from repro.apps.cg import pcg_solve_operator
+
+        with pytest.raises(ValueError):
+            pcg_solve_operator(lambda p, s: None, np.zeros(4), np.ones(4))
+
+    def test_zero_rhs_short_circuits(self):
+        from repro.apps.cg import pcg_solve_operator
+
+        lower, diag, upper, _ = tridiagonal_system(50)
+        dl, dd, du = repro.array(lower), repro.array(diag), repro.array(upper)
+
+        def apply_mv(dp, ds):
+            repro.parallel_for(50, matvec_tridiag_kernel, dl, dd, du, dp, ds, 50)
+
+        res = pcg_solve_operator(apply_mv, diag, np.zeros(50))
+        assert res.converged and res.iterations == 0
+
+    def test_pcg_on_hpccg_operator(self):
+        from repro.apps.cg import pcg_solve_operator
+        from repro.apps.hpccg import build_27pt_problem, matvec_ell_kernel
+
+        a, b, x_exact = build_27pt_problem(5, 5, 5)
+        dcols, dvals = repro.array(a.cols), repro.array(a.vals)
+
+        def apply_mv(dp, ds):
+            repro.parallel_for(a.n, matvec_ell_kernel, dcols, dvals, dp, ds)
+
+        diag = np.full(a.n, 27.0)
+        res = pcg_solve_operator(apply_mv, diag, b, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_exact, atol=1e-7)
+
+
+class TestPaperIteration:
+    def test_state_matches_figure12_init(self):
+        st = make_paper_cg_state(16)
+        assert np.all(repro.to_host(st["a1"]) == 4.0)
+        assert np.all(repro.to_host(st["r"]) == 0.5)
+        assert np.all(repro.to_host(st["x"]) == 0.0)
+
+    def test_one_iteration_is_a_correct_cg_step(self):
+        n = 64
+        st = make_paper_cg_state(n)
+        r0 = repro.to_host(st["r"]).copy()
+        p0 = repro.to_host(st["p"]).copy()
+        lower, diag, upper, _ = tridiagonal_system(n)
+
+        st = cg_iteration_paper(st)
+
+        s_ref = tridiag_matvec_host(lower, diag, upper, p0)
+        alpha_ref = float(r0 @ r0) / float(p0 @ s_ref)
+        r_new_ref = r0 - alpha_ref * s_ref
+        assert st["alpha"] == pytest.approx(alpha_ref, rel=1e-12)
+        np.testing.assert_allclose(repro.to_host(st["r"]), r_new_ref, rtol=1e-12)
+        beta_ref = float(r_new_ref @ r_new_ref) / float(r0 @ r0)
+        assert st["beta"] == pytest.approx(beta_ref, rel=1e-12)
+        np.testing.assert_allclose(
+            repro.to_host(st["p"]), r_new_ref + beta_ref * p0, rtol=1e-12
+        )
+        assert st["cond"] == pytest.approx(float(r_new_ref @ r_new_ref), rel=1e-12)
+
+    def test_construct_mix_matches_figure12(self):
+        # 6 parallel_for + 5 parallel_reduce per iteration.
+        repro.set_backend("serial")
+        b = repro.active_backend()
+        st = make_paper_cg_state(32)
+        f0, r0 = b.accounting.n_for, b.accounting.n_reduce
+        cg_iteration_paper(st)
+        assert b.accounting.n_for - f0 == 6
+        assert b.accounting.n_reduce - r0 == 5
+
+    def test_iterating_reduces_residual(self):
+        st = make_paper_cg_state(128)
+        conds = []
+        for _ in range(5):
+            st = cg_iteration_paper(st)
+            conds.append(st["cond"])
+        assert conds[-1] < conds[0]
+
+
+class TestNativeIterations:
+    def test_native_gpu_matches_portable(self):
+        from repro.bench.harness import get_arch
+
+        n = 64
+        repro.set_backend("serial")
+        st = cg_iteration_paper(make_paper_cg_state(n))
+
+        api = get_arch("mi100").make_vendor()
+        stn = cg_iteration_native_gpu(api, make_native_gpu_state(api, n))
+        assert stn["alpha"] == pytest.approx(st["alpha"], rel=1e-12)
+        assert stn["beta"] == pytest.approx(st["beta"], rel=1e-12)
+        assert stn["cond"] == pytest.approx(st["cond"], rel=1e-12)
+        np.testing.assert_allclose(
+            api.to_host(stn["x"]), repro.to_host(st["x"]), rtol=1e-12
+        )
+
+    def test_native_cpu_matches_portable(self):
+        from repro.backends.threads import ThreadsBackend
+
+        n = 64
+        repro.set_backend("serial")
+        st = cg_iteration_paper(make_paper_cg_state(n))
+
+        b = ThreadsBackend(n_threads=2, min_parallel_size=16)
+        stn = cg_iteration_native_cpu(b, make_native_cpu_state(n))
+        assert stn["alpha"] == pytest.approx(st["alpha"], rel=1e-12)
+        assert stn["cond"] == pytest.approx(st["cond"], rel=1e-12)
+        b.close()

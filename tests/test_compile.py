@@ -1,0 +1,260 @@
+"""Unit tests for the compile driver and trace cache (repro.ir.compile)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import TraceError
+from repro.ir.compile import cache_info, clear_cache, compile_kernel
+from repro.ir.vectorizer import IndexDomain
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+def dot(i, x, y):
+    return x[i] * y[i]
+
+
+class TestLadder:
+    def test_plain_kernel_compiles_to_vector(self):
+        ck = compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        assert ck.mode == "vector"
+        assert ck.trace is not None
+        assert ck.fallback_reason is None
+
+    def test_loop_bound_kernel_value_specializes(self):
+        def k(i, x, m):
+            s = 0.0
+            for _ in range(m):
+                s += x[i]
+            x[i] = s
+
+        ck = compile_kernel(k, 1, [np.ones(4), 3])
+        assert ck.mode == "vector-specialized"
+        assert ck.trace.const_args == {1: 3}
+        assert ck.fallback_reason is not None
+
+    def test_untraceable_kernel_falls_to_interpreter(self):
+        def k(i, x, m):
+            # loop bound depends on an *array element*: cannot be traced
+            # even after scalar concretization.
+            for _ in range(int(x[i] * 0 + m)):
+                pass
+            x[i] = float(m)
+
+        ck = compile_kernel(k, 1, [np.ones(4), 2])
+        assert ck.mode == "interpreter"
+        assert ck.trace is None
+        # it still runs correctly
+        x = np.zeros(4)
+        ck.run_for(IndexDomain.full((4,)), [x, 2])
+        assert np.allclose(x, 2.0)
+
+    def test_reduce_kernel_without_return_rejected(self):
+        def k(i, x):
+            x[i] = 1.0
+
+        with pytest.raises(TraceError):
+            compile_kernel(k, 1, [np.ones(3)], reduce=True)
+
+    def test_for_kernel_with_return_value_discards_it(self):
+        def k(i, x):
+            x[i] = 2.0
+            return x[i]
+
+        ck = compile_kernel(k, 1, [np.ones(3)], reduce=False)
+        assert ck.trace.result is None
+        x = np.zeros(3)
+        ck.run_for(IndexDomain.full((3,)), [x])
+        assert np.allclose(x, 2.0)
+
+
+class TestCacheKeys:
+    def test_same_types_hit_cache(self):
+        a = [2.0, np.ones(8), np.ones(8)]
+        compile_kernel(axpy, 1, a)
+        before = cache_info()
+        ck2 = compile_kernel(axpy, 1, [3.0, np.zeros(100), np.zeros(100)])
+        after = cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert ck2.mode == "vector"
+
+    def test_different_rank_misses(self):
+        def k2(i, j, x):
+            x[i, j] = 1.0
+
+        def k1(i, x):
+            x[i] = 1.0
+
+        compile_kernel(k1, 1, [np.ones(4)])
+        compile_kernel(k2, 2, [np.ones((4, 4))])
+        assert cache_info()["size"] == 2
+
+    def test_different_dtype_misses(self):
+        compile_kernel(dot, 1, [np.ones(4), np.ones(4)], reduce=True)
+        compile_kernel(
+            dot, 1, [np.ones(4, dtype=np.float32), np.ones(4, dtype=np.float32)],
+            reduce=True,
+        )
+        assert cache_info()["misses"] == 2
+
+    def test_scalar_type_part_of_key(self):
+        compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        compile_kernel(axpy, 1, [2, np.ones(4), np.ones(4)])  # int alpha
+        assert cache_info()["misses"] == 2
+
+    def test_shape_dependent_trace_keyed_by_shape(self):
+        def k(i, x):
+            x[i] = float(len(x))
+
+        compile_kernel(k, 1, [np.ones(4)])
+        compile_kernel(k, 1, [np.ones(9)])
+        info = cache_info()
+        assert info["misses"] == 2
+        # same shape now hits
+        compile_kernel(k, 1, [np.ones(9)])
+        assert cache_info()["hits"] == 1
+
+    def test_value_specialized_trace_keyed_by_value(self):
+        def k(i, x, m):
+            s = 0.0
+            for _ in range(m):
+                s += x[i]
+            x[i] = s
+
+        ck3 = compile_kernel(k, 1, [np.ones(4), 3])
+        ck5 = compile_kernel(k, 1, [np.ones(4), 5])
+        assert ck3 is not ck5
+        x = np.ones(4)
+        ck5.run_for(IndexDomain.full((4,)), [x, 5])
+        assert np.allclose(x, 5.0)
+        # same value hits the cache
+        before = cache_info()["hits"]
+        compile_kernel(k, 1, [np.ones(4), 3])
+        assert cache_info()["hits"] == before + 1
+
+    def test_reduce_flag_is_part_of_key(self):
+        def k(i, x):
+            x[i] = 1.0
+            return 0.0
+
+        compile_kernel(k, 1, [np.ones(3)], reduce=False)
+        compile_kernel(k, 1, [np.ones(3)], reduce=True)
+        assert cache_info()["size"] == 2
+
+    def test_numpy_scalar_treated_as_python_scalar(self):
+        compile_kernel(axpy, 1, [np.float64(2.0), np.ones(4), np.ones(4)])
+        before = cache_info()["hits"]
+        compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        assert cache_info()["hits"] == before + 1
+
+    def test_clear_cache_resets(self):
+        compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        clear_cache()
+        info = cache_info()
+        assert info == {"size": 0, "hits": 0, "misses": 0}
+
+
+class TestConcurrency:
+    def test_concurrent_compiles_are_safe_and_consistent(self):
+        import threading
+
+        n_threads = 8
+        n_kernels = 20
+        errors = []
+        results = [[None] * n_kernels for _ in range(n_threads)]
+
+        # n_kernels distinct kernel functions compiled from every thread
+        def make_kernel(k):
+            def kern(i, x, y):
+                x[i] += (k + 1) * y[i]
+
+            kern.__name__ = f"kern_{k}"
+            return kern
+
+        kernels = [make_kernel(k) for k in range(n_kernels)]
+        x, y = np.ones(16), np.ones(16)
+
+        def worker(tid):
+            try:
+                for k, fn in enumerate(kernels):
+                    results[tid][k] = compile_kernel(fn, 1, [x, y])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # every thread got a working kernel for every function
+        from repro.ir.vectorizer import IndexDomain
+
+        for k in range(n_kernels):
+            xs = np.zeros(16)
+            results[0][k].run_for(IndexDomain.full((16,)), [xs, y])
+            assert np.allclose(xs, k + 1)
+
+    def test_concurrent_constructs_through_threads_backend(self):
+        # User-level concurrency: two Python threads issuing constructs
+        # against independent serial backends.
+        import threading
+
+        from repro.backends.serial import SerialBackend
+
+        def axpy2(i, alpha, x, y):
+            x[i] += alpha * y[i]
+
+        outs = {}
+
+        def worker(name, alpha):
+            b = SerialBackend()
+            x, y = np.zeros(512), np.ones(512)
+            ck = compile_kernel(axpy2, 1, [alpha, x, y])
+            for _ in range(50):
+                b.run_for((512,), ck, [alpha, x, y])
+            outs[name] = x
+
+        t1 = threading.Thread(target=worker, args=("a", 1.0))
+        t2 = threading.Thread(target=worker, args=("b", 2.0))
+        t1.start(); t2.start(); t1.join(); t2.join()
+        assert np.allclose(outs["a"], 50.0)
+        assert np.allclose(outs["b"], 100.0)
+
+
+class TestCompiledKernelExecution:
+    def test_run_for_and_reduce(self):
+        x = np.arange(6.0)
+        y = np.ones(6)
+        ck = compile_kernel(axpy, 1, [2.0, x, y])
+        ck.run_for(IndexDomain.full((6,)), [2.0, x, y])
+        assert np.allclose(x, np.arange(6.0) + 2)
+
+        ckd = compile_kernel(dot, 1, [x, y], reduce=True)
+        assert ckd.run_reduce(IndexDomain.full((6,)), [x, y]) == pytest.approx(x.sum())
+
+    def test_stats_populated_for_vector_mode(self):
+        ck = compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        assert ck.stats.loads == 2
+        assert ck.stats.stores == 1
+        assert ck.stats.bytes_per_lane == 24
+
+    def test_interpreter_mode_stats_are_placeholder(self):
+        def k(i, x, m):
+            for _ in range(int(x[i] * 0 + m)):
+                pass
+
+        ck = compile_kernel(k, 1, [np.ones(3), 1])
+        assert ck.mode == "interpreter"
+        assert ck.stats.n_paths == 0

@@ -1,0 +1,114 @@
+"""Doctests of user-facing docstrings + small API conveniences."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def serial_backend():
+    repro.set_backend("serial")
+    yield
+    repro.set_backend("serial")
+
+
+class TestDoctests:
+    def test_package_docstring_example(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1  # the Fig. 2 example ran
+
+
+class TestArrayConveniences:
+    def test_zeros(self):
+        z = repro.zeros(5)
+        assert np.allclose(repro.to_host(z), 0.0)
+        assert repro.to_host(z).dtype == np.float64
+
+    def test_ones_2d(self):
+        o = repro.ones((3, 4))
+        assert repro.to_host(o).shape == (3, 4)
+        assert np.allclose(repro.to_host(o), 1.0)
+
+    def test_zeros_dtype(self):
+        z = repro.zeros(4, dtype=np.int64)
+        assert repro.to_host(z).dtype == np.int64
+
+    def test_zeros_on_gpu_backend_are_device_arrays(self):
+        repro.set_backend("cuda-sim")
+        z = repro.zeros(8)
+        assert repro.is_backend_array(z)
+        assert np.allclose(repro.to_host(z), 0.0)
+
+
+class TestKernelLanguageEdges:
+    def test_symbolic_while_loop_falls_to_interpreter(self):
+        """A data-dependent while loop cannot trace (it would fork one
+        path per iteration until the budget trips) — the ladder must
+        land it in the interpreter, still computing correctly."""
+        from repro.ir.compile import clear_cache, compile_kernel
+
+        clear_cache()
+
+        def collatz_steps(i, x, out):
+            v = int(x[i])
+            steps = 0.0
+            while v != 1:
+                v = v // 2 if v % 2 == 0 else 3 * v + 1
+                steps += 1.0
+            out[i] = steps
+
+        x = np.array([1.0, 2.0, 3.0, 6.0])
+        out = np.zeros(4)
+        ck = compile_kernel(collatz_steps, 1, [x, out])
+        assert ck.mode == "interpreter"
+        repro.parallel_for(4, collatz_steps, x, out)
+        assert list(out) == [0.0, 1.0, 7.0, 8.0]
+
+    def test_index_dependent_while_loop_traces_or_falls_back_correctly(self):
+        def count_down(i, out, n):
+            v = i
+            s = 0.0
+            while v > 0:
+                v = v - 1
+                s += 1.0
+            out[i] = s
+
+        out = np.zeros(6)
+        repro.parallel_for(6, count_down, out, 6)
+        assert np.allclose(out, np.arange(6.0))
+
+    def test_kernel_with_helper_function_calls(self):
+        # kernels may call plain Python helpers; they trace through
+        def scale(v, f):
+            return v * f
+
+        def k(i, x, y):
+            y[i] = scale(x[i], 3.0) + scale(1.0, 2.0)
+
+        x = np.arange(4.0)
+        y = np.zeros(4)
+        repro.parallel_for(4, k, x, y)
+        assert np.allclose(y, 3 * x + 2)
+
+    def test_kernel_with_tuple_locals(self):
+        def k(i, x, y):
+            pair = (x[i], 2.0)
+            y[i] = pair[0] * pair[1]
+
+        x = np.arange(4.0)
+        y = np.zeros(4)
+        repro.parallel_for(4, k, x, y)
+        assert np.allclose(y, 2 * x)
+
+    def test_chained_comparison_forks_correctly(self):
+        def k(i, x, n):
+            if 0 < i < n - 1:  # Python chains to `0 < i and i < n-1`
+                x[i] = 1.0
+
+        x = np.zeros(5)
+        repro.parallel_for(5, k, x, 5)
+        assert np.allclose(x, [0, 1, 1, 1, 0])

@@ -1,0 +1,139 @@
+"""Dtype coverage: the constructs must work beyond float64.
+
+The paper's workloads are all double precision, but a portable model
+must not silently assume it — integer index arrays (the LBM velocities),
+float32 fields and bool masks all appear in real codes.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def serial_backend():
+    repro.set_backend("serial")
+    yield
+    repro.set_backend("serial")
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+class TestFloat32:
+    def test_parallel_for_preserves_dtype(self):
+        x = np.ones(16, dtype=np.float32)
+        y = np.ones(16, dtype=np.float32)
+        repro.parallel_for(16, axpy, np.float32(2.0), x, y)
+        assert x.dtype == np.float32
+        assert np.allclose(x, 3.0)
+
+    def test_float32_distinct_cache_entry(self):
+        from repro.ir.compile import cache_info, clear_cache
+
+        clear_cache()
+        repro.parallel_for(8, axpy, 1.0, np.ones(8), np.ones(8))
+        repro.parallel_for(
+            8, axpy, 1.0, np.ones(8, np.float32), np.ones(8, np.float32)
+        )
+        assert cache_info()["misses"] == 2
+
+    def test_float32_reduce_returns_float(self):
+        def dot(i, x, y):
+            return x[i] * y[i]
+
+        x = np.full(10, 0.5, dtype=np.float32)
+        y = np.full(10, 2.0, dtype=np.float32)
+        r = repro.parallel_reduce(10, dot, x, y)
+        assert isinstance(r, float)
+        assert r == pytest.approx(10.0)
+
+    def test_float32_on_gpu_backend(self):
+        repro.set_backend("rocm-sim")
+        x = repro.array(np.ones(32, dtype=np.float32))
+        y = repro.array(np.ones(32, dtype=np.float32))
+        repro.parallel_for(32, axpy, np.float32(1.5), x, y)
+        host = repro.to_host(x)
+        assert host.dtype == np.float32
+        assert np.allclose(host, 2.5)
+
+
+class TestIntegerArrays:
+    def test_integer_stores(self):
+        def fill(i, x):
+            x[i] = i * 3
+
+        x = np.zeros(6, dtype=np.int64)
+        repro.parallel_for(6, fill, x)
+        assert x.dtype == np.int64
+        assert list(x) == [0, 3, 6, 9, 12, 15]
+
+    def test_int32_index_arrays_gather(self):
+        def gather(i, idx, src, dst):
+            dst[i] = src[idx[i]]
+
+        idx = np.array([2, 0, 1], dtype=np.int32)
+        src = np.array([10.0, 20.0, 30.0])
+        dst = np.zeros(3)
+        repro.parallel_for(3, gather, idx, src, dst)
+        assert np.allclose(dst, [30, 10, 20])
+
+    def test_integer_arithmetic_kernel(self):
+        def k(i, x, y):
+            y[i] = x[i] // 2 + x[i] % 3
+
+        x = np.arange(10, dtype=np.int64)
+        y = np.zeros(10, dtype=np.int64)
+        repro.parallel_for(10, k, x, y)
+        assert np.array_equal(y, x // 2 + x % 3)
+
+    def test_mixed_int_float_promotes_like_numpy(self):
+        def k(i, counts, weights, out):
+            out[i] = counts[i] * weights[i]
+
+        counts = np.arange(5, dtype=np.int64)
+        weights = np.full(5, 0.5)
+        out = np.zeros(5)
+        repro.parallel_for(5, k, counts, weights, out)
+        assert np.allclose(out, counts * 0.5)
+
+
+class TestBoolMasks:
+    def test_bool_array_as_mask_source(self):
+        from repro.math import where
+
+        def k(i, mask, x):
+            x[i] = where(mask[i], 1.0, -1.0)
+
+        mask = np.array([True, False, True, True])
+        x = np.zeros(4)
+        repro.parallel_for(4, k, mask, x)
+        assert np.allclose(x, [1, -1, 1, 1])
+
+    def test_branch_on_bool_element(self):
+        def k(i, mask, x):
+            if mask[i]:
+                x[i] = 5.0
+
+        mask = np.array([False, True, False])
+        x = np.zeros(3)
+        repro.parallel_for(3, k, mask, x)
+        assert np.allclose(x, [0, 5, 0])
+
+
+class TestCrossExecutorDtypeParity:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64])
+    def test_interp_and_serial_agree(self, dtype):
+        def k(i, x, y):
+            y[i] = x[i] * 2 + 1
+
+        x = np.arange(12).astype(dtype)
+        y1 = np.zeros(12, dtype=dtype)
+        y2 = np.zeros(12, dtype=dtype)
+        repro.set_backend("serial")
+        repro.parallel_for(12, k, x, y1)
+        repro.set_backend("interp")
+        repro.parallel_for(12, k, x, y2)
+        np.testing.assert_array_equal(y1, y2)

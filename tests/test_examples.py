@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs to completion as a subprocess."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    env = dict(os.environ, PYACC_BACKEND="serial")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestQuickstart:
+    def test_default_backend(self):
+        out = run_example("quickstart.py")
+        assert "quickstart OK" in out
+
+    def test_on_simulated_gpu(self):
+        out = run_example("quickstart.py", "cuda-sim")
+        assert "backend: cuda-sim" in out
+        assert "quickstart OK" in out
+
+
+class TestLbmCavity:
+    def test_small_run(self):
+        out = run_example("lbm_cavity.py", "serial", "32", "80")
+        assert "cavity OK" in out
+        assert "speed field" in out
+
+    def test_gpu_backend(self):
+        out = run_example("lbm_cavity.py", "rocm-sim", "24", "40")
+        assert "cavity OK" in out
+
+
+class TestCgSolver:
+    def test_small_run(self):
+        out = run_example("cg_solver.py", "serial", "5000")
+        assert "cg_solver OK" in out
+        assert "HPCCG" in out
+        assert "MiniFE" in out
+
+
+class TestHeatDiffusion:
+    def test_small_run(self):
+        out = run_example("heat_diffusion.py", "serial", "12", "200")
+        assert "heat_diffusion OK" in out
+
+    def test_gpu_backend(self):
+        out = run_example("heat_diffusion.py", "oneapi-sim", "10", "100")
+        assert "heat_diffusion OK" in out
+
+
+class TestInspectKernels:
+    def test_runs(self):
+        out = run_example("inspect_kernels.py")
+        assert "inspect_kernels OK" in out
+        assert "roofline placement" in out
+        assert "performance class: stencil" in out
+
+
+class TestPortabilityMatrix:
+    def test_full_matrix(self):
+        out = run_example("portability_matrix.py", "20000")
+        assert "portability matrix OK" in out
+        for backend in ("serial", "threads", "cuda-sim", "rocm-sim", "oneapi-sim", "multi-sim"):
+            assert backend in out

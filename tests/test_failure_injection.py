@@ -1,0 +1,194 @@
+"""Failure injection: the runtime must fail loudly, early, and precisely.
+
+HPC runtimes are judged by their failure modes as much as their fast
+paths — a silent wrong answer on a 100M-unknown solve costs more than any
+speedup.  These tests drive each failure class through the public API and
+assert the error arrives at the construct that caused it, with state left
+sane enough to continue.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.gpusim import Device, GpuSimBackend
+from repro.core.exceptions import (
+    DeviceError,
+    KernelExecutionError,
+    MemoryError_,
+    PyACCError,
+    TraceError,
+)
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+@pytest.fixture(autouse=True)
+def restore():
+    yield
+    repro.set_backend("serial")
+
+
+class TestKernelErrors:
+    def test_oob_store_raises_kernel_error(self):
+        repro.set_backend("serial")
+
+        def bad(i, x, n):
+            x[i + n] = 1.0
+
+        x = np.zeros(8)
+        with pytest.raises(KernelExecutionError):
+            repro.parallel_for(8, bad, x, 8)
+
+    def test_oob_store_raises_on_threads_backend_too(self):
+        repro.set_backend("threads")
+
+        def bad(i, x, n):
+            x[i + n] = 1.0
+
+        x = np.zeros(1 << 15)
+        with pytest.raises(Exception):
+            repro.parallel_for(len(x), bad, x, len(x))
+
+    def test_reduce_kernel_without_return_rejected_at_compile(self):
+        repro.set_backend("serial")
+
+        def no_return(i, x):
+            x[i] = 1.0
+
+        with pytest.raises(TraceError):
+            repro.parallel_reduce(4, no_return, np.zeros(4))
+
+    def test_bad_reduce_op_rejected(self):
+        repro.set_backend("serial")
+
+        def val(i, x):
+            return x[i]
+
+        with pytest.raises(KernelExecutionError):
+            repro.parallel_reduce(4, val, np.ones(4), op="median")
+
+    def test_kernel_argument_of_wrong_type(self):
+        # Untraceable argument types drop the kernel to the interpreter
+        # (where exotic Python args are legal in principle); an actually
+        # broken argument then fails loudly inside the kernel at the
+        # construct that used it.
+        repro.set_backend("serial")
+        with pytest.raises(TypeError):
+            repro.parallel_for(4, axpy, "2.5", np.zeros(4), np.ones(4))
+
+    def test_exotic_python_arg_works_via_interpreter(self):
+        # ...and a *valid* exotic argument (a dict lookup) runs fine.
+        repro.set_backend("serial")
+
+        def lookup(i, table, x):
+            x[i] = table[i]
+
+        x = np.zeros(3)
+        repro.parallel_for(3, lookup, {0: 5.0, 1: 6.0, 2: 7.0}, x)
+        np.testing.assert_array_equal(x, [5, 6, 7])
+
+    def test_backend_usable_after_kernel_failure(self):
+        repro.set_backend("serial")
+
+        def bad(i, x, n):
+            x[i + n] = 1.0
+
+        x = np.zeros(8)
+        with pytest.raises(KernelExecutionError):
+            repro.parallel_for(8, bad, x, 8)
+        # the next (correct) construct must work
+        y = np.ones(8)
+        repro.parallel_for(8, axpy, 1.0, x, y)
+        # lanes before the failing store may legitimately have run; just
+        # check the follow-up op applied everywhere.
+        assert np.all(x >= 1.0)
+
+
+class TestDeviceFailures:
+    def test_oom_mid_workload(self):
+        dev = Device("a100", capacity_bytes=1 << 20)  # 1 MiB card
+        backend = GpuSimBackend(dev, name="cuda-sim")
+        repro.set_backend(backend)
+        x = repro.array(np.zeros(1 << 14))  # 128 KiB
+        y = repro.array(np.ones(1 << 14))
+        repro.parallel_for(1 << 14, axpy, 1.0, x, y)  # fits
+        with pytest.raises(MemoryError_):
+            repro.array(np.zeros(1 << 18))  # 2 MiB: over capacity
+
+    def test_oom_error_reports_sizes(self):
+        dev = Device("a100", capacity_bytes=1000)
+        with pytest.raises(MemoryError_) as ei:
+            dev.to_device(np.zeros(1000))
+        msg = str(ei.value)
+        assert "8000" in msg and "1000" in msg
+
+    def test_freed_array_in_construct(self):
+        repro.set_backend("cuda-sim")
+        x = repro.array(np.zeros(16))
+        y = repro.array(np.ones(16))
+        x.free()
+        with pytest.raises(DeviceError):
+            repro.parallel_for(16, axpy, 1.0, x, y)
+
+    def test_array_from_other_device_in_construct(self):
+        repro.set_backend("cuda-sim")
+        x = repro.array(np.zeros(16))
+        other = Device("mi100")
+        y_foreign = other.to_device(np.ones(16))
+        with pytest.raises(DeviceError):
+            repro.parallel_for(16, axpy, 1.0, x, y_foreign)
+
+    def test_all_errors_are_pyacc_errors(self):
+        # a single except-clause must be able to catch everything
+        assert issubclass(DeviceError, PyACCError)
+        assert issubclass(MemoryError_, PyACCError)
+        assert issubclass(KernelExecutionError, PyACCError)
+        assert issubclass(TraceError, PyACCError)
+
+
+class TestNumericalEdgeCases:
+    def test_nan_propagates_not_crashes(self):
+        repro.set_backend("serial")
+        x = np.array([1.0, np.nan, 3.0])
+        y = np.ones(3)
+        repro.parallel_for(3, axpy, 1.0, x, y)
+        assert np.isnan(x[1])
+        assert x[0] == 2.0
+
+    def test_inf_in_reduction(self):
+        repro.set_backend("serial")
+
+        def val(i, x):
+            return x[i]
+
+        x = np.array([1.0, np.inf, 3.0])
+        assert repro.parallel_reduce(3, val, x) == np.inf
+
+    def test_single_element_domain(self):
+        repro.set_backend("serial")
+        x = np.zeros(1)
+        y = np.ones(1)
+        repro.parallel_for(1, axpy, 5.0, x, y)
+        assert x[0] == 5.0
+
+    def test_single_element_reduce(self):
+        repro.set_backend("threads")
+
+        def val(i, x):
+            return x[i]
+
+        assert repro.parallel_reduce(1, val, np.array([7.0])) == 7.0
+
+    def test_guard_never_true_on_size_one(self):
+        repro.set_backend("serial")
+
+        def interior(i, x, n):
+            if i > 0 and i < n - 1:
+                x[i] = 1.0
+
+        x = np.zeros(1)
+        repro.parallel_for(1, interior, x, 1)
+        assert x[0] == 0.0

@@ -1,0 +1,77 @@
+"""Final property sweep: idempotence and partition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.launch import weighted_chunks
+from repro.ir.optimize import count_nodes, optimize_trace
+from repro.ir.tracer import trace_kernel
+
+
+class TestOptimizerIdempotence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**10))
+    def test_second_pass_is_fixpoint_on_matvec(self, seed):
+        from repro.apps.cg import matvec_tridiag_kernel
+
+        rng = np.random.default_rng(seed)
+        n = 12
+        args = [rng.random(n), 4 + rng.random(n), rng.random(n),
+                rng.random(n), np.zeros(n), n]
+        t1 = optimize_trace(trace_kernel(matvec_tridiag_kernel, 1, args))
+        t2 = optimize_trace(t1)
+        assert count_nodes(t2) == count_nodes(t1)
+        assert len(t2.stores) == len(t1.stores)
+
+    def test_second_pass_is_fixpoint_on_lbm(self):
+        from repro.apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+
+        n = 8
+        f = np.ones(9 * n * n)
+        args = [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, n]
+        t1 = optimize_trace(trace_kernel(lbm_kernel, 2, args))
+        t2 = optimize_trace(t1)
+        assert count_nodes(t2) == count_nodes(t1)
+
+
+class TestWeightedChunkProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(1, 10**6),
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_partition_invariants(self, n, weights):
+        chunks = weighted_chunks((n,), weights)
+        assert len(chunks) == len(weights)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(chunks, chunks[1:]):
+            assert a1 == b0
+            assert a1 >= a0
+        # proportionality: each chunk within 1 of its exact share
+        total = sum(weights)
+        for (lo, hi), w in zip(chunks, weights):
+            exact = n * w / total
+            assert abs((hi - lo) - exact) < 1.0 + 1e-9
+
+    def test_ka_rejects_2d_ndrange(self):
+        import repro
+        from repro import ka
+        from repro.core.exceptions import LaunchConfigError
+
+        repro.set_backend("serial")
+
+        @ka.kernel
+        def k(i, x):
+            x[i] = 1.0
+
+        kern = k(repro.active_backend(), 64)
+        with pytest.raises(LaunchConfigError):
+            kern(np.zeros(4), ndrange=(2, 2))
+        repro.set_backend("serial")

@@ -1,0 +1,355 @@
+"""Unit tests for the simulated-GPU substrate (repro.backends.gpusim)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.gpusim import (
+    DEFAULT_REDUCE_BLOCK,
+    Device,
+    DeviceArray,
+    GpuSimBackend,
+    SimClock,
+)
+from repro.backends.gpusim.vendor import VendorAPI
+from repro.core.exceptions import DeviceError, LaunchConfigError, MemoryError_
+from repro.core.launch import LaunchConfig
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+def dot(i, x, y):
+    return x[i] * y[i]
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1e-6)
+        c.advance(2e-6)
+        assert c.now == pytest.approx(3e-6)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_event_recording(self):
+        c = SimClock(record_events=True)
+        c.advance(1e-6, kind="kernel", label="k1")
+        c.advance(2e-6, kind="h2d", label="t1")
+        assert [e.kind for e in c.events] == ["kernel", "h2d"]
+        assert c.events[1].start == pytest.approx(1e-6)
+        assert c.events[1].end == pytest.approx(3e-6)
+
+    def test_events_bounded(self):
+        c = SimClock(record_events=True, max_events=3)
+        for _ in range(10):
+            c.advance(1e-9)
+        assert len(c.events) == 3
+
+    def test_marks_and_reset(self):
+        c = SimClock()
+        m = c.mark()
+        c.advance(5e-6)
+        assert c.elapsed_between(m) == pytest.approx(5e-6)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestDeviceMemory:
+    def test_roundtrip(self):
+        dev = Device("a100")
+        host = np.arange(10.0)
+        arr = dev.to_device(host)
+        assert isinstance(arr, DeviceArray)
+        np.testing.assert_array_equal(dev.to_host(arr), host)
+
+    def test_to_device_copies(self):
+        dev = Device("a100")
+        host = np.ones(4)
+        arr = dev.to_device(host)
+        host[:] = -1
+        np.testing.assert_array_equal(dev.to_host(arr), np.ones(4))
+
+    def test_transfers_charge_clock(self):
+        dev = Device("a100")
+        t0 = dev.clock.now
+        arr = dev.to_device(np.ones(1 << 20))
+        t1 = dev.clock.now
+        assert t1 > t0
+        dev.to_host(arr)
+        assert dev.clock.now > t1
+
+    def test_transfer_counters(self):
+        dev = Device("mi100")
+        arr = dev.to_device(np.ones(100))
+        dev.to_host(arr)
+        assert dev.accounting.n_h2d == 1
+        assert dev.accounting.n_d2h == 1
+        assert dev.accounting.bytes_h2d == 800
+        assert dev.accounting.bytes_d2h == 800
+
+    def test_zeros_and_alloc_accounting(self):
+        dev = Device("a100")
+        arr = dev.zeros(50)
+        assert np.allclose(dev.to_host(arr), 0.0)
+        assert dev.accounting.alloc_count >= 1
+
+    def test_capacity_enforced(self):
+        dev = Device("a100", capacity_bytes=1000)
+        dev.to_device(np.ones(100))  # 800 B
+        with pytest.raises(MemoryError_):
+            dev.to_device(np.ones(100))
+
+    def test_free_releases_capacity(self):
+        dev = Device("a100", capacity_bytes=1000)
+        arr = dev.to_device(np.ones(100))
+        arr.free()
+        dev.to_device(np.ones(100))  # fits again
+
+    def test_use_after_free_rejected(self):
+        dev = Device("a100")
+        arr = dev.to_device(np.ones(4))
+        arr.free()
+        with pytest.raises(DeviceError):
+            dev.to_host(arr)
+
+    def test_cross_device_use_rejected(self):
+        d1 = Device("a100")
+        d2 = Device("mi100")
+        arr = d1.to_device(np.ones(4))
+        with pytest.raises(DeviceError):
+            arr.storage(d2)
+
+    def test_host_array_in_kernel_rejected(self):
+        dev = Device("a100")
+        with pytest.raises(DeviceError):
+            dev.launch(axpy, 4, 1.0, np.ones(4), np.ones(4))
+
+    def test_device_copy_and_copyto(self):
+        dev = Device("a100")
+        a = dev.to_device(np.arange(5.0))
+        b = dev.copy(a)
+        np.testing.assert_array_equal(dev.to_host(b), np.arange(5.0))
+        c = dev.to_device(np.zeros(5))
+        dev.copyto(c, a)
+        np.testing.assert_array_equal(dev.to_host(c), np.arange(5.0))
+
+    def test_copyto_shape_mismatch(self):
+        dev = Device("a100")
+        a = dev.to_device(np.zeros(4))
+        b = dev.to_device(np.zeros(5))
+        with pytest.raises(DeviceError):
+            dev.copyto(a, b)
+
+    def test_device_array_metadata(self):
+        dev = Device("a100")
+        arr = dev.to_device(np.ones((3, 4)))
+        assert arr.shape == (3, 4)
+        assert arr.ndim == 2
+        assert arr.size == 12
+        assert arr.nbytes == 96
+        assert len(arr) == 3
+
+    def test_cpu_profile_rejected(self):
+        with pytest.raises(DeviceError):
+            Device("rome")
+
+
+class TestDeviceLaunch:
+    def test_launch_executes_kernel(self):
+        dev = Device("a100")
+        x = dev.to_device(np.zeros(16))
+        y = dev.to_device(np.ones(16))
+        dev.launch(axpy, 16, 2.0, x, y)
+        assert np.allclose(dev.to_host(x), 2.0)
+
+    def test_launch_charges_clock_and_counts(self):
+        dev = Device("a100")
+        x = dev.to_device(np.zeros(16))
+        y = dev.to_device(np.ones(16))
+        t0 = dev.clock.now
+        dev.launch(axpy, 16, 2.0, x, y)
+        assert dev.clock.now > t0
+        assert dev.accounting.n_kernel_launches == 1
+
+    def test_explicit_config_must_cover_domain(self):
+        dev = Device("a100")
+        x = dev.to_device(np.zeros(100))
+        y = dev.to_device(np.ones(100))
+        small = LaunchConfig(threads=(32,), blocks=(2,))  # covers 64 < 100
+        with pytest.raises(LaunchConfigError):
+            dev.launch(axpy, 100, 1.0, x, y, config=small)
+
+    def test_2d_launch(self):
+        def set2(i, j, x):
+            x[i, j] = i * 10.0 + j
+
+        dev = Device("mi100")
+        x = dev.to_device(np.zeros((8, 8)))
+        dev.launch(set2, (8, 8), x)
+        h = dev.to_host(x)
+        assert h[3, 4] == 34.0
+
+    def test_larger_launch_costs_more_time(self):
+        dev = Device("a100")
+        xs = dev.to_device(np.zeros(1 << 10))
+        ys = dev.to_device(np.ones(1 << 10))
+        t0 = dev.clock.now
+        dev.launch(axpy, 1 << 10, 1.0, xs, ys)
+        small = dev.clock.now - t0
+        xl = dev.to_device(np.zeros(1 << 22))
+        yl = dev.to_device(np.ones(1 << 22))
+        t0 = dev.clock.now
+        dev.launch(axpy, 1 << 22, 1.0, xl, yl)
+        large = dev.clock.now - t0
+        assert large > small
+
+
+class TestTwoKernelReduction:
+    def test_partials_then_fold_matches_numpy(self):
+        dev = Device("a100")
+        rng = np.random.default_rng(0)
+        xh, yh = rng.random(5000), rng.random(5000)
+        x, y = dev.to_device(xh), dev.to_device(yh)
+        partials = dev.map_block_partials(dot, 5000, x, y)
+        assert partials.size == -(-5000 // DEFAULT_REDUCE_BLOCK)
+        result = dev.fold_partials(partials)
+        value = dev.scalar_to_host(result)
+        assert value == pytest.approx(float(xh @ yh), rel=1e-12)
+
+    def test_partials_are_blockwise_sums(self):
+        dev = Device("a100")
+        xh = np.ones(1024)
+        x = dev.to_device(xh)
+        y = dev.to_device(xh)
+        partials = dev.map_block_partials(dot, 1024, x, y, block=256)
+        np.testing.assert_allclose(dev.to_host(partials), [256.0] * 4)
+
+    def test_min_max_partials(self):
+        def val(i, x):
+            return x[i]
+
+        dev = Device("a100")
+        xh = np.arange(100.0)
+        x = dev.to_device(xh)
+        pmin = dev.map_block_partials(val, 100, x, block=32, op="min")
+        assert dev.scalar_to_host(dev.fold_partials(pmin, op="min")) == 0.0
+        pmax = dev.map_block_partials(val, 100, x, block=32, op="max")
+        assert dev.scalar_to_host(dev.fold_partials(pmax, op="max")) == 99.0
+
+    def test_scalar_to_host_requires_one_element(self):
+        dev = Device("a100")
+        arr = dev.to_device(np.ones(3))
+        with pytest.raises(DeviceError):
+            dev.scalar_to_host(arr)
+
+    def test_reduction_charges_two_launches_and_transfer(self):
+        dev = Device("mi100")
+        x = dev.to_device(np.ones(2048))
+        y = dev.to_device(np.ones(2048))
+        launches0 = dev.accounting.n_kernel_launches
+        d2h0 = dev.accounting.n_d2h
+        partials = dev.map_block_partials(dot, 2048, x, y)
+        result = dev.fold_partials(partials)
+        dev.scalar_to_host(result)
+        assert dev.accounting.n_kernel_launches == launches0 + 2
+        assert dev.accounting.n_d2h == d2h0 + 1
+
+
+class TestGpuSimBackend:
+    def test_through_public_api(self):
+        repro.set_backend("cuda-sim")
+        x = repro.array(np.zeros(32))
+        y = repro.array(np.ones(32))
+        repro.parallel_for(32, axpy, 3.0, x, y)
+        assert np.allclose(repro.to_host(x), 3.0)
+        r = repro.parallel_reduce(32, dot, x, y)
+        assert r == pytest.approx(96.0)
+        repro.set_backend("serial")
+
+    def test_reduce_charges_partials_allocations(self):
+        backend = GpuSimBackend(Device("a100"), name="cuda-sim")
+        repro.set_backend(backend)
+        x = repro.array(np.ones(4096))
+        y = repro.array(np.ones(4096))
+        a0 = backend.device.accounting.alloc_count
+        repro.parallel_reduce(4096, dot, x, y)
+        assert backend.device.accounting.alloc_count >= a0 + 2
+        repro.set_backend("serial")
+
+    def test_2d_for_charges_dispatch_allocs_on_cuda(self):
+        # Paper §V-A.2: extra allocations of the portable layer in 2-D.
+        def axpy2(i, j, alpha, x, y):
+            x[i, j] += alpha * y[i, j]
+
+        backend = GpuSimBackend(Device("a100"), name="cuda-sim")
+        repro.set_backend(backend)
+        x = repro.array(np.zeros((16, 16)))
+        y = repro.array(np.ones((16, 16)))
+        a0 = backend.device.accounting.alloc_count
+        repro.parallel_for((16, 16), axpy2, 1.0, x, y)
+        assert backend.device.accounting.alloc_count == a0 + 2
+        repro.set_backend("serial")
+
+    def test_sim_time_mirrored_into_accounting(self):
+        backend = GpuSimBackend(Device("mi100"), name="rocm-sim")
+        repro.set_backend(backend)
+        x = repro.array(np.zeros(64))
+        y = repro.array(np.ones(64))
+        repro.parallel_for(64, axpy, 1.0, x, y)
+        assert backend.accounting.sim_time == backend.device.clock.now
+        repro.set_backend("serial")
+
+
+class TestVendorAPI:
+    def test_three_vendors_have_right_profiles(self):
+        from repro.backends.gpusim.vendor import cuda, hip, oneapi
+
+        assert cuda.profile_name == "a100"
+        assert hip.profile_name == "mi100"
+        assert oneapi.profile_name == "max1550"
+
+    def test_reset_gives_fresh_device(self):
+        api = VendorAPI("cuda", "a100", "CuArray")
+        d1 = api.device()
+        d1.clock.advance(1.0)
+        d2 = api.reset()
+        assert d2 is not d1
+        assert api.elapsed == 0.0
+
+    def test_vendor_launch_and_reduce(self):
+        api = VendorAPI("hip", "mi100", "ROCArray")
+        api.reset()
+        x = api.to_device(np.zeros(128))
+        y = api.to_device(np.ones(128))
+        api.launch(axpy, 128, 4.0, x, y)
+        np.testing.assert_allclose(api.to_host(x), 4.0)
+        partials = api.block_partials(dot, 128, x, y)
+        assert api.scalar_to_host(api.fold(partials)) == pytest.approx(512.0)
+
+    def test_vendor_copy_and_copyto(self):
+        api = VendorAPI("oneapi", "max1550", "oneArray")
+        api.reset()
+        a = api.to_device(np.arange(6.0))
+        b = api.copy(a)
+        np.testing.assert_array_equal(api.to_host(b), np.arange(6.0))
+        c = api.zeros(6)
+        api.copyto(c, a)
+        np.testing.assert_array_equal(api.to_host(c), np.arange(6.0))
+
+    def test_vendor_synchronize_and_repr(self):
+        api = VendorAPI("cuda", "a100", "CuArray")
+        api.reset()
+        api.synchronize()  # no-op, must not raise
+        assert "cuda" in repr(api)
+
+    def test_device_empty_like(self):
+        dev = Device("a100")
+        a = dev.to_device(np.ones((3, 4)))
+        b = dev.empty_like(a)
+        assert b.shape == (3, 4)
+        assert b.dtype == a.dtype
+        assert dev.accounting.alloc_count >= 2

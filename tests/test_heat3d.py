@@ -1,0 +1,143 @@
+"""Tests for the 3-D heat-diffusion workload (repro.apps.heat3d)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.heat3d import Heat3D, heat_kernel
+
+
+@pytest.fixture(autouse=True)
+def serial_default():
+    repro.set_backend("serial")
+    yield
+    repro.set_backend("serial")
+
+
+class TestValidation:
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            Heat3D(2)
+
+    def test_bad_physics(self):
+        with pytest.raises(ValueError):
+            Heat3D(4, alpha=0)
+        with pytest.raises(ValueError):
+            Heat3D(4, h=-1)
+
+    def test_unstable_dt_rejected(self):
+        with pytest.raises(ValueError):
+            Heat3D(4, alpha=1.0, h=1.0, dt=0.5)
+
+    def test_default_dt_is_stability_limit(self):
+        sim = Heat3D(4, alpha=2.0, h=1.0)
+        assert sim.dt == pytest.approx(1.0 / 12.0)
+
+
+class TestPhysics:
+    def test_kernel_matches_numpy_stencil(self):
+        n = 8
+        rng = np.random.default_rng(0)
+        u = rng.random((n, n, n))
+        u_next = u.copy()
+        coef = 0.1
+        repro.parallel_for((n, n, n), heat_kernel, u, u_next, coef, n)
+        ref = u.copy()
+        lap = (
+            u[:-2, 1:-1, 1:-1] + u[2:, 1:-1, 1:-1]
+            + u[1:-1, :-2, 1:-1] + u[1:-1, 2:, 1:-1]
+            + u[1:-1, 1:-1, :-2] + u[1:-1, 1:-1, 2:]
+            - 6 * u[1:-1, 1:-1, 1:-1]
+        )
+        ref[1:-1, 1:-1, 1:-1] += coef * lap
+        np.testing.assert_allclose(u_next, ref, rtol=1e-13)
+
+    def test_uniform_field_is_fixed_point(self):
+        sim = Heat3D(6, boundary_value=3.0, hot_face_value=3.0)
+        u0 = sim.field().copy()
+        sim.step(5)
+        np.testing.assert_allclose(sim.field(), u0, atol=1e-14)
+
+    def test_boundaries_never_change(self):
+        sim = Heat3D(8)
+        sim.step(20)
+        u = sim.field()
+        np.testing.assert_allclose(u[0], 1.0)
+        np.testing.assert_allclose(u[-1], 0.0)
+        expected_side = np.broadcast_to(
+            np.where(np.arange(8)[:, None] == 0, 1.0, 0.0), (8, 8)
+        )
+        np.testing.assert_allclose(u[:, 0, :], expected_side)
+
+    def test_maximum_principle(self):
+        sim = Heat3D(8)
+        sim.step(50)
+        u = sim.field()
+        assert u.min() >= 0.0 - 1e-12
+        assert u.max() <= 1.0 + 1e-12
+
+    def test_heat_flows_in_from_hot_face(self):
+        sim = Heat3D(8)
+        h0 = sim.total_heat()
+        sim.step(30)
+        assert sim.total_heat() > h0
+
+    def test_residual_decreases_toward_steady_state(self):
+        sim = Heat3D(8)
+        sim.step(5)
+        r0 = sim.laplacian_residual()
+        sim.step(200)
+        r1 = sim.laplacian_residual()
+        assert r1 < r0
+
+    def test_converges_to_linear_profile(self):
+        # With u=1 on the i=0 face and u=0 on i=n-1 but 0 on all side
+        # faces, the steady state is not linear; instead run the pure
+        # two-plate case by fixing side faces to the linear interpolant.
+        n = 10
+        sim = Heat3D(n)
+        lin = 1.0 - np.arange(n) / (n - 1)
+        u = np.broadcast_to(lin[:, None, None], (n, n, n)).copy()
+        # keep the linear values on ALL boundary faces
+        sim.du = repro.array(u)
+        sim.du_next = repro.array(u.copy())
+        sim.step(300)
+        got = sim.field()
+        expected = np.broadcast_to(lin[:, None, None], (n, n, n))
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_residual_zero_on_linear_field(self):
+        n = 8
+        sim = Heat3D(n)
+        lin = np.broadcast_to(
+            (np.arange(n) * 2.0)[:, None, None], (n, n, n)
+        ).copy()
+        sim.du = repro.array(lin)
+        assert sim.laplacian_residual() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPortability3D:
+    @pytest.mark.parametrize("backend", ["threads", "cuda-sim", "oneapi-sim", "multi-sim"])
+    def test_backends_match_serial(self, backend):
+        repro.set_backend("serial")
+        ref = Heat3D(8)
+        ref.step(10)
+        u_ref = ref.field()
+
+        repro.set_backend(backend)
+        sim = Heat3D(8)
+        sim.step(10)
+        np.testing.assert_allclose(sim.field(), u_ref, rtol=1e-13)
+
+    def test_3d_launch_config_used(self):
+        from repro.backends.gpusim import Device
+
+        dev = Device("a100")
+        cfg = dev.launch_config((32, 32, 32))
+        assert cfg.threads == (8, 8, 8)
+
+    def test_3d_reduce_on_gpu_backend(self):
+        repro.set_backend("rocm-sim")
+        sim = Heat3D(6)
+        sim.step(3)
+        assert sim.laplacian_residual() > 0

@@ -1,0 +1,114 @@
+"""Unit tests for the scalar reference executor (repro.ir.interpreter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import KernelExecutionError
+from repro.ir.interpreter import interpret_for, interpret_reduce
+from repro.ir.vectorizer import IndexDomain
+
+
+class TestInterpretFor:
+    def test_1d(self):
+        def k(i, x):
+            x[i] = i * 2.0
+
+        x = np.zeros(5)
+        interpret_for(k, IndexDomain.full((5,)), [x])
+        assert np.allclose(x, [0, 2, 4, 6, 8])
+
+    def test_2d_row_major_order(self):
+        order = []
+
+        def k(i, j, x):
+            order.append((i, j))
+            x[i, j] = 1.0
+
+        x = np.zeros((2, 3))
+        interpret_for(k, IndexDomain.full((2, 3)), [x])
+        assert order == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_subdomain(self):
+        def k(i, x):
+            x[i] += 1.0
+
+        x = np.zeros(6)
+        interpret_for(k, IndexDomain([(2, 5)]), [x])
+        assert np.allclose(x, [0, 0, 1, 1, 1, 0])
+
+    def test_3d(self):
+        def k(i, j, kk, x):
+            x[i, j, kk] = i + 10 * j + 100 * kk
+
+        x = np.zeros((2, 2, 2))
+        interpret_for(k, IndexDomain.full((2, 2, 2)), [x])
+        assert x[1, 1, 1] == 111
+
+    def test_python_control_flow_runs_natively(self):
+        def k(i, x, n):
+            total = 0.0
+            m = i + 1  # data-dependent loop bound: fine in the interpreter
+            for _ in range(m):
+                total += 1.0
+            x[i] = total
+
+        x = np.zeros(4)
+        interpret_for(k, IndexDomain.full((4,)), [x, 4])
+        assert np.allclose(x, [1, 2, 3, 4])
+
+
+class TestInterpretReduce:
+    def test_sum(self):
+        def dot(i, x, y):
+            return x[i] * y[i]
+
+        x = np.arange(5.0)
+        y = np.full(5, 2.0)
+        r = interpret_reduce(dot, IndexDomain.full((5,)), [x, y])
+        assert r == pytest.approx(2 * x.sum())
+
+    def test_min_max(self):
+        def val(i, x):
+            return x[i]
+
+        x = np.array([5.0, -3.0, 2.0])
+        d = IndexDomain.full((3,))
+        assert interpret_reduce(val, d, [x], op="min") == -3.0
+        assert interpret_reduce(val, d, [x], op="max") == 5.0
+
+    def test_none_return_raises(self):
+        def bad(i, x):
+            x[i] = 1.0  # no return
+
+        x = np.zeros(3)
+        with pytest.raises(KernelExecutionError):
+            interpret_reduce(bad, IndexDomain.full((3,)), [x])
+
+    def test_none_return_raises_for_minmax(self):
+        def bad(i, x):
+            pass
+
+        x = np.zeros(3)
+        with pytest.raises(KernelExecutionError):
+            interpret_reduce(bad, IndexDomain.full((3,)), [x], op="min")
+
+    def test_unknown_op(self):
+        def val(i, x):
+            return x[i]
+
+        with pytest.raises(KernelExecutionError):
+            interpret_reduce(val, IndexDomain.full((2,)), [np.ones(2)], op="mean")
+
+    def test_empty_domain_sum_is_zero(self):
+        def val(i, x):
+            return x[i]
+
+        assert interpret_reduce(val, IndexDomain([(2, 2)]), [np.ones(3)]) == 0.0
+
+    def test_empty_domain_minmax_identities(self):
+        def val(i, x):
+            return x[i]
+
+        d = IndexDomain([(1, 1)])
+        assert interpret_reduce(val, d, [np.ones(3)], op="min") == np.inf
+        assert interpret_reduce(val, d, [np.ones(3)], op="max") == -np.inf

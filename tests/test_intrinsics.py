@@ -1,0 +1,124 @@
+"""Unit tests for portable math intrinsics (repro.math)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import math as pm
+from repro.ir import nodes as N
+from repro.ir.tracer import trace_kernel
+
+
+class TestHostWorld:
+    """Intrinsics on plain numbers behave like the math module."""
+
+    @pytest.mark.parametrize(
+        "fn,ref,arg",
+        [
+            (pm.sqrt, math.sqrt, 2.25),
+            (pm.exp, math.exp, 0.5),
+            (pm.log, math.log, 3.0),
+            (pm.sin, math.sin, 0.7),
+            (pm.cos, math.cos, 0.7),
+            (pm.tan, math.tan, 0.3),
+            (pm.tanh, math.tanh, 0.9),
+            (pm.floor, math.floor, 2.7),
+            (pm.ceil, math.ceil, 2.2),
+        ],
+    )
+    def test_unary_matches_math(self, fn, ref, arg):
+        assert fn(arg) == pytest.approx(ref(arg))
+
+    def test_sign(self):
+        assert pm.sign(3.2) == 1
+        assert pm.sign(-0.1) == -1
+        assert pm.sign(0.0) == 0
+
+    def test_trunc_int(self):
+        assert pm.trunc_int(2.9) == 2
+        assert pm.trunc_int(-2.9) == -2
+
+    def test_where(self):
+        assert pm.where(True, 1, 2) == 1
+        assert pm.where(False, 1, 2) == 2
+
+    def test_minimum_maximum(self):
+        assert pm.minimum(3, 5) == 3
+        assert pm.maximum(3, 5) == 5
+
+
+class TestSymbolicWorld:
+    """Intrinsics inside a trace build the right IR."""
+
+    def test_sqrt_builds_unop(self):
+        def k(i, x, y):
+            y[i] = pm.sqrt(x[i])
+
+        t = trace_kernel(k, 1, [np.ones(3), np.ones(3)])
+        assert isinstance(t.stores[0].value, N.UnOp)
+        assert t.stores[0].value.op == "sqrt"
+
+    def test_where_builds_select(self):
+        def k(i, x):
+            x[i] = pm.where(i > 1, 1.0, 0.0)
+
+        t = trace_kernel(k, 1, [np.ones(3)])
+        assert isinstance(t.stores[0].value, N.Select)
+        assert t.n_paths == 1  # no fork
+
+    def test_trunc_int_builds_cast(self):
+        def k(i, x):
+            x[i] = pm.trunc_int(i / 2) * 1.0
+
+        t = trace_kernel(k, 1, [np.ones(3)])
+        assert t.n_paths == 1
+
+    def test_minimum_builds_binop_min(self):
+        def k(i, x):
+            x[i] = pm.minimum(i, 5)
+
+        t = trace_kernel(k, 1, [np.ones(3)])
+        assert t.stores[0].value.op == "min"
+
+    def test_maximum_mixed_sym_and_const(self):
+        def k(i, x):
+            x[i] = pm.maximum(2.0, i)
+
+        t = trace_kernel(k, 1, [np.ones(3)])
+        assert t.stores[0].value.op == "max"
+
+    def test_where_with_plain_cond_and_symbolic_values(self):
+        def k(i, x):
+            x[i] = pm.where(1 > 0, i * 1.0, 0.0)
+
+        t = trace_kernel(k, 1, [np.ones(3)])
+        assert isinstance(t.stores[0].value, N.Select)
+
+
+class TestEndToEnd:
+    def test_sqrt_kernel_matches_numpy(self):
+        import repro
+
+        repro.set_backend("serial")
+
+        def k(i, x, y):
+            y[i] = pm.sqrt(x[i]) * pm.exp(0.0)
+
+        x = np.linspace(1, 16, 8)
+        y = np.zeros(8)
+        repro.parallel_for(8, k, x, y)
+        assert np.allclose(y, np.sqrt(x))
+
+    def test_sign_kernel(self):
+        import repro
+
+        repro.set_backend("serial")
+
+        def k(i, x, y):
+            y[i] = pm.sign(x[i])
+
+        x = np.array([-2.0, 0.0, 5.0])
+        y = np.zeros(3)
+        repro.parallel_for(3, k, x, y)
+        assert np.allclose(y, [-1, 0, 1])

@@ -1,0 +1,171 @@
+"""Unit tests for the expression IR (repro.ir.nodes)."""
+
+import pytest
+
+from repro.ir import nodes as N
+
+
+class TestNodeConstruction:
+    def test_const_holds_value(self):
+        assert N.Const(3.5).value == 3.5
+        assert N.Const(2).value == 2
+        assert N.Const(True).value is True
+
+    def test_index_axes(self):
+        for ax in (0, 1, 2):
+            assert N.Index(ax).axis == ax
+
+    def test_index_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            N.Index(3)
+        with pytest.raises(ValueError):
+            N.Index(-1)
+
+    def test_scalar_arg_position(self):
+        assert N.ScalarArg(4).pos == 4
+
+    def test_array_arg_rank(self):
+        a = N.ArrayArg(1, 2)
+        assert a.pos == 1
+        assert a.ndim == 2
+
+    def test_load_index_count_must_match_rank(self):
+        arr = N.ArrayArg(0, 2)
+        with pytest.raises(ValueError):
+            N.Load(arr, [N.Index(0)])
+
+    def test_load_children_are_indices(self):
+        arr = N.ArrayArg(0, 2)
+        ld = N.Load(arr, [N.Index(0), N.Index(1)])
+        assert ld.children == ld.indices
+        assert len(ld.indices) == 2
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            N.BinOp("bogus", N.Const(1), N.Const(2))
+
+    def test_unop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            N.UnOp("bogus", N.Const(1))
+
+    def test_compare_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            N.Compare("spaceship", N.Const(1), N.Const(2))
+
+    def test_boolop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            N.BoolOp("nand", N.Const(True), N.Const(False))
+
+    def test_cast_kinds(self):
+        assert N.Cast("int", N.Const(1.5)).kind == "int"
+        assert N.Cast("float", N.Const(1)).kind == "float"
+        with pytest.raises(ValueError):
+            N.Cast("complex", N.Const(1))
+
+    def test_store_index_count_must_match_rank(self):
+        arr = N.ArrayArg(0, 1)
+        with pytest.raises(ValueError):
+            N.Store(arr, [N.Index(0), N.Index(1)], N.Const(0.0))
+
+    def test_select_children(self):
+        s = N.Select(N.Const(True), N.Const(1), N.Const(2))
+        assert len(s.children) == 3
+
+
+class TestWalk:
+    def test_walk_yields_all_subnodes(self):
+        i = N.Index(0)
+        expr = N.BinOp("add", i, N.BinOp("mul", N.Const(2), i))
+        kinds = [type(n).__name__ for n in N.walk(expr)]
+        assert kinds.count("BinOp") == 2
+        assert kinds.count("Const") == 1
+        # shared Index object yielded once
+        assert kinds.count("Index") == 1
+
+    def test_walk_dedups_shared_objects(self):
+        shared = N.BinOp("mul", N.Const(3), N.Index(0))
+        expr = N.BinOp("add", shared, shared)
+        assert sum(1 for n in N.walk(expr) if n is shared) == 1
+
+    def test_walk_distinct_equal_nodes_counted_separately(self):
+        a = N.Const(1.0)
+        b = N.Const(1.0)
+        expr = N.BinOp("add", a, b)
+        consts = [n for n in N.walk(expr) if isinstance(n, N.Const)]
+        assert len(consts) == 2
+
+
+class TestTrace:
+    def _axpy_trace(self):
+        x = N.ArrayArg(1, 1)
+        y = N.ArrayArg(2, 1)
+        i = N.Index(0)
+        val = N.BinOp("add", N.Load(x, [i]), N.BinOp("mul", N.ScalarArg(0), N.Load(y, [i])))
+        return N.Trace(
+            ndim=1,
+            stores=[N.Store(x, [i], val)],
+            result=None,
+            array_args=[1, 2],
+            scalar_args=[0],
+        )
+
+    def test_trace_is_not_reduction_without_result(self):
+        assert not self._axpy_trace().is_reduction
+
+    def test_trace_reduction_flag(self):
+        t = N.Trace(1, [], N.Const(0.0), [], [])
+        assert t.is_reduction
+
+    def test_expressions_iterates_store_parts(self):
+        t = self._axpy_trace()
+        exprs = list(t.expressions())
+        # one index + one value per store
+        assert len(exprs) == 2
+
+    def test_expressions_includes_guard_and_result(self):
+        x = N.ArrayArg(0, 1)
+        i = N.Index(0)
+        guard = N.Compare("gt", i, N.Const(0))
+        t = N.Trace(
+            1,
+            [N.Store(x, [i], N.Const(1.0), guard)],
+            N.Const(2.0),
+            [0],
+            [],
+        )
+        exprs = list(t.expressions())
+        assert guard in exprs
+        assert t.result in exprs
+
+    def test_shape_dependent_default_false(self):
+        assert self._axpy_trace().shape_dependent is False
+
+
+class TestFormatNode:
+    def test_format_axpy_like(self):
+        x = N.ArrayArg(1, 1)
+        i = N.Index(0)
+        expr = N.BinOp("mul", N.ScalarArg(0), N.Load(x, [i]))
+        assert N.format_node(expr) == "(s0 * arg1[i])"
+
+    def test_format_select(self):
+        s = N.Select(N.Compare("lt", N.Index(0), N.Const(5)), N.Const(1), N.Const(2))
+        assert N.format_node(s) == "where((i < 5), 1, 2)"
+
+    def test_format_minmax_functional(self):
+        m = N.BinOp("min", N.Const(1), N.Const(2))
+        assert N.format_node(m) == "min(1, 2)"
+
+    def test_format_not_and_bool(self):
+        e = N.BoolOp("and", N.Not(N.Const(True)), N.Const(False))
+        assert N.format_node(e) == "(~(True) & False)"
+
+    def test_format_cast_and_unary(self):
+        assert N.format_node(N.Cast("int", N.Const(1.5))) == "int(1.5)"
+        assert N.format_node(N.UnOp("neg", N.Index(1))) == "(-j)"
+        assert N.format_node(N.UnOp("sqrt", N.Index(2))) == "sqrt(k)"
+
+    def test_store_repr_mentions_guard(self):
+        x = N.ArrayArg(0, 1)
+        st = N.Store(x, [N.Index(0)], N.Const(1.0), N.Compare("gt", N.Index(0), N.Const(0)))
+        assert "if" in repr(st)

@@ -1,0 +1,131 @@
+"""Unit tests for launch-configuration math (repro.core.launch)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exceptions import LaunchConfigError
+from repro.core.launch import (
+    DEFAULT_TILE_2D,
+    DEFAULT_TILE_3D,
+    cpu_chunks,
+    gpu_launch_config,
+)
+
+
+class TestGpu1D:
+    def test_small_domain_one_block(self):
+        cfg = gpu_launch_config((100,), 1024)
+        assert cfg.threads == (100,)
+        assert cfg.blocks == (1,)
+
+    def test_exact_multiple(self):
+        cfg = gpu_launch_config((2048,), 1024)
+        assert cfg.threads == (1024,)
+        assert cfg.blocks == (2,)
+
+    def test_ceil_division(self):
+        cfg = gpu_launch_config((1025,), 1024)
+        assert cfg.blocks == (2,)
+        assert cfg.total_threads >= 1025
+
+    def test_paper_formula(self):
+        # threads = min(N, maxPossibleThreads); blocks = ceil(N/threads)
+        for n in (1, 7, 512, 1000, 4097):
+            cfg = gpu_launch_config((n,), 512)
+            assert cfg.threads[0] == min(n, 512)
+            assert cfg.blocks[0] == -(-n // cfg.threads[0])
+
+
+class TestGpu2D3D:
+    def test_2d_sixteen_square_tile(self):
+        cfg = gpu_launch_config((100, 200), 1024)
+        assert cfg.threads == (16, 16)
+        assert cfg.blocks == (7, 13)
+
+    def test_2d_small_domain_clamps_tile(self):
+        cfg = gpu_launch_config((5, 40), 1024)
+        assert cfg.threads == (5, 16)
+
+    def test_2d_tile_is_paper_value(self):
+        assert DEFAULT_TILE_2D == 16
+
+    def test_3d_eight_cube_tile(self):
+        cfg = gpu_launch_config((64, 64, 64), 1024)
+        assert cfg.threads == (8, 8, 8)
+        assert cfg.blocks == (8, 8, 8)
+        assert DEFAULT_TILE_3D == 8
+
+    def test_threads_per_block_product(self):
+        cfg = gpu_launch_config((32, 32), 1024)
+        assert cfg.threads_per_block == 256
+        assert cfg.n_blocks == 4
+
+
+class TestGpuValidation:
+    def test_zero_dim_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            gpu_launch_config((0,), 1024)
+
+    def test_negative_max_threads_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            gpu_launch_config((10,), 0)
+
+    def test_4d_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            gpu_launch_config((2, 2, 2, 2), 1024)
+
+    @given(
+        n=st.integers(1, 10**7),
+        maxt=st.integers(1, 2048),
+    )
+    def test_coverage_invariant_1d(self, n, maxt):
+        cfg = gpu_launch_config((n,), maxt)
+        covered = cfg.threads[0] * cfg.blocks[0]
+        assert covered >= n
+        assert covered - n < cfg.threads[0]  # no wasted whole block
+
+    @given(m=st.integers(1, 5000), n=st.integers(1, 5000))
+    def test_coverage_invariant_2d(self, m, n):
+        cfg = gpu_launch_config((m, n), 1024)
+        assert cfg.threads[0] * cfg.blocks[0] >= m
+        assert cfg.threads[1] * cfg.blocks[1] >= n
+
+
+class TestCpuChunks:
+    def test_even_split(self):
+        assert cpu_chunks((8,), 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread(self):
+        chunks = cpu_chunks((10,), 4)
+        sizes = [hi - lo for lo, hi in chunks]
+        assert sorted(sizes) == [2, 2, 3, 3]
+
+    def test_more_workers_than_rows(self):
+        chunks = cpu_chunks((3,), 16)
+        assert len(chunks) == 3
+        assert chunks == [(0, 1), (1, 2), (2, 3)]
+
+    def test_2d_splits_leading_axis(self):
+        chunks = cpu_chunks((6, 100), 3)
+        assert chunks == [(0, 2), (2, 4), (4, 6)]
+
+    def test_invalid_workers(self):
+        with pytest.raises(LaunchConfigError):
+            cpu_chunks((4,), 0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(LaunchConfigError):
+            cpu_chunks((0,), 2)
+
+    @given(n=st.integers(1, 10**6), w=st.integers(1, 256))
+    def test_partition_invariants(self, n, w):
+        chunks = cpu_chunks((n,), w)
+        # contiguous, ordered, covering, balanced
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(chunks, chunks[1:]):
+            assert a1 == b0
+        sizes = [hi - lo for lo, hi in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(chunks) == min(n, w)

@@ -1,0 +1,360 @@
+"""Tests for the HARVEY LBM workload (repro.apps.lbm)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.lbm import (
+    CX,
+    CY,
+    WEIGHTS,
+    LBM,
+    equilibrium,
+    lbm_kernel,
+    step_native_cpu,
+    step_native_gpu,
+)
+from repro.backends.threads import ThreadsBackend
+
+
+@pytest.fixture(autouse=True)
+def serial_default():
+    repro.set_backend("serial")
+    yield
+    repro.set_backend("serial")
+
+
+class TestLattice:
+    def test_weights_sum_to_one(self):
+        assert WEIGHTS.sum() == pytest.approx(1.0)
+
+    def test_velocities_sum_to_zero(self):
+        assert CX.sum() == 0
+        assert CY.sum() == 0
+
+    def test_lattice_isotropy_second_moment(self):
+        # Σ w_k c_kα c_kβ = cs² δ_αβ with cs² = 1/3 (D2Q9 requirement).
+        for a, b, expect in [(CX, CX, 1 / 3), (CY, CY, 1 / 3), (CX, CY, 0.0)]:
+            assert float((WEIGHTS * a * b).sum()) == pytest.approx(expect)
+
+    def test_opposite_directions_paired(self):
+        # every direction's opposite exists in the velocity set
+        dirs = set(zip(CX.tolist(), CY.tolist()))
+        for cx, cy in dirs:
+            assert (-cx, -cy) in dirs
+
+
+class TestEquilibrium:
+    def test_rest_fluid_equilibrium_is_weights(self):
+        n = 4
+        feq = equilibrium(np.ones((n, n)), np.zeros((n, n)), np.zeros((n, n)))
+        for k in range(9):
+            assert np.allclose(feq[k], WEIGHTS[k])
+
+    def test_equilibrium_moments(self):
+        rng = np.random.default_rng(0)
+        rho = 1 + 0.05 * rng.random((5, 5))
+        ux = 0.05 * rng.random((5, 5))
+        uy = 0.05 * rng.random((5, 5))
+        feq = equilibrium(rho, ux, uy)
+        np.testing.assert_allclose(feq.sum(axis=0), rho, rtol=1e-12)
+        np.testing.assert_allclose(
+            np.tensordot(CX.astype(float), feq, axes=1), rho * ux, rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            np.tensordot(CY.astype(float), feq, axes=1), rho * uy, rtol=1e-10
+        )
+
+
+class TestSimulation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LBM(2)
+        with pytest.raises(ValueError):
+            LBM(8, tau=0.5)
+
+    def test_quiescent_fluid_is_fixed_point(self):
+        sim = LBM(12, tau=0.7, lid_velocity=0.0)
+        f0 = sim.distribution().copy()
+        sim.step(10)
+        np.testing.assert_allclose(sim.distribution(), f0, atol=1e-13)
+
+    def test_uniform_density_stays_uniform(self):
+        sim = LBM(12, tau=0.9)
+        sim.step(5)
+        rho, _, _ = sim.macroscopic()
+        np.testing.assert_allclose(rho, 1.0, atol=1e-12)
+
+    def test_positivity_preserved_for_gentle_lid(self):
+        sim = LBM(16, tau=0.8, lid_velocity=0.05)
+        sim.step(100)
+        assert (sim.distribution() > 0).all()
+
+    def test_cavity_develops_flow(self):
+        sim = LBM(24, tau=0.8, lid_velocity=0.08)
+        sim.step(100)
+        _, ux, uy = sim.macroscopic()
+        assert np.abs(uy[1:-1, 1:-1]).max() > 1e-3
+
+    def test_boundary_rows_never_updated(self):
+        sim = LBM(16, tau=0.8, lid_velocity=0.05)
+        f0 = sim.distribution().copy()
+        sim.step(20)
+        f = sim.distribution()
+        np.testing.assert_array_equal(f[:, 0, :], f0[:, 0, :])
+        np.testing.assert_array_equal(f[:, -1, :], f0[:, -1, :])
+        np.testing.assert_array_equal(f[:, :, 0], f0[:, :, 0])
+        np.testing.assert_array_equal(f[:, :, -1], f0[:, :, -1])
+
+    def test_interior_mass_roughly_conserved(self):
+        # With fixed boundaries mass flux through the walls is tiny for a
+        # gentle lid; interior mass must stay within a fraction of a
+        # percent over a short run.
+        sim = LBM(24, tau=0.8, lid_velocity=0.05)
+        m0 = sim.interior_mass()
+        sim.step(50)
+        assert sim.interior_mass() == pytest.approx(m0, rel=5e-3)
+
+    def test_relaxation_toward_equilibrium(self):
+        # With a perturbed (non-equilibrium) initial state and no lid,
+        # collisions must reduce the non-equilibrium part monotonically
+        # in the first steps.
+        sim = LBM(16, tau=0.6)
+        f = sim.distribution().reshape(-1).copy()
+        rng = np.random.default_rng(1)
+        f *= 1 + 0.01 * rng.random(f.size)
+        sim.df1 = repro.array(f)
+        sim.df = repro.array(f.copy())
+        sim.df2 = repro.array(f.copy())
+
+        def noneq_norm():
+            fd = sim.distribution()
+            rho = fd.sum(axis=0)
+            ux = np.tensordot(CX.astype(float), fd, axes=1) / rho
+            uy = np.tensordot(CY.astype(float), fd, axes=1) / rho
+            feq = equilibrium(rho, ux, uy)
+            return float(np.abs(fd - feq)[:, 1:-1, 1:-1].max())
+
+        e0 = noneq_norm()
+        sim.step(1)
+        e1 = noneq_norm()
+        assert e1 < e0
+
+    def test_steps_counter(self):
+        sim = LBM(8)
+        sim.step(3)
+        assert sim.steps_taken == 3
+
+    def test_max_speed_matches_macroscopic(self):
+        sim = LBM(20, tau=0.8, lid_velocity=0.07)
+        sim.step(30)
+        _, ux, uy = sim.macroscopic()
+        expected = float(np.hypot(ux, uy).max())
+        assert sim.max_speed() == pytest.approx(expected, rel=1e-10)
+
+    def test_quiescent_fluid_has_zero_speed(self):
+        sim = LBM(10)
+        assert sim.max_speed() == pytest.approx(0.0, abs=1e-14)
+
+    def test_gentle_cavity_is_stable(self):
+        sim = LBM(16, tau=0.8, lid_velocity=0.05)
+        sim.step(50)
+        assert sim.is_stable()
+
+    def test_max_speed_on_gpu_backend(self):
+        repro.set_backend("cuda-sim")
+        sim = LBM(12, tau=0.8, lid_velocity=0.05)
+        sim.step(5)
+        assert 0.0 < sim.max_speed() < 0.4
+
+
+def lbm_reference_step(f1: np.ndarray, tau: float) -> np.ndarray:
+    """Independent D2Q9 pull reference, written with whole-array NumPy
+    (np.roll streaming) — shares no code with the traced kernel."""
+    nine, n, _ = f1.shape
+    assert nine == 9
+    f = np.empty_like(f1)
+    for k in range(9):
+        # pull: f_k(x) = f1_k(x - c_k)
+        f[k] = np.roll(np.roll(f1[k], CX[k], axis=0), CY[k], axis=1)
+    rho = f.sum(axis=0)
+    ux = np.tensordot(CX.astype(float), f, axes=1) / rho
+    uy = np.tensordot(CY.astype(float), f, axes=1) / rho
+    feq = equilibrium(rho, ux, uy)
+    f2 = f * (1 - 1 / tau) + feq / tau
+    out = f1.copy()
+    out[:, 1:-1, 1:-1] = f2[:, 1:-1, 1:-1]  # boundaries never updated
+    return out
+
+
+class TestAgainstIndependentReference:
+    def test_one_step_matches_numpy_roll_reference(self):
+        n = 20
+        sim = LBM(n, tau=0.8, lid_velocity=0.06)
+        f1 = sim.distribution().copy()
+        sim.step(1)
+        got = sim.distribution()
+        ref = lbm_reference_step(f1, 0.8)
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_ten_steps_match_everywhere(self):
+        # Wrapped pulls from np.roll only land on boundary rows, which
+        # the reference overwrites — so it is exact on the whole domain.
+        n = 16
+        sim = LBM(n, tau=0.9, lid_velocity=0.04)
+        f = sim.distribution().copy()
+        for _ in range(10):
+            f = lbm_reference_step(f, 0.9)
+        sim.step(10)
+        np.testing.assert_allclose(sim.distribution(), f, rtol=1e-12)
+
+
+class TestObstacleFlow:
+    """The HARVEY case: fluid in a geometry with solid walls."""
+
+    def _block_mask(self, n, lo, hi):
+        solid = np.zeros((n, n), dtype=np.int64)
+        solid[lo:hi, lo:hi] = 1
+        return solid
+
+    def test_opposite_table_is_correct(self):
+        from repro.apps.lbm import OPPOSITE
+
+        for k in range(9):
+            o = OPPOSITE[k]
+            assert CX[o] == -CX[k]
+            assert CY[o] == -CY[k]
+
+    def test_solid_mask_validation(self):
+        with pytest.raises(ValueError):
+            LBM(8, solid=np.zeros((4, 4)))
+
+    def test_no_obstacle_matches_plain_kernel(self):
+        n = 16
+        plain = LBM(n, tau=0.8, lid_velocity=0.05)
+        masked = LBM(
+            n, tau=0.8, lid_velocity=0.05, solid=np.zeros((n, n), dtype=np.int64)
+        )
+        plain.step(8)
+        masked.step(8)
+        np.testing.assert_allclose(
+            masked.distribution(), plain.distribution(), rtol=1e-12
+        )
+
+    def test_solid_sites_never_update(self):
+        n = 20
+        solid = self._block_mask(n, 8, 12)
+        sim = LBM(n, tau=0.8, lid_velocity=0.06, solid=solid)
+        f0 = sim.distribution().copy()
+        sim.step(15)
+        f = sim.distribution()
+        np.testing.assert_array_equal(
+            f[:, 8:12, 8:12], f0[:, 8:12, 8:12]
+        )
+
+    def test_quiescent_fluid_with_obstacle_is_fixed_point(self):
+        # zero velocity everywhere: bounce-back returns the same rest
+        # populations, so equilibrium remains a fixed point
+        n = 14
+        sim = LBM(n, tau=0.8, solid=self._block_mask(n, 5, 8))
+        f0 = sim.distribution().copy()
+        sim.step(10)
+        np.testing.assert_allclose(sim.distribution(), f0, atol=1e-13)
+
+    def test_flow_deflects_around_obstacle(self):
+        n = 24
+        solid = self._block_mask(n, 10, 14)
+        sim = LBM(n, tau=0.8, lid_velocity=0.08, solid=solid)
+        sim.step(200)
+        rho, ux, uy = sim.macroscopic()
+        assert np.isfinite(rho).all()
+        speed = np.hypot(ux, uy)
+        # flow developed in the open fluid, near-wall fluid slowed
+        assert speed[2, n // 2] > 1e-3  # near the lid
+        # fluid cells adjacent to the obstacle's lee side are slower
+        # than the free stream at the same depth
+        assert speed[11, 15] < speed[2, n // 2]
+
+    def test_obstacle_stable_long_run(self):
+        n = 20
+        sim = LBM(n, tau=0.7, lid_velocity=0.05, solid=self._block_mask(n, 8, 11))
+        sim.step(300)
+        assert sim.is_stable()
+        rho, _, _ = sim.macroscopic()
+        fluid = np.asarray(sim.solid_host) == 0
+        assert np.isfinite(rho[fluid]).all()
+
+    def test_obstacle_on_gpu_backend_matches_serial(self):
+        n = 16
+        solid = self._block_mask(n, 6, 9)
+        repro.set_backend("serial")
+        ref = LBM(n, tau=0.8, lid_velocity=0.05, solid=solid)
+        ref.step(6)
+        f_ref = ref.distribution()
+        repro.set_backend("cuda-sim")
+        sim = LBM(n, tau=0.8, lid_velocity=0.05, solid=solid)
+        sim.step(6)
+        np.testing.assert_allclose(sim.distribution(), f_ref, rtol=1e-12)
+        repro.set_backend("serial")
+
+
+class TestCrossBackend:
+    @pytest.mark.parametrize("backend", ["threads", "cuda-sim", "multi-sim"])
+    def test_backends_match_serial(self, backend):
+        repro.set_backend("serial")
+        ref = LBM(16, tau=0.8, lid_velocity=0.05)
+        ref.step(10)
+        f_ref = ref.distribution()
+
+        repro.set_backend(backend)
+        sim = LBM(16, tau=0.8, lid_velocity=0.05)
+        sim.step(10)
+        np.testing.assert_allclose(sim.distribution(), f_ref, rtol=1e-13)
+
+
+class TestNativeVariants:
+    def test_native_gpu_step_matches_portable(self):
+        from repro.bench.harness import get_arch
+
+        n = 12
+        repro.set_backend("serial")
+        sim = LBM(n, tau=0.8, lid_velocity=0.05)
+        sim.step(1)
+        f_ref = sim.distribution().reshape(-1)
+
+        api = get_arch("a100").make_vendor()
+        feq = equilibrium(
+            np.ones((n, n)), np.zeros((n, n)),
+            np.vstack([np.full((1, n), 0.05), np.zeros((n - 1, n))]),
+        )
+        # reproduce LBM.__init__'s lid equilibrium exactly
+        rho = np.ones((n, n))
+        ux = np.zeros((n, n))
+        uy = np.zeros((n, n))
+        uy[0, :] = 0.05
+        feq = equilibrium(rho, ux, uy).reshape(-1)
+        df = api.to_device(feq.copy())
+        df1 = api.to_device(feq.copy())
+        df2 = api.to_device(feq.copy())
+        dw = api.to_device(WEIGHTS)
+        dcx = api.to_device(CX)
+        dcy = api.to_device(CY)
+        step_native_gpu(api, n, df, df1, df2, 0.8, dw, dcx, dcy)
+        np.testing.assert_allclose(api.to_host(df2), f_ref, rtol=1e-13)
+
+    def test_native_cpu_step_matches_portable(self):
+        n = 12
+        repro.set_backend("serial")
+        sim = LBM(n, tau=0.8, lid_velocity=0.05)
+        sim.step(1)
+        f_ref = sim.distribution().reshape(-1)
+
+        rho = np.ones((n, n))
+        uy = np.zeros((n, n))
+        uy[0, :] = 0.05
+        feq = equilibrium(rho, np.zeros((n, n)), uy).reshape(-1)
+        f, f1, f2 = feq.copy(), feq.copy(), feq.copy()
+        b = ThreadsBackend(n_threads=2, min_parallel_size=16)
+        step_native_cpu(b, n, f, f1, f2, 0.8)
+        np.testing.assert_allclose(f2, f_ref, rtol=1e-13)
+        b.close()

@@ -1,0 +1,130 @@
+"""Tests for the D3Q19 LBM extension (repro.apps.lbm3d)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.lbm3d import (
+    CX3D,
+    CY3D,
+    CZ3D,
+    LBM3D,
+    WEIGHTS3D,
+    equilibrium3d,
+)
+
+
+@pytest.fixture(autouse=True)
+def serial_default():
+    repro.set_backend("serial")
+    yield
+    repro.set_backend("serial")
+
+
+class TestLattice:
+    def test_19_directions(self):
+        assert len(WEIGHTS3D) == len(CX3D) == len(CY3D) == len(CZ3D) == 19
+
+    def test_weights_sum_to_one(self):
+        assert WEIGHTS3D.sum() == pytest.approx(1.0)
+
+    def test_velocity_moments(self):
+        # Σ w c_α = 0 and Σ w c_α c_β = cs² δ_αβ with cs² = 1/3
+        for c in (CX3D, CY3D, CZ3D):
+            assert float((WEIGHTS3D * c).sum()) == pytest.approx(0.0)
+        for a in (CX3D, CY3D, CZ3D):
+            for b in (CX3D, CY3D, CZ3D):
+                expect = 1 / 3 if a is b else 0.0
+                assert float((WEIGHTS3D * a * b).sum()) == pytest.approx(expect)
+
+    def test_directions_distinct_and_paired(self):
+        dirs = list(zip(CX3D.tolist(), CY3D.tolist(), CZ3D.tolist()))
+        assert len(set(dirs)) == 19
+        for d in dirs:
+            assert (-d[0], -d[1], -d[2]) in dirs
+
+    def test_speed_classes(self):
+        speeds = CX3D**2 + CY3D**2 + CZ3D**2
+        assert sorted(speeds.tolist()).count(0) == 1
+        assert sorted(speeds.tolist()).count(1) == 6
+        assert sorted(speeds.tolist()).count(2) == 12
+
+
+class TestEquilibrium:
+    def test_moments(self):
+        rng = np.random.default_rng(0)
+        shape = (4, 4, 4)
+        rho = 1 + 0.05 * rng.random(shape)
+        ux, uy, uz = (0.03 * rng.random(shape) for _ in range(3))
+        feq = equilibrium3d(rho, ux, uy, uz)
+        np.testing.assert_allclose(feq.sum(axis=0), rho, rtol=1e-12)
+        np.testing.assert_allclose(
+            np.tensordot(CX3D.astype(float), feq, axes=1), rho * ux, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            np.tensordot(CZ3D.astype(float), feq, axes=1), rho * uz, rtol=1e-9
+        )
+
+
+class TestSimulation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LBM3D(2)
+        with pytest.raises(ValueError):
+            LBM3D(6, tau=0.4)
+
+    def test_quiescent_fixed_point(self):
+        sim = LBM3D(6, tau=0.7)
+        f0 = sim.distribution().copy()
+        sim.step(4)
+        np.testing.assert_allclose(sim.distribution(), f0, atol=1e-13)
+
+    def test_uniform_density_stays_uniform(self):
+        sim = LBM3D(6)
+        sim.step(3)
+        rho, _, _, _ = sim.macroscopic()
+        np.testing.assert_allclose(rho, 1.0, atol=1e-12)
+
+    def test_lid_drives_3d_flow(self):
+        sim = LBM3D(10, tau=0.8, lid_velocity=0.05)
+        sim.step(30)
+        rho, ux, uy, uz = sim.macroscopic()
+        assert np.isfinite(rho).all()
+        interior_speed = np.sqrt(ux**2 + uy**2 + uz**2)[1:-1, 1:-1, 1:-1]
+        assert interior_speed.max() > 1e-4
+
+    def test_boundary_faces_never_change(self):
+        sim = LBM3D(8, tau=0.8, lid_velocity=0.05)
+        f0 = sim.distribution().copy()
+        sim.step(10)
+        f = sim.distribution()
+        np.testing.assert_array_equal(f[:, 0], f0[:, 0])
+        np.testing.assert_array_equal(f[:, -1], f0[:, -1])
+        np.testing.assert_array_equal(f[:, :, 0, :], f0[:, :, 0, :])
+        np.testing.assert_array_equal(f[:, :, :, -1], f0[:, :, :, -1])
+
+    def test_kernel_vectorizes(self):
+        from repro.ir.compile import compile_kernel
+        from repro.apps.lbm3d import lbm3d_kernel
+
+        n = 6
+        f = np.ones(19 * n**3)
+        args = [f.copy(), f.copy(), f.copy(), 0.8,
+                WEIGHTS3D, CX3D, CY3D, CZ3D, n]
+        ck = compile_kernel(lbm3d_kernel, 3, args)
+        assert ck.mode == "vector"
+        assert ck.stats.loads > 19  # the heaviest kernel in the repo
+        from repro.perfmodel import classify
+
+        assert classify(ck.stats, 3) == "stencil"
+
+    @pytest.mark.parametrize("backend", ["threads", "rocm-sim"])
+    def test_cross_backend_identical(self, backend):
+        repro.set_backend("serial")
+        ref = LBM3D(8, tau=0.8, lid_velocity=0.04)
+        ref.step(3)
+        f_ref = ref.distribution()
+        repro.set_backend(backend)
+        sim = LBM3D(8, tau=0.8, lid_velocity=0.04)
+        sim.step(3)
+        np.testing.assert_allclose(sim.distribution(), f_ref, rtol=1e-12)

@@ -1,0 +1,114 @@
+"""Tests for unified/managed memory (repro.backends.gpusim ManagedArray).
+
+The paper's §VII names "heterogeneous memory architectures" as future
+work; the simulator explores it with whole-allocation page migration, the
+behaviour of first-generation CUDA unified memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.gpusim import Device, ManagedArray
+from repro.core.exceptions import DeviceError
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+@pytest.fixture
+def dev():
+    return Device("a100")
+
+
+class TestResidency:
+    def test_starts_host_resident(self, dev):
+        m = dev.managed(np.ones(8))
+        assert m.residency == "host"
+
+    def test_kernel_access_migrates_to_device(self, dev):
+        m = dev.managed(np.zeros(64))
+        y = dev.managed(np.ones(64))
+        dev.launch(axpy, 64, 2.0, m, y)
+        assert m.residency == "device"
+        assert y.residency == "device"
+
+    def test_host_view_migrates_back(self, dev):
+        m = dev.managed(np.zeros(64))
+        y = dev.managed(np.ones(64))
+        dev.launch(axpy, 64, 2.0, m, y)
+        view = m.host_view()
+        assert m.residency == "host"
+        np.testing.assert_allclose(view, 2.0)
+
+    def test_repeated_same_side_access_migrates_once(self, dev):
+        m = dev.managed(np.zeros(1 << 12))
+        y = dev.managed(np.ones(1 << 12))
+        dev.launch(axpy, 1 << 12, 1.0, m, y)
+        h2d_after_first = dev.accounting.n_h2d
+        dev.launch(axpy, 1 << 12, 1.0, m, y)
+        assert dev.accounting.n_h2d == h2d_after_first  # still resident
+
+    def test_ping_pong_charges_each_migration(self, dev):
+        m = dev.managed(np.zeros(1 << 12))
+        y = dev.managed(np.ones(1 << 12))
+        migrations0 = dev.accounting.n_h2d + dev.accounting.n_d2h
+        for _ in range(3):
+            dev.launch(axpy, 1 << 12, 1.0, m, y)  # m, y -> device
+            m.host_view()  # m -> host
+        migrations = dev.accounting.n_h2d + dev.accounting.n_d2h
+        # y migrates once; m migrates H2D 3x and D2H 3x
+        assert migrations - migrations0 == 1 + 6
+
+    def test_migration_advances_clock(self, dev):
+        m = dev.managed(np.zeros(1 << 16))
+        y = dev.managed(np.ones(1 << 16))
+        t0 = dev.clock.now
+        dev.launch(axpy, 1 << 16, 1.0, m, y)
+        t_with_migration = dev.clock.now - t0
+        t0 = dev.clock.now
+        dev.launch(axpy, 1 << 16, 1.0, m, y)
+        t_resident = dev.clock.now - t0
+        assert t_with_migration > t_resident
+
+
+class TestSemantics:
+    def test_results_match_explicit_arrays(self, dev):
+        rng = np.random.default_rng(0)
+        xh, yh = rng.random(256), rng.random(256)
+
+        xe, ye = dev.to_device(xh), dev.to_device(yh)
+        dev.launch(axpy, 256, 2.5, xe, ye)
+
+        xm, ym = dev.managed(xh), dev.managed(yh)
+        dev.launch(axpy, 256, 2.5, xm, ym)
+
+        np.testing.assert_array_equal(xm.host_view(), dev.to_host(xe))
+
+    def test_alloc_charged_on_creation(self, dev):
+        a0 = dev.accounting.alloc_count
+        dev.managed(np.ones(16))
+        assert dev.accounting.alloc_count == a0 + 1
+
+    def test_managed_copy_semantics(self, dev):
+        host = np.ones(8)
+        m = dev.managed(host)
+        host[:] = -1
+        np.testing.assert_allclose(m.host_view(), 1.0)
+
+    def test_use_after_free(self, dev):
+        m = dev.managed(np.ones(8))
+        m.free()
+        with pytest.raises(DeviceError):
+            m.host_view()
+
+    def test_cross_device_rejected(self, dev):
+        other = Device("mi100")
+        m = dev.managed(np.ones(8))
+        with pytest.raises(DeviceError):
+            m.storage(other)
+
+    def test_is_backend_array(self, dev):
+        import repro
+
+        assert repro.is_backend_array(dev.managed(np.ones(4)))

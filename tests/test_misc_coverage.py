@@ -1,0 +1,119 @@
+"""Small-surface coverage: accounting, registry errors, report edges,
+performance guards against catastrophic regressions."""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.backend import Accounting
+from repro.core.exceptions import UnknownBackendError
+from repro.core.launch import LaunchConfig
+
+
+class TestAccounting:
+    def test_snapshot_is_plain_dict(self):
+        a = Accounting()
+        a.n_for = 3
+        a.sim_time = 1.5
+        snap = a.snapshot()
+        assert snap["n_for"] == 3
+        assert snap["sim_time"] == 1.5
+        # snapshot is detached
+        a.n_for = 9
+        assert snap["n_for"] == 3
+
+    def test_reset_zeroes_everything(self):
+        a = Accounting()
+        a.n_for = 3
+        a.bytes_h2d = 100
+        a.sim_time = 2.0
+        a.reset()
+        assert a.n_for == 0
+        assert a.bytes_h2d == 0
+        assert a.sim_time == 0.0
+
+
+class TestRegistryErrors:
+    def test_unknown_backend_error_carries_names(self):
+        with pytest.raises(UnknownBackendError) as ei:
+            repro.set_backend("quantum")
+        err = ei.value
+        assert err.name == "quantum"
+        assert "threads" in err.available
+
+
+class TestLaunchConfigProps:
+    def test_products(self):
+        cfg = LaunchConfig(threads=(16, 16), blocks=(4, 2))
+        assert cfg.ndim == 2
+        assert cfg.threads_per_block == 256
+        assert cfg.n_blocks == 8
+        assert cfg.total_threads == 2048
+
+
+class TestCliChart:
+    def test_fig13_with_chart_flag(self, capsys):
+        from repro.bench.__main__ import main
+
+        # fig13 ignores --chart (bar-style panel), but fig8 renders one
+        assert main(["fig8", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "log-log" in out
+        assert "o=rome-native" in out
+
+
+class TestPerformanceGuards:
+    """Generous wall-clock ceilings: catch only catastrophic regressions
+    (e.g. the vectorizer silently degrading to per-element work)."""
+
+    def setup_method(self):
+        repro.set_backend("serial")
+
+    def teardown_method(self):
+        repro.set_backend("serial")
+
+    def test_axpy_1m_under_100ms(self):
+        from repro.apps.blas import axpy
+
+        n = 1 << 20
+        x = np.ones(n)
+        y = np.ones(n)
+        axpy(n, 1.0, x, y)  # warm trace cache
+        t0 = time.perf_counter()
+        axpy(n, 2.5, x, y)
+        assert time.perf_counter() - t0 < 0.1
+
+    def test_warm_dispatch_under_1ms(self):
+        from repro.apps.blas import axpy
+
+        x = np.ones(8)
+        y = np.ones(8)
+        axpy(8, 1.0, x, y)
+        t0 = time.perf_counter()
+        for _ in range(100):
+            axpy(8, 1.0, x, y)
+        per_call = (time.perf_counter() - t0) / 100
+        assert per_call < 1e-3
+
+    def test_lbm_step_128_under_1s(self):
+        from repro.apps.lbm import LBM
+
+        sim = LBM(128, tau=0.8)
+        sim.step(1)  # warm
+        t0 = time.perf_counter()
+        sim.step(1)
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_trace_compile_under_100ms(self):
+        from repro.apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+        from repro.ir.compile import clear_cache, compile_kernel
+
+        clear_cache()
+        n = 8
+        f = np.ones(9 * n * n)
+        args = [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, n]
+        t0 = time.perf_counter()
+        compile_kernel(lbm_kernel, 2, args)
+        assert time.perf_counter() - t0 < 0.1

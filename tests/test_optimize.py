@@ -1,0 +1,268 @@
+"""Tests for the IR optimizer (repro.ir.optimize)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import nodes as N
+from repro.ir.optimize import count_nodes, optimize_trace, simplify
+from repro.ir.tracer import trace_kernel
+from repro.ir.vectorizer import IndexDomain, execute_trace, reduce_trace
+
+
+def c(v):
+    return N.Const(v)
+
+
+def i():
+    return N.Index(0)
+
+
+class TestConstantFolding:
+    def test_arithmetic(self):
+        assert simplify(N.BinOp("add", c(2), c(3))).value == 5
+        assert simplify(N.BinOp("mul", c(2.5), c(4))).value == 10.0
+        assert simplify(N.BinOp("pow", c(2), c(10))).value == 1024
+
+    def test_unary(self):
+        assert simplify(N.UnOp("neg", c(3))).value == -3
+        assert simplify(N.UnOp("sqrt", c(9.0))).value == 3.0
+        assert simplify(N.UnOp("sign", c(-5))).value == -1
+
+    def test_comparison(self):
+        assert simplify(N.Compare("lt", c(1), c(2))).value is True
+        assert simplify(N.Compare("eq", c(1), c(2))).value is False
+
+    def test_boolop_and_not(self):
+        assert simplify(N.BoolOp("and", c(True), c(False))).value is False
+        assert simplify(N.Not(c(False))).value is True
+
+    def test_select(self):
+        x = N.ScalarArg(0)
+        assert simplify(N.Select(c(True), x, c(9))) is x
+
+    def test_cast(self):
+        assert simplify(N.Cast("int", c(2.9))).value == 2
+        assert simplify(N.Cast("float", c(3))).value == 3.0
+
+    def test_division_by_zero_left_to_runtime(self):
+        out = simplify(N.BinOp("truediv", c(1), c(0)))
+        assert isinstance(out, N.BinOp)  # not folded, not crashed
+
+    def test_nested_folding(self):
+        expr = N.BinOp("mul", N.BinOp("add", c(1), c(2)), N.BinOp("sub", c(10), c(4)))
+        assert simplify(expr).value == 18
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        x = N.ScalarArg(0)
+        assert simplify(N.BinOp("add", x, c(0))) is x
+        assert simplify(N.BinOp("add", c(0), x)) is x
+
+    def test_sub_zero(self):
+        x = N.ScalarArg(0)
+        assert simplify(N.BinOp("sub", x, c(0))) is x
+
+    def test_mul_one(self):
+        x = N.ScalarArg(0)
+        assert simplify(N.BinOp("mul", x, c(1))) is x
+        assert simplify(N.BinOp("mul", c(1), x)) is x
+
+    def test_mul_zero_not_folded(self):
+        # would be wrong for NaN/Inf lanes
+        x = N.ScalarArg(0)
+        out = simplify(N.BinOp("mul", x, c(0)))
+        assert isinstance(out, N.BinOp)
+
+    def test_div_pow_one(self):
+        x = N.ScalarArg(0)
+        assert simplify(N.BinOp("truediv", x, c(1))) is x
+        assert simplify(N.BinOp("pow", x, c(1))) is x
+
+    def test_double_negation(self):
+        x = N.ScalarArg(0)
+        assert simplify(N.UnOp("neg", N.UnOp("neg", x))) is x
+
+    def test_abs_abs(self):
+        x = N.ScalarArg(0)
+        out = simplify(N.UnOp("abs", N.UnOp("abs", x)))
+        assert isinstance(out, N.UnOp)
+        assert out.operand is x
+
+    def test_not_not(self):
+        b = N.Compare("lt", i(), c(5))
+        out = simplify(N.Not(N.Not(b)))
+        assert isinstance(out, N.Compare)
+        assert out.op == "lt"
+
+    def test_bool_identity(self):
+        b = N.Compare("lt", i(), c(5))
+        assert isinstance(simplify(N.BoolOp("and", b, c(True))), N.Compare)
+        assert isinstance(simplify(N.BoolOp("or", b, c(False))), N.Compare)
+        assert simplify(N.BoolOp("and", b, c(False))).value is False
+        assert simplify(N.BoolOp("or", b, c(True))).value is True
+
+    def test_minmax_self(self):
+        x = N.ScalarArg(0)
+        expr = N.BinOp("min", x, x)
+        assert simplify(expr) is x
+
+    def test_select_same_branches(self):
+        x = N.ScalarArg(0)
+        b = N.Compare("lt", i(), c(5))
+        out = simplify(N.Select(b, x, x))
+        assert out is x
+
+    def test_bool_true_is_not_one_for_mul(self):
+        # x * True must NOT simplify to x (bool vs number distinction)
+        x = N.ScalarArg(0)
+        out = simplify(N.BinOp("mul", x, c(True)))
+        assert isinstance(out, N.BinOp)
+
+
+class TestHashConsing:
+    def test_structurally_equal_subtrees_shared(self):
+        def k(idx, x, n):
+            a = idx * n + 1
+            b = idx * n + 1  # fresh nodes, same structure
+            x[a - a + idx] = (a + b) * 1.0
+
+        t = trace_kernel(k, 1, [np.ones(8), 3])
+        before = count_nodes(t)
+        t2 = optimize_trace(t)
+        after = count_nodes(t2)
+        assert after < before
+
+    def test_lbm_trace_shrinks_materially(self):
+        from repro.apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+
+        n = 8
+        f = np.ones(9 * n * n)
+        args = [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, n]
+        t = trace_kernel(lbm_kernel, 2, args)
+        before = count_nodes(t)
+        after = count_nodes(optimize_trace(t))
+        assert after < 0.8 * before  # >20% node reduction
+
+    def test_dead_store_elimination(self):
+        x = N.ArrayArg(0, 1)
+        t = N.Trace(
+            1,
+            [
+                N.Store(x, [i()], c(1.0), N.Const(False)),  # dead
+                N.Store(x, [i()], c(2.0), N.Const(True)),  # always-on
+            ],
+            None,
+            [0],
+            [],
+        )
+        t2 = optimize_trace(t)
+        assert len(t2.stores) == 1
+        assert t2.stores[0].condition is None
+
+    def test_interning_shared_across_stores_and_result(self):
+        def k(idx, x, y):
+            v1 = x[idx] * 2.0
+            y[idx] = v1
+            return x[idx] * 2.0  # same structure as v1
+
+        t = optimize_trace(trace_kernel(k, 1, [np.ones(4), np.ones(4)]))
+        assert t.stores[0].value is t.result
+
+
+class TestSemanticsPreserved:
+    def _run_both(self, kernel, args, n=12, reduce=False):
+        t = trace_kernel(kernel, 1, args)
+        t_opt = optimize_trace(t)
+        dom = IndexDomain.full((n,))
+        if reduce:
+            return (
+                reduce_trace(t, dom, args),
+                reduce_trace(t_opt, dom, args),
+            )
+        args2 = [a.copy() if isinstance(a, np.ndarray) else a for a in args]
+        execute_trace(t, dom, args)
+        execute_trace(t_opt, dom, args2)
+        return args, args2
+
+    def test_guarded_kernel_unchanged(self):
+        def k(idx, x, n):
+            if idx > 1 and idx < n - 1:
+                x[idx] = (x[idx] + 0.0) * 1.0 + 3.0 - 0.0
+
+        x = np.random.default_rng(0).random(12)
+        (a, _), (b, _) = (
+            self._run_both(k, [x.copy(), 12])[0][:2],
+            self._run_both(k, [x.copy(), 12])[1][:2],
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_reduce_unchanged(self):
+        def k(idx, x):
+            return (x[idx] * 1.0 + 0.0) ** 1
+
+        x = np.random.default_rng(1).random(12)
+        ref, opt = self._run_both(k, [x], reduce=True)
+        assert ref == opt
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_optimized_matvec_matches_unoptimized(self, seed):
+        from repro.apps.cg import matvec_tridiag_kernel
+
+        rng = np.random.default_rng(seed)
+        n = 16
+        lower, upper = rng.random(n), rng.random(n)
+        diag = 4 + rng.random(n)
+        x = rng.random(n)
+        y1, y2 = np.zeros(n), np.zeros(n)
+        args1 = [lower, diag, upper, x, y1, n]
+        args2 = [lower, diag, upper, x, y2, n]
+        t = trace_kernel(matvec_tridiag_kernel, 1, args1)
+        execute_trace(t, IndexDomain.full((n,)), args1)
+        execute_trace(optimize_trace(t), IndexDomain.full((n,)), args2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_load_after_store_still_correct_with_shared_loads(self):
+        # the hash-consing-loads safety argument, executed
+        def k(idx, x):
+            a = x[idx]
+            x[idx] = a + 1.0
+            b = x[idx]  # structurally equal to the load in `a`
+            x[idx] = b * 2.0
+
+        x1 = np.ones(6)
+        x2 = np.ones(6)
+        t = trace_kernel(k, 1, [x1])
+        execute_trace(t, IndexDomain.full((6,)), [x1])
+        execute_trace(optimize_trace(t), IndexDomain.full((6,)), [x2])
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(x2, 4.0)
+
+
+class TestEndToEndThroughCompile:
+    def test_compiled_kernels_are_optimized(self):
+        from repro.ir.compile import clear_cache, compile_kernel
+
+        clear_cache()
+
+        def k(idx, x):
+            x[idx] = x[idx] * 1.0 + 0.0
+
+        ck = compile_kernel(k, 1, [np.ones(4)])
+        (store,) = ck.trace.stores
+        assert isinstance(store.value, N.Load)  # identity chain collapsed
+
+    def test_stats_reflect_optimized_trace(self):
+        from repro.ir.compile import clear_cache, compile_kernel
+
+        clear_cache()
+
+        def k(idx, x, y):
+            y[idx] = (x[idx] + 0.0) * 1.0
+
+        ck = compile_kernel(k, 1, [np.ones(4), np.ones(4)])
+        assert ck.stats.flops == 0  # the identities were free
+        assert ck.stats.loads == 1

@@ -1,0 +1,260 @@
+"""Unit tests for the analytic performance model (repro.perfmodel)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.stats import TraceStats
+from repro.perfmodel import (
+    KERNEL_CLASSES,
+    PROFILES,
+    Panel,
+    PerfModel,
+    Series,
+    ascii_chart,
+    classify,
+    format_table,
+    get_overhead,
+    get_profile,
+)
+
+
+def stats_for(loads=2, stores=1, flops=2, reduction=False, paths=1):
+    return TraceStats(
+        loads=loads, stores=stores, flops=flops,
+        is_reduction=reduction, n_paths=paths,
+    )
+
+
+class TestProfiles:
+    def test_all_four_architectures_present(self):
+        assert set(PROFILES) == {"rome", "mi100", "a100", "max1550"}
+
+    def test_kinds(self):
+        assert get_profile("rome").kind == "cpu"
+        for g in ("mi100", "a100", "max1550"):
+            assert get_profile(g).kind == "gpu"
+
+    def test_every_class_has_bandwidth(self):
+        for p in PROFILES.values():
+            for cls in KERNEL_CLASSES:
+                assert p.eff_bw[cls] > 0
+
+    def test_achieved_below_nominal(self):
+        for p in PROFILES.values():
+            for cls in KERNEL_CLASSES:
+                assert p.eff_bw[cls] <= p.mem_bw
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("h100")
+
+    def test_profiles_frozen(self):
+        p = get_profile("a100")
+        with pytest.raises(Exception):
+            p.mem_bw = 1.0
+        with pytest.raises(TypeError):
+            p.eff_bw["stream"] = 1.0
+
+
+class TestClassify:
+    def test_stream(self):
+        assert classify(stats_for(), 1) == "stream"
+
+    def test_reduce_1d_and_2d(self):
+        assert classify(stats_for(reduction=True), 1) == "reduce"
+        assert classify(stats_for(reduction=True), 2) == "reduce2d"
+
+    def test_stencil_wins_over_spmv(self):
+        s = stats_for(loads=20, paths=3)
+        assert classify(s, 2) == "stencil"
+
+    def test_spmv_for_guarded_few_point(self):
+        assert classify(stats_for(loads=5, paths=3), 1) == "spmv"
+
+
+class TestForCost:
+    def test_latency_floor_at_tiny_sizes(self):
+        m = PerfModel(get_profile("a100"))
+        c = m.for_cost(stats_for(), 10, 1)
+        assert c.total == pytest.approx(m.profile.launch_latency, rel=0.01)
+
+    def test_bandwidth_dominates_at_large_sizes(self):
+        m = PerfModel(get_profile("a100"))
+        lanes = 1 << 28
+        c = m.for_cost(stats_for(), lanes, 1)
+        expected_bw = lanes * 24 / m.profile.eff_bw["stream"]
+        assert c.total == pytest.approx(expected_bw, rel=0.01)
+
+    def test_monotone_in_lanes(self):
+        m = PerfModel(get_profile("mi100"))
+        times = [m.for_cost(stats_for(), 1 << k, 1).total for k in range(10, 26, 4)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_compute_term_can_dominate(self):
+        m = PerfModel(get_profile("rome"))
+        hot = stats_for(loads=1, stores=0, flops=100000)
+        c = m.for_cost(hot, 1 << 20, 1)
+        assert c.compute > c.bandwidth
+
+
+class TestReduceCost:
+    def test_gpu_reduce_has_two_launches_and_transfer(self):
+        m = PerfModel(get_profile("a100"))
+        c = m.reduce_cost(stats_for(reduction=True, stores=0), 1 << 20, 1)
+        assert c.latency == pytest.approx(2 * m.profile.launch_latency)
+        assert c.transfer > 0
+
+    def test_cpu_reduce_single_region_no_transfer(self):
+        m = PerfModel(get_profile("rome"))
+        c = m.reduce_cost(stats_for(reduction=True, stores=0), 1 << 20, 1)
+        assert c.latency == pytest.approx(m.profile.launch_latency)
+        assert c.transfer == 0.0
+
+    def test_gpu_dot_slower_than_axpy_at_small_sizes(self):
+        # Paper Fig. 8: the DOT/AXPY gap on GPUs (two kernels + readback).
+        for name in ("mi100", "a100", "max1550"):
+            m = PerfModel(get_profile(name))
+            axpy = m.for_cost(stats_for(loads=2, stores=1, flops=2), 1 << 12, 1)
+            d = m.reduce_cost(stats_for(loads=2, stores=0, reduction=True), 1 << 12, 1)
+            assert d.total > axpy.total
+
+    def test_2d_reduce_narrows_the_gap(self):
+        # Paper Fig. 9: "the gap between AXPY and DOT computations is
+        # reduced in all GPUs" — reduce2d achieves better bandwidth.
+        for name in ("mi100", "a100", "max1550"):
+            p = get_profile(name)
+            assert p.eff_bw["reduce2d"] > p.eff_bw["reduce"]
+
+
+class TestTransfersAndAllocs:
+    def test_transfer_zero_on_cpu(self):
+        assert PerfModel(get_profile("rome")).transfer_cost(1 << 20) == 0.0
+
+    def test_transfer_latency_floor(self):
+        m = PerfModel(get_profile("mi100"))
+        assert m.transfer_cost(8) == pytest.approx(m.profile.link_latency, rel=0.01)
+
+    def test_transfer_bandwidth_tail(self):
+        m = PerfModel(get_profile("mi100"))
+        big = 1 << 30
+        assert m.transfer_cost(big) == pytest.approx(
+            big / m.profile.link_bw, rel=0.01
+        )
+
+    def test_alloc_cost_linear(self):
+        m = PerfModel(get_profile("a100"))
+        assert m.alloc_cost(3) == pytest.approx(3 * m.profile.alloc_latency)
+
+
+class TestOverheads:
+    def test_known_backends_have_rows(self):
+        for name in ("threads", "cuda-sim", "rocm-sim", "oneapi-sim"):
+            assert get_overhead(name) is not None
+
+    def test_unknown_backend_is_free(self):
+        oh = get_overhead("never-heard-of-it")
+        assert oh.for_latency == 0.0
+        assert oh.reduce_bw_mult == 1.0
+
+    def test_intel_reduce_multiplier_is_35_percent(self):
+        oh = get_overhead("oneapi-sim")
+        assert 1 / oh.reduce_bw_mult == pytest.approx(1.35)
+
+    def test_amd_for_latency_largest(self):
+        # Paper: JACC AXPY visibly slower on MI100 at small/medium sizes.
+        amd = get_overhead("rocm-sim").for_latency
+        assert amd > get_overhead("cuda-sim").for_latency
+        assert amd > get_overhead("threads").for_latency
+
+    def test_cuda_2d_allocs(self):
+        assert get_overhead("cuda-sim").for_allocs_2d == 2
+
+
+class TestReport:
+    def _panel(self):
+        p = Panel("demo")
+        s1 = Series("a")
+        s2 = Series("b")
+        for k in range(3):
+            s1.add(10**k, 1e-6 * 10**k)
+            s2.add(10**k, 2e-6 * 10**k)
+        p.series = [s1, s2]
+        return p
+
+    def test_series_time_at(self):
+        p = self._panel()
+        assert p.get("a").time_at(10) == pytest.approx(1e-5)
+        with pytest.raises(KeyError):
+            p.get("a").time_at(12345)
+
+    def test_panel_get_unknown(self):
+        with pytest.raises(KeyError):
+            self._panel().get("zzz")
+
+    def test_format_table_has_all_labels(self):
+        text = format_table(self._panel())
+        assert "a" in text and "b" in text and "size" in text
+        assert "1us" in text or "1e-06" in text or "1us" in text
+
+    def test_format_table_empty_panel(self):
+        assert "(no data)" in format_table(Panel("empty"))
+
+    def test_ascii_chart_renders(self):
+        text = ascii_chart(self._panel())
+        assert "demo" in text
+        assert "o=a" in text
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart(Panel("empty"))
+
+    def test_time_formatting_units(self):
+        from repro.perfmodel.report import _fmt_time
+
+        assert _fmt_time(2e-9).endswith("ns")
+        assert _fmt_time(2e-6).endswith("us")
+        assert _fmt_time(2e-3).endswith("ms")
+        assert _fmt_time(2.0).endswith("s")
+
+
+class TestTimeline:
+    def _events(self):
+        import numpy as np
+
+        import repro
+        from repro.apps.cg import cg_iteration_paper, make_paper_cg_state
+        from repro.backends.gpusim import Device, GpuSimBackend
+
+        backend = GpuSimBackend(
+            Device("a100", record_events=True), name="cuda-sim"
+        )
+        repro.set_backend(backend)
+        try:
+            cg_iteration_paper(make_paper_cg_state(4096))
+        finally:
+            repro.set_backend("serial")
+        return backend.device.clock.events
+
+    def test_cg_timeline_records_the_construct_mix(self):
+        from repro.perfmodel.report import format_timeline
+
+        events = self._events()
+        kinds = [e.kind for e in events]
+        # 6 fors + 5 fused jacc reductions show up as kernel events,
+        # plus H2D setup transfers and dispatch events.
+        assert kinds.count("h2d") == 9  # the 9 state arrays
+        assert sum(1 for e in events if e.label == "jacc_reduce" and e.kind == "kernel") == 5
+        text = format_timeline(events)
+        assert "t_start" in text
+        assert "jacc_reduce" in text
+
+    def test_timeline_truncation(self):
+        from repro.perfmodel.report import format_timeline
+
+        events = self._events()
+        text = format_timeline(events, limit=3)
+        assert "more events" in text
+
+    def test_timeline_events_are_contiguous(self):
+        events = self._events()
+        for a, b in zip(events, events[1:]):
+            assert b.start == pytest.approx(a.end, abs=1e-15)

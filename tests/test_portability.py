@@ -1,0 +1,124 @@
+"""Integration: the paper's portability claim, end to end.
+
+The same kernel source — unmodified — must produce identical results on
+every backend (paper §V: "For JACC code evaluation, we used the same JACC
+codes on all four architectures").  These tests run each paper workload
+on all backends against the serial reference.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.blas import axpy, dot
+from repro.apps.cg import cg_iteration_paper, cg_solve, make_paper_cg_state, tridiagonal_system
+from repro.apps.hpccg import build_27pt_problem, hpccg_solve
+from repro.apps.lbm import LBM
+
+ALL_BACKENDS = [
+    "serial",
+    "interp",
+    "threads",
+    "cuda-sim",
+    "rocm-sim",
+    "oneapi-sim",
+    "multi-sim",
+]
+
+# interp is excluded from the heavier workloads purely for test runtime;
+# its equivalence is covered at smaller sizes elsewhere.
+FAST_BACKENDS = [b for b in ALL_BACKENDS if b != "interp"]
+
+
+@pytest.fixture(autouse=True)
+def restore():
+    yield
+    repro.set_backend("serial")
+
+
+class TestFigure2Example:
+    """The paper's Fig. 2 code, verbatim shape, on every backend."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_1d(self, backend):
+        repro.set_backend(backend)
+        size = 1000
+        rng = np.random.default_rng(0)
+        x = np.round(rng.random(size) * 100)
+        y = np.round(rng.random(size) * 100)
+        dx, dy = repro.array(x), repro.array(y)
+        axpy(size, 2.5, dx, dy)
+        res = dot(size, dx, dy)
+        assert res == pytest.approx(float((x + 2.5 * y) @ y), rel=1e-12)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_2d(self, backend):
+        repro.set_backend(backend)
+        size = 64
+        rng = np.random.default_rng(1)
+        x = np.round(rng.random((size, size)) * 100)
+        y = np.round(rng.random((size, size)) * 100)
+        dx, dy = repro.array(x), repro.array(y)
+        axpy((size, size), 2.5, dx, dy)
+        res = dot((size, size), dx, dy)
+        assert res == pytest.approx(float(((x + 2.5 * y) * y).sum()), rel=1e-12)
+
+
+class TestLBMPortability:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_identical_distribution_after_steps(self, backend):
+        repro.set_backend("serial")
+        ref = LBM(16, tau=0.8, lid_velocity=0.06)
+        ref.step(8)
+        f_ref = ref.distribution()
+
+        repro.set_backend(backend)
+        sim = LBM(16, tau=0.8, lid_velocity=0.06)
+        sim.step(8)
+        np.testing.assert_allclose(sim.distribution(), f_ref, rtol=1e-12)
+
+
+class TestCGPortability:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_cg_solution_identical(self, backend):
+        lower, diag, upper, b = tridiagonal_system(300)
+        repro.set_backend("serial")
+        ref = cg_solve(lower, diag, upper, b, tol=1e-11)
+        repro.set_backend(backend)
+        got = cg_solve(lower, diag, upper, b, tol=1e-11)
+        assert got.converged
+        np.testing.assert_allclose(got.x, ref.x, rtol=1e-9, atol=1e-11)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_paper_iteration_scalars_identical(self, backend):
+        repro.set_backend("serial")
+        ref = cg_iteration_paper(make_paper_cg_state(256))
+        repro.set_backend(backend)
+        got = cg_iteration_paper(make_paper_cg_state(256))
+        for key in ("alpha", "beta", "cond"):
+            assert got[key] == pytest.approx(ref[key], rel=1e-12)
+
+
+class TestHPCCGPortability:
+    @pytest.mark.parametrize("backend", ["threads", "rocm-sim", "multi-sim"])
+    def test_27pt_solution_identical(self, backend):
+        a, b, x_exact = build_27pt_problem(5, 5, 5)
+        repro.set_backend(backend)
+        res = hpccg_solve(a, b, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_exact, atol=1e-7)
+
+
+class TestBackendSwitchMidProgram:
+    def test_switching_backends_between_constructs(self):
+        # Arrays belong to their backend; switching re-materializes them.
+        size = 128
+        x = np.arange(size, dtype=float)
+        y = np.ones(size)
+        results = {}
+        for backend in ("threads", "cuda-sim"):
+            repro.set_backend(backend)
+            dx, dy = repro.array(x), repro.array(y)
+            axpy(size, 1.0, dx, dy)
+            results[backend] = repro.to_host(dx)
+        np.testing.assert_array_equal(results["threads"], results["cuda-sim"])

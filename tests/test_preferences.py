@@ -1,0 +1,98 @@
+"""Unit tests for the Preferences mechanism (repro.core.preferences)."""
+
+import pytest
+
+from repro.core.exceptions import PreferencesError
+from repro.core.preferences import (
+    DEFAULT_BACKEND,
+    preferences_path,
+    read_preferences,
+    resolve_backend_name,
+    write_preference,
+)
+
+
+@pytest.fixture
+def prefs_file(tmp_path, monkeypatch):
+    p = tmp_path / "LocalPreferences.toml"
+    monkeypatch.setenv("PYACC_PREFERENCES", str(p))
+    monkeypatch.delenv("PYACC_BACKEND", raising=False)
+    return p
+
+
+class TestReadWrite:
+    def test_missing_file_reads_empty(self, prefs_file):
+        assert read_preferences() == {}
+
+    def test_roundtrip_string(self, prefs_file):
+        write_preference("backend", "cuda-sim")
+        assert read_preferences() == {"backend": "cuda-sim"}
+
+    def test_roundtrip_preserves_other_keys(self, prefs_file):
+        write_preference("backend", "threads")
+        write_preference("verbosity", 2)
+        assert read_preferences() == {"backend": "threads", "verbosity": 2}
+
+    def test_roundtrip_types(self, prefs_file):
+        write_preference("flag", True)
+        write_preference("ratio", 1.5)
+        prefs = read_preferences()
+        assert prefs["flag"] is True
+        assert prefs["ratio"] == 1.5
+
+    def test_string_escaping(self, prefs_file):
+        write_preference("backend", 'we"ird\\name')
+        assert read_preferences()["backend"] == 'we"ird\\name'
+
+    def test_unsupported_value_type_rejected(self, prefs_file):
+        with pytest.raises(PreferencesError):
+            write_preference("backend", ["a", "list"])
+
+    def test_malformed_file_raises(self, prefs_file):
+        prefs_file.write_text("this is [not toml")
+        with pytest.raises(PreferencesError):
+            read_preferences()
+
+    def test_non_table_section_raises(self, prefs_file):
+        prefs_file.write_text('repro = "oops"\n')
+        with pytest.raises(PreferencesError):
+            read_preferences()
+
+    def test_preferences_path_honours_env(self, prefs_file):
+        assert preferences_path() == prefs_file
+
+
+class TestResolution:
+    def test_default_when_nothing_set(self, prefs_file):
+        assert resolve_backend_name() == DEFAULT_BACKEND
+
+    def test_file_preference_wins_over_default(self, prefs_file):
+        write_preference("backend", "serial")
+        assert resolve_backend_name() == "serial"
+
+    def test_env_wins_over_file(self, prefs_file, monkeypatch):
+        write_preference("backend", "serial")
+        monkeypatch.setenv("PYACC_BACKEND", "interp")
+        assert resolve_backend_name() == "interp"
+
+    def test_non_string_backend_pref_rejected(self, prefs_file):
+        write_preference("backend", 42)
+        with pytest.raises(PreferencesError):
+            resolve_backend_name()
+
+    def test_default_backend_is_threads(self):
+        # The paper: "The default back end is Julia's Base.Threads
+        # implementation, which targets CPUs."
+        assert DEFAULT_BACKEND == "threads"
+
+
+class TestPersistIntegration:
+    def test_set_backend_persist_writes_file(self, prefs_file):
+        import repro
+
+        repro.set_backend("serial", persist=True)
+        assert read_preferences()["backend"] == "serial"
+        repro.reset_backend()
+        # with no env override, the persisted choice is picked up
+        assert repro.active_backend().name == "serial"
+        repro.set_backend("serial")  # leave a sane backend for other tests

@@ -1,0 +1,98 @@
+"""Tests for the roofline analysis tool (repro.perfmodel.roofline)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.stats import TraceStats
+from repro.perfmodel import get_profile
+from repro.perfmodel.roofline import (
+    RooflinePoint,
+    paper_kernel_placements,
+    place_kernel,
+    roofline_report,
+)
+
+
+def stats(loads=2, stores=1, flops=2, reduction=False, paths=1):
+    return TraceStats(
+        loads=loads, stores=stores, flops=flops,
+        is_reduction=reduction, n_paths=paths,
+    )
+
+
+class TestPlacement:
+    def test_axpy_is_bandwidth_bound_everywhere(self):
+        s = stats()  # axpy: 24 B, 2 flops → I = 1/12
+        for name in ("rome", "mi100", "a100", "max1550"):
+            p = place_kernel("axpy", s, 1, get_profile(name))
+            assert p.bound == "bandwidth"
+            assert p.intensity == pytest.approx(2 / 24)
+
+    def test_compute_bound_kernel_detected(self):
+        hot = stats(loads=1, stores=0, flops=10**6)
+        p = place_kernel("hot", hot, 1, get_profile("rome"))
+        assert p.bound == "compute"
+        assert p.roof_fraction == pytest.approx(1.0)
+
+    def test_attainable_consistent_with_roof(self):
+        s = stats()
+        p = place_kernel("axpy", s, 1, get_profile("a100"))
+        bw = get_profile("a100").eff_bw["stream"]
+        assert p.attainable_flops == pytest.approx(p.intensity * bw)
+
+    def test_balance_is_peak_over_bandwidth(self):
+        s = stats()
+        prof = get_profile("mi100")
+        p = place_kernel("axpy", s, 1, prof)
+        assert p.balance == pytest.approx(prof.peak_flops / prof.eff_bw["stream"])
+
+    def test_reduce_uses_reduce_roof(self):
+        s = stats(loads=2, stores=0, flops=1, reduction=True)
+        prof = get_profile("mi100")
+        p = place_kernel("dot", s, 1, prof)
+        assert p.kernel_class == "reduce"
+        assert p.balance == pytest.approx(prof.peak_flops / prof.eff_bw["reduce"])
+
+    def test_pure_copy_pins_to_bandwidth(self):
+        s = stats(loads=1, stores=1, flops=0)
+        p = place_kernel("copy", s, 1, get_profile("a100"))
+        assert p.bound == "bandwidth"
+        assert p.attainable_flops == 0.0
+
+    def test_str_renders(self):
+        p = place_kernel("axpy", stats(), 1, get_profile("rome"))
+        text = str(p)
+        assert "axpy" in text and "bandwidth-bound" in text
+
+
+class TestPaperPlacements:
+    def test_all_paper_kernels_are_bandwidth_bound(self):
+        # The evaluation's central premise: every workload is
+        # memory-bound on every architecture.
+        for p in paper_kernel_placements():
+            assert p.bound == "bandwidth", p
+
+    def test_lbm_has_highest_intensity(self):
+        pts = paper_kernel_placements()
+        by_kernel = {}
+        for p in pts:
+            by_kernel.setdefault(p.kernel, p.intensity)
+        assert by_kernel["lbm"] > by_kernel["matvec"] > by_kernel["dot"]
+
+    def test_sixteen_placements(self):
+        assert len(paper_kernel_placements()) == 16  # 4 kernels x 4 machines
+
+
+class TestReport:
+    def test_report_renders_all_entries(self):
+        report = roofline_report(
+            [("axpy", stats(), 1), ("dot", stats(reduction=True, stores=0), 1)]
+        )
+        assert report.count("axpy") == 4  # once per machine
+        assert "AMD EPYC 7742" in report
+        assert "Intel Max 1550" in report
+
+    def test_report_custom_profile_subset(self):
+        report = roofline_report([("axpy", stats(), 1)], profiles=("a100",))
+        assert "A100" in report
+        assert "Rome" not in report

@@ -1,0 +1,221 @@
+"""Tests for the cooperative SIMT executor (repro.backends.gpusim.simt)
+and the literal Fig. 3 reduction built on it."""
+
+import numpy as np
+import pytest
+
+from repro.backends.gpusim.simt import (
+    BarrierDivergenceError,
+    simt_launch,
+)
+from repro.core.exceptions import DeviceError, LaunchConfigError
+
+
+class TestBasicExecution:
+    def test_plain_kernel_every_thread_runs(self):
+        hits = np.zeros(12)
+
+        def kernel(ctx, out):
+            out[ctx.global_id(0)] += 1
+
+        simt_launch(kernel, hits, grid=(3,), block=(4,))
+        np.testing.assert_array_equal(hits, 1)
+
+    def test_global_id_formula(self):
+        ids = []
+
+        def kernel(ctx, sink):
+            ids.append((ctx.block_idx[0], ctx.thread_idx[0], ctx.global_id(0)))
+
+        simt_launch(kernel, None, grid=(2,), block=(3,))
+        assert (1, 2, 5) in ids
+        assert all(g == b * 3 + t for b, t, g in ids)
+
+    def test_2d_launch(self):
+        out = np.zeros((4, 6))
+
+        def kernel(ctx, out):
+            i = ctx.global_id(0)
+            j = ctx.global_id(1)
+            out[i, j] = i * 10 + j
+
+        simt_launch(kernel, out, grid=(2, 2), block=(2, 3))
+        ii, jj = np.meshgrid(np.arange(4), np.arange(6), indexing="ij")
+        np.testing.assert_array_equal(out, ii * 10 + jj)
+
+    def test_linear_thread_idx(self):
+        seen = set()
+
+        def kernel(ctx, sink):
+            seen.add(ctx.linear_thread_idx)
+
+        simt_launch(kernel, None, grid=(1, 1), block=(2, 3))
+        assert seen == set(range(6))
+
+    def test_launch_validation(self):
+        def kernel(ctx):
+            pass
+
+        with pytest.raises(LaunchConfigError):
+            simt_launch(kernel, grid=(2,), block=(2, 2))
+        with pytest.raises(LaunchConfigError):
+            simt_launch(kernel, grid=(0,), block=(2,))
+        with pytest.raises(LaunchConfigError):
+            simt_launch(kernel, grid=(1,), block=(8192,))
+
+
+class TestSharedMemoryAndBarriers:
+    def test_shared_visible_across_threads_after_barrier(self):
+        out = np.zeros(4)
+
+        def kernel(ctx, out):
+            shared = ctx.shared((4,))
+            ti = ctx.thread_idx[0]
+            shared[ti] = float(ti + 1)
+            yield ctx.sync()
+            # every thread sees every other thread's write
+            out[ti] = shared.sum()
+
+        simt_launch(kernel, out, grid=(1,), block=(4,))
+        np.testing.assert_array_equal(out, 10.0)
+
+    def test_shared_is_per_block(self):
+        out = np.zeros(2)
+
+        def kernel(ctx, out):
+            shared = ctx.shared((1,))
+            shared[0] += 1.0
+            yield ctx.sync()
+            if ctx.thread_idx[0] == 0:
+                out[ctx.block_idx[0]] = shared[0]
+
+        simt_launch(kernel, out, grid=(2,), block=(3,))
+        np.testing.assert_array_equal(out, 3.0)  # 3 threads each, per block
+
+    def test_mismatched_shared_shapes_rejected(self):
+        def kernel(ctx):
+            ti = ctx.thread_idx[0]
+            ctx.shared((ti + 1,))  # different shape per thread
+            yield ctx.sync()
+
+        with pytest.raises(DeviceError):
+            simt_launch(kernel, grid=(1,), block=(2,))
+
+    def test_barrier_divergence_detected(self):
+        def kernel(ctx):
+            if ctx.thread_idx[0] == 0:
+                yield ctx.sync()  # only thread 0 hits the barrier
+
+        with pytest.raises(BarrierDivergenceError):
+            simt_launch(kernel, grid=(1,), block=(2,))
+
+    def test_yielding_non_token_rejected(self):
+        def kernel(ctx):
+            yield 42
+
+        with pytest.raises(DeviceError):
+            simt_launch(kernel, grid=(1,), block=(1,))
+
+    def test_multiple_barriers_phase_correctly(self):
+        trace = []
+
+        def kernel(ctx):
+            ti = ctx.thread_idx[0]
+            trace.append(("a", ti))
+            yield ctx.sync()
+            trace.append(("b", ti))
+            yield ctx.sync()
+            trace.append(("c", ti))
+
+        simt_launch(kernel, grid=(1,), block=(3,))
+        phases = [p for p, _ in trace]
+        # all a's strictly before all b's before all c's
+        assert phases == ["a"] * 3 + ["b"] * 3 + ["c"] * 3
+
+    def test_tree_reduction_pattern(self):
+        out = np.zeros(1)
+        data = np.arange(8.0)
+
+        def kernel(ctx, data, out):
+            shared = ctx.shared((8,))
+            ti = ctx.thread_idx[0]
+            shared[ti] = data[ti]
+            yield ctx.sync()
+            stride = 4
+            while stride >= 1:
+                if ti < stride:
+                    shared[ti] += shared[ti + stride]
+                yield ctx.sync()
+                stride //= 2
+            if ti == 0:
+                out[0] = shared[0]
+
+        simt_launch(kernel, data, out, grid=(1,), block=(8,))
+        assert out[0] == 28.0
+
+    def test_shared_allocation_after_barrier_gets_distinct_buffer(self):
+        out = np.zeros(1)
+
+        def kernel(ctx, out):
+            a = ctx.shared((2,))
+            a[ctx.thread_idx[0]] = 1.0
+            yield ctx.sync()
+            b = ctx.shared((2,))  # phase-1 allocation: not aliased to a
+            if ctx.thread_idx[0] == 0:
+                out[0] = a.sum() + b.sum()
+            yield ctx.sync()
+
+        simt_launch(kernel, out, grid=(1,), block=(2,))
+        assert out[0] == 2.0  # b is fresh zeros
+
+
+class TestLiteralFig3Dot:
+    def _api(self):
+        from repro.bench.harness import get_arch
+
+        return get_arch("a100").make_vendor()
+
+    @pytest.mark.parametrize("n", [1, 100, 512, 513, 1500])
+    def test_matches_numpy(self, n):
+        from repro.apps.blas_native import gpu_dot_simt
+
+        api = self._api()
+        rng = np.random.default_rng(n)
+        xh, yh = rng.random(n), rng.random(n)
+        x, y = api.to_device(xh), api.to_device(yh)
+        assert gpu_dot_simt(api, n, x, y) == pytest.approx(
+            float(xh @ yh), rel=1e-12
+        )
+
+    def test_matches_fast_native_and_portable(self):
+        import repro
+        from repro.apps.blas import dot
+        from repro.apps.blas_native import gpu_dot, gpu_dot_simt
+
+        n = 1000
+        rng = np.random.default_rng(0)
+        xh, yh = rng.random(n), rng.random(n)
+
+        api = self._api()
+        x, y = api.to_device(xh), api.to_device(yh)
+        fast = gpu_dot(api, n, x, y)
+        literal = gpu_dot_simt(api, n, x, y)
+
+        repro.set_backend("cuda-sim")
+        portable = dot(n, repro.array(xh), repro.array(yh))
+        repro.set_backend("serial")
+
+        assert literal == pytest.approx(fast, rel=1e-12)
+        assert literal == pytest.approx(portable, rel=1e-12)
+
+    def test_charges_two_launches_and_readback(self):
+        from repro.apps.blas_native import gpu_dot_simt
+
+        api = self._api()
+        x = api.to_device(np.ones(600))
+        y = api.to_device(np.ones(600))
+        launches0 = api.device().accounting.n_kernel_launches
+        d2h0 = api.device().accounting.n_d2h
+        gpu_dot_simt(api, 600, x, y)
+        assert api.device().accounting.n_kernel_launches == launches0 + 2
+        assert api.device().accounting.n_d2h == d2h0 + 1

@@ -1,0 +1,139 @@
+"""Unit tests for static trace analysis (repro.ir.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.stats import analyze
+from repro.ir.tracer import trace_kernel
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+def dot(i, x, y):
+    return x[i] * y[i]
+
+
+class TestBasicCounts:
+    def test_axpy_counts(self):
+        s = analyze(trace_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)]))
+        assert s.loads == 2
+        assert s.stores == 1
+        assert s.flops == 2  # one mul + one add
+        assert s.bytes_per_lane == 24
+        assert not s.is_reduction
+
+    def test_dot_counts(self):
+        s = analyze(trace_kernel(dot, 1, [np.ones(4), np.ones(4)]))
+        assert s.loads == 2
+        assert s.stores == 0
+        assert s.flops == 1
+        assert s.bytes_per_lane == 16
+        assert s.is_reduction
+
+    def test_copy_counts(self):
+        def copy(i, src, dst):
+            dst[i] = src[i]
+
+        s = analyze(trace_kernel(copy, 1, [np.ones(4), np.ones(4)]))
+        assert s.loads == 1
+        assert s.stores == 1
+        assert s.flops == 0
+
+    def test_arrays_touched(self):
+        s = analyze(trace_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)]))
+        assert s.arrays_touched == frozenset({1, 2})
+
+    def test_intensity(self):
+        s = analyze(trace_kernel(dot, 1, [np.ones(4), np.ones(4)]))
+        assert s.intensity == pytest.approx(1 / 16)
+
+    def test_zero_traffic_intensity_is_zero(self):
+        def k(i, x):
+            return 1.0
+
+        s = analyze(trace_kernel(k, 1, [np.ones(4)]))
+        assert s.intensity == 0.0
+
+
+class TestSharingAndWeights:
+    def test_cse_shared_subexpression_counted_once(self):
+        def k(i, x, y):
+            v = x[i] * 2.0
+            y[i] = v + v  # v shared
+
+        s = analyze(trace_kernel(k, 1, [np.ones(4), np.ones(4)]))
+        assert s.loads == 1
+        assert s.flops == 2  # one mul + one add
+
+    def test_division_weighted_heavier_than_add(self):
+        def kdiv(i, x, y):
+            y[i] = x[i] / 3.0
+
+        def kadd(i, x, y):
+            y[i] = x[i] + 3.0
+
+        sdiv = analyze(trace_kernel(kdiv, 1, [np.ones(4), np.ones(4)]))
+        sadd = analyze(trace_kernel(kadd, 1, [np.ones(4), np.ones(4)]))
+        assert sdiv.flops > sadd.flops
+
+    def test_transcendental_weighted_heavily(self):
+        from repro.math import exp
+
+        def k(i, x, y):
+            y[i] = exp(x[i])
+
+        s = analyze(trace_kernel(k, 1, [np.ones(4), np.ones(4)]))
+        assert s.flops >= 16
+
+
+class TestGuardCoverage:
+    def test_interior_guard_charges_full_store(self):
+        def k(i, x, n):
+            if i > 0 and i < n - 1:
+                x[i] = 1.0
+
+        s = analyze(trace_kernel(k, 1, [np.ones(8), 8]))
+        assert s.stores == pytest.approx(1.0)
+
+    def test_single_lane_guard_charges_nothing(self):
+        def k(i, x):
+            if i == 0:
+                x[i] = 1.0
+
+        s = analyze(trace_kernel(k, 1, [np.ones(8)]))
+        assert s.stores == pytest.approx(0.0)
+
+    def test_matvec_boundary_rows_mostly_free(self):
+        from repro.apps.cg import matvec_tridiag_kernel
+
+        args = [np.ones(8)] * 5 + [8]
+        s = analyze(trace_kernel(matvec_tridiag_kernel, 1, args))
+        # only the interior store (3 loads of a, 2..3 of x) is charged
+        assert 0.9 <= s.stores <= 1.1
+        assert s.loads >= 5
+
+    def test_lbm_kernel_is_stencil_class(self):
+        from repro.apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+        from repro.perfmodel import classify
+
+        n = 8
+        f = np.ones(9 * n * n)
+        args = [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, n]
+        t = trace_kernel(lbm_kernel, 2, args)
+        s = analyze(t)
+        assert s.loads >= 10
+        assert classify(s, 2) == "stencil"
+
+    def test_n_paths_recorded(self):
+        def k(i, x, n):
+            if i == 0:
+                x[i] = 1.0
+            elif i == n - 1:
+                x[i] = 2.0
+            else:
+                x[i] = 3.0
+
+        s = analyze(trace_kernel(k, 1, [np.ones(8), 8]))
+        assert s.n_paths == 3

@@ -1,0 +1,343 @@
+"""Unit tests for symbolic tracing (repro.ir.tracer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    ConcretizationRequired,
+    TooManyPathsError,
+    TraceError,
+)
+from repro.ir import nodes as N
+from repro.ir.tracer import SymScalar, trace_kernel
+
+
+def ones(n=8):
+    return np.ones(n)
+
+
+class TestBasicTracing:
+    def test_axpy_trace_shape(self):
+        def axpy(i, alpha, x, y):
+            x[i] += alpha * y[i]
+
+        t = trace_kernel(axpy, 1, [2.5, ones(), ones()])
+        assert t.ndim == 1
+        assert len(t.stores) == 1
+        assert t.result is None
+        assert t.array_args == (1, 2)
+        assert t.scalar_args == (0,)
+        assert t.n_paths == 1
+
+    def test_dot_trace_has_result(self):
+        def dot(i, x, y):
+            return x[i] * y[i]
+
+        t = trace_kernel(dot, 1, [ones(), ones()])
+        assert t.result is not None
+        assert t.is_reduction
+        assert len(t.stores) == 0
+
+    def test_2d_kernel_uses_two_indices(self):
+        def k(i, j, x):
+            x[i, j] = i + j
+
+        t = trace_kernel(k, 2, [np.ones((4, 4))])
+        (store,) = t.stores
+        assert isinstance(store.indices[0], N.Index)
+        assert store.indices[0].axis == 0
+        assert store.indices[1].axis == 1
+
+    def test_3d_kernel(self):
+        def k(i, j, kk, x):
+            x[i, j, kk] = 1.0
+
+        t = trace_kernel(k, 3, [np.ones((2, 2, 2))])
+        assert len(t.stores) == 1
+
+    def test_bad_ndim_rejected(self):
+        def k(i, x):
+            x[i] = 0.0
+
+        with pytest.raises(TraceError):
+            trace_kernel(k, 4, [ones()])
+
+    def test_augmented_assignment_desugars_to_load_store(self):
+        def k(i, x):
+            x[i] *= 3.0
+
+        t = trace_kernel(k, 1, [ones()])
+        (store,) = t.stores
+        assert isinstance(store.value, N.BinOp)
+        assert store.value.op == "mul"
+        assert isinstance(store.value.lhs, N.Load)
+
+    def test_store_order_is_program_order(self):
+        def k(i, x):
+            x[i] = 1.0
+            x[i] = 2.0
+
+        t = trace_kernel(k, 1, [ones()])
+        assert [s.value.value for s in t.stores] == [1.0, 2.0]
+
+    def test_python_numbers_fold_to_consts(self):
+        def k(i, x):
+            x[i] = 3 + 0.5
+
+        t = trace_kernel(k, 1, [ones()])
+        assert isinstance(t.stores[0].value, N.Const)
+        assert t.stores[0].value.value == 3.5
+
+
+class TestControlFlow:
+    def test_two_way_branch_forks_two_paths(self):
+        def k(i, x, n):
+            if i < n:
+                x[i] = 1.0
+            else:
+                x[i] = 2.0
+
+        t = trace_kernel(k, 1, [ones(), 4])
+        assert t.n_paths == 2
+        assert len(t.stores) == 2
+        conds = [s.condition for s in t.stores]
+        assert all(c is not None for c in conds)
+
+    def test_elif_chain_forks_three_paths(self):
+        def k(i, x, n):
+            if i == 0:
+                x[i] = 1.0
+            elif i == n - 1:
+                x[i] = 2.0
+            else:
+                x[i] = 3.0
+
+        t = trace_kernel(k, 1, [ones(), 8])
+        assert t.n_paths == 3
+        assert len(t.stores) == 3
+
+    def test_and_short_circuit_is_fork_per_clause(self):
+        def k(i, x, n):
+            if i > 0 and i < n:
+                x[i] = 1.0
+
+        t = trace_kernel(k, 1, [ones(), 8])
+        # paths: (T,T), (T,F), (F,)
+        assert t.n_paths == 3
+        assert len(t.stores) == 1
+
+    def test_unconditional_prefix_store_recorded_once(self):
+        def k(i, x, y):
+            x[i] = 5.0
+            if i > 2:
+                y[i] = 1.0
+
+        t = trace_kernel(k, 1, [ones(), ones()])
+        unguarded = [s for s in t.stores if s.condition is None]
+        assert len(unguarded) == 1
+
+    def test_store_after_if_block_guarded_per_path(self):
+        def k(i, x):
+            if i > 2:
+                x[i] = 1.0
+            x[i] = 2.0
+
+        t = trace_kernel(k, 1, [ones()])
+        # the trailing store appears once per path, disjointly guarded
+        trailing = [s for s in t.stores if isinstance(s.value, N.Const) and s.value.value == 2.0]
+        assert len(trailing) == 2
+
+    def test_branch_on_plain_scalar_means_nonzero(self):
+        def k(i, x, flag):
+            if flag:
+                x[i] = 1.0
+
+        t = trace_kernel(k, 1, [ones(), 1.0])
+        assert t.n_paths == 2
+
+    def test_per_path_returns_merge_to_select(self):
+        def k(i, x):
+            if i < 4:
+                return x[i]
+            return 2.0 * x[i]
+
+        t = trace_kernel(k, 1, [ones()])
+        assert isinstance(t.result, N.Select)
+
+    def test_missing_return_on_one_path_contributes_zero(self):
+        def k(i, x):
+            if i < 4:
+                return x[i]
+
+        t = trace_kernel(k, 1, [ones()])
+        assert isinstance(t.result, N.Select)
+
+    def test_path_budget_enforced(self):
+        def k(i, x):
+            total = 0.0
+            for b in range(10):
+                if i > b:
+                    total = total + 1.0
+            x[i] = total
+
+        with pytest.raises(TooManyPathsError):
+            trace_kernel(k, 1, [ones()], max_paths=8)
+
+    def test_path_budget_default_is_generous(self):
+        def k(i, x):
+            if i > 0:
+                if i > 1:
+                    if i > 2:
+                        x[i] = 1.0
+
+        t = trace_kernel(k, 1, [ones()])
+        assert t.n_paths == 4
+
+
+class TestLoops:
+    def test_concrete_loop_unrolls(self):
+        def k(i, x):
+            s = 0.0
+            for step in range(3):
+                s = s + x[i]
+            x[i] = s
+
+        t = trace_kernel(k, 1, [ones()])
+        assert len(t.stores) == 1
+        # value is ((0 + x[i]) + x[i]) + x[i]
+        assert isinstance(t.stores[0].value, N.BinOp)
+
+    def test_symbolic_loop_bound_requires_concretization(self):
+        def k(i, x, m):
+            for step in range(m):
+                x[i] += 1.0
+
+        with pytest.raises(ConcretizationRequired):
+            trace_kernel(k, 1, [ones(), 3])
+
+    def test_concretize_scalars_bakes_loop_bound(self):
+        def k(i, x, m):
+            s = 0.0
+            for step in range(m):
+                s = s + x[i]
+            x[i] = s
+
+        t = trace_kernel(k, 1, [ones(), 3], concretize_scalars=True)
+        assert t.const_args == {1: 3}
+        assert t.scalar_args == ()
+
+
+class TestConcretizationTraps:
+    def test_int_of_symbolic_raises(self):
+        def k(i, x):
+            x[int(i)] = 1.0
+
+        with pytest.raises(ConcretizationRequired):
+            trace_kernel(k, 1, [ones()])
+
+    def test_float_of_symbolic_raises(self):
+        def k(i, x, a):
+            x[i] = float(a)
+
+        with pytest.raises(ConcretizationRequired):
+            trace_kernel(k, 1, [ones(), 2])
+
+    def test_iteration_over_symbolic_raises(self):
+        def k(i, x, a):
+            for _ in a:
+                pass
+
+        with pytest.raises(ConcretizationRequired):
+            trace_kernel(k, 1, [ones(), 2])
+
+
+class TestArrayProxy:
+    def test_slice_indexing_rejected(self):
+        def k(i, x):
+            x[0:2] = 1.0
+
+        with pytest.raises(TraceError):
+            trace_kernel(k, 1, [ones()])
+
+    def test_wrong_index_arity_rejected(self):
+        def k(i, x):
+            x[i, i] = 1.0
+
+        with pytest.raises(TraceError):
+            trace_kernel(k, 1, [ones()])
+
+    def test_iterating_array_rejected(self):
+        def k(i, x):
+            for _ in x:
+                pass
+
+        with pytest.raises(TraceError):
+            trace_kernel(k, 1, [ones()])
+
+    def test_len_marks_trace_shape_dependent(self):
+        def k(i, x):
+            x[i] = float(len(x))
+
+        t = trace_kernel(k, 1, [ones(5)])
+        assert t.shape_dependent
+        assert t.stores[0].value.value == 5.0
+
+    def test_shape_property_marks_trace_shape_dependent(self):
+        def k(i, x):
+            s = 0.0
+            for col in range(x.shape[1]):
+                s += x[i, col]
+            x[i, 0] = s
+
+        t = trace_kernel(k, 1, [np.ones((4, 3))])
+        assert t.shape_dependent
+
+    def test_shape_independent_kernel_not_marked(self):
+        def k(i, x):
+            x[i] = 1.0
+
+        assert not trace_kernel(k, 1, [ones()]).shape_dependent
+
+    def test_unsupported_arg_type_rejected(self):
+        def k(i, x, junk):
+            x[i] = 1.0
+
+        with pytest.raises(TraceError):
+            trace_kernel(k, 1, [ones(), "nope"])
+
+    def test_array_rank_above_3_rejected(self):
+        def k(i, x):
+            pass
+
+        with pytest.raises(TraceError):
+            trace_kernel(k, 1, [np.ones((2, 2, 2, 2))])
+
+
+class TestSymScalarOps:
+    def test_escaping_symbolic_use_raises(self):
+        s = SymScalar(N.Index(0))
+        with pytest.raises(TraceError):
+            bool(s == 0)
+
+    def test_reflected_arithmetic(self):
+        def k(i, x):
+            x[i] = 10.0 - i
+
+        t = trace_kernel(k, 1, [ones()])
+        v = t.stores[0].value
+        assert v.op == "sub"
+        assert isinstance(v.lhs, N.Const)
+
+    def test_pow_mod_floordiv_traced(self):
+        def k(i, x):
+            x[i] = (i**2 + i % 3) // 2
+
+        t = trace_kernel(k, 1, [ones()])
+        assert isinstance(t.stores[0].value, N.BinOp)
+
+    def test_unary_neg_abs(self):
+        def k(i, x):
+            x[i] = -i + abs(i - 4)
+
+        t = trace_kernel(k, 1, [ones()])
+        assert len(t.stores) == 1

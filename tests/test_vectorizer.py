@@ -1,0 +1,417 @@
+"""Unit tests for vectorized execution (repro.ir.vectorizer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import KernelExecutionError
+from repro.ir.tracer import trace_kernel
+from repro.ir.vectorizer import (
+    IndexDomain,
+    evaluate_values,
+    execute_trace,
+    reduce_trace,
+)
+
+
+def run_for(fn, dims, args, domain=None):
+    t = trace_kernel(fn, len(dims), args)
+    execute_trace(t, domain or IndexDomain.full(dims), args)
+    return t
+
+
+def run_reduce(fn, dims, args, op="add"):
+    t = trace_kernel(fn, len(dims), args)
+    return reduce_trace(t, IndexDomain.full(dims), args, op)
+
+
+class TestIndexDomain:
+    def test_full_covers_dims(self):
+        d = IndexDomain.full((4, 5))
+        assert d.shape == (4, 5)
+        assert d.size == 20
+        assert d.ranges == ((0, 4), (0, 5))
+
+    def test_grids_broadcast_shapes(self):
+        d = IndexDomain.full((3, 4))
+        assert d.grids[0].shape == (3, 1)
+        assert d.grids[1].shape == (1, 4)
+
+    def test_subrange(self):
+        d = IndexDomain([(2, 5)])
+        assert d.shape == (3,)
+        assert list(d.grids[0]) == [2, 3, 4]
+
+    def test_empty_range_allowed_when_zero_width(self):
+        d = IndexDomain([(3, 3)])
+        assert d.size == 0
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(KernelExecutionError):
+            IndexDomain([(5, 2)])
+
+    def test_too_many_axes_rejected(self):
+        with pytest.raises(KernelExecutionError):
+            IndexDomain([(0, 1)] * 4)
+
+    def test_is_full_identity(self):
+        assert IndexDomain.full((4, 4)).is_full_identity((4, 4))
+        assert not IndexDomain.full((4, 4)).is_full_identity((4, 5))
+        assert not IndexDomain([(1, 4), (0, 4)]).is_full_identity((4, 4))
+
+
+class TestIdentityStores:
+    def test_axpy_whole_array(self):
+        def axpy(i, alpha, x, y):
+            x[i] += alpha * y[i]
+
+        x = np.arange(10.0)
+        y = np.ones(10)
+        run_for(axpy, (10,), [2.0, x, y])
+        assert np.allclose(x, np.arange(10.0) + 2.0)
+
+    def test_axpy_2d(self):
+        def axpy(i, j, alpha, x, y):
+            x[i, j] = x[i, j] + alpha * y[i, j]
+
+        x = np.zeros((4, 6))
+        y = np.ones((4, 6))
+        run_for(axpy, (4, 6), [3.0, x, y])
+        assert np.allclose(x, 3.0)
+
+    def test_chunked_subdomain_only_touches_chunk(self):
+        def setval(i, x):
+            x[i] = 7.0
+
+        x = np.zeros(10)
+        t = trace_kernel(setval, 1, [x])
+        execute_trace(t, IndexDomain([(3, 6)]), [x])
+        assert np.allclose(x[3:6], 7.0)
+        assert np.allclose(x[:3], 0.0)
+        assert np.allclose(x[6:], 0.0)
+
+    def test_chunked_2d_subdomain(self):
+        def setval(i, j, x):
+            x[i, j] = i * 10.0 + j
+
+        x = np.full((5, 4), -1.0)
+        t = trace_kernel(setval, 2, [x])
+        execute_trace(t, IndexDomain([(1, 3), (0, 4)]), [x])
+        for i in range(1, 3):
+            for j in range(4):
+                assert x[i, j] == i * 10 + j
+        assert np.all(x[0] == -1) and np.all(x[3:] == -1)
+
+
+class TestGatherScatter:
+    def test_shifted_gather(self):
+        def shift(i, src, dst, n):
+            if i < n - 1:
+                dst[i] = src[i + 1]
+
+        src = np.arange(8.0)
+        dst = np.zeros(8)
+        run_for(shift, (8,), [src, dst, 8])
+        assert np.allclose(dst[:-1], src[1:])
+        assert dst[-1] == 0.0
+
+    def test_gather_with_index_array(self):
+        def gather(i, idx, src, dst):
+            dst[i] = src[idx[i]]
+
+        idx = np.array([3, 1, 0, 2], dtype=np.int64)
+        src = np.array([10.0, 11.0, 12.0, 13.0])
+        dst = np.zeros(4)
+        run_for(gather, (4,), [idx, src, dst])
+        assert np.allclose(dst, src[idx])
+
+    def test_scatter_store_to_computed_index(self):
+        def reverse(i, src, dst, n):
+            dst[n - 1 - i] = src[i]
+
+        src = np.arange(6.0)
+        dst = np.zeros(6)
+        run_for(reverse, (6,), [src, dst, 6])
+        assert np.allclose(dst, src[::-1])
+
+    def test_oob_gather_under_false_guard_is_safe(self):
+        def k(i, x, y, n):
+            if i > 0:
+                y[i] = x[i - 1]
+
+        x = np.arange(5.0)
+        y = np.zeros(5)
+        run_for(k, (5,), [x, y, 5])
+        assert y[0] == 0.0
+        assert np.allclose(y[1:], x[:-1])
+
+    def test_oob_store_on_taken_path_raises(self):
+        def k(i, x, n):
+            x[i + n] = 1.0
+
+        x = np.zeros(4)
+        with pytest.raises(KernelExecutionError):
+            run_for(k, (4,), [x, 4])
+
+    def test_float_index_expression_truncates(self):
+        def k(i, x, y):
+            y[i] = x[i * 1.0]
+
+        x = np.arange(4.0)
+        y = np.zeros(4)
+        run_for(k, (4,), [x, y])
+        assert np.allclose(y, x)
+
+
+class TestGuardedStores:
+    def test_interior_guard_masks_boundary(self):
+        def k(i, x, n):
+            if i > 0 and i < n - 1:
+                x[i] = 1.0
+
+        x = np.zeros(6)
+        run_for(k, (6,), [x, 6])
+        assert np.allclose(x, [0, 1, 1, 1, 1, 0])
+
+    def test_disjoint_branches_write_disjoint_values(self):
+        def k(i, x, n):
+            if i == 0:
+                x[i] = -1.0
+            elif i == n - 1:
+                x[i] = -2.0
+            else:
+                x[i] = float(0) + 5.0
+
+        x = np.zeros(5)
+        run_for(k, (5,), [x, 5])
+        assert np.allclose(x, [-1, 5, 5, 5, -2])
+
+    def test_later_store_wins_within_lane(self):
+        def k(i, x):
+            x[i] = 1.0
+            if i > 1:
+                x[i] = 2.0
+            x[i] = x[i] + 10.0
+
+        x = np.zeros(4)
+        run_for(k, (4,), [x])
+        assert np.allclose(x, [11, 11, 12, 12])
+
+    def test_two_sequential_ifs_overlapping_conditions(self):
+        # Independent ifs produce 4 traced paths; the later store must
+        # win exactly where both conditions hold.
+        def k(i, x, n):
+            if i < 5:
+                x[i] = 1.0
+            if i < 3:
+                x[i] = 2.0
+
+        x = np.zeros(7)
+        run_for(k, (7,), [x, 7])
+        assert np.allclose(x, [2, 2, 2, 1, 1, 0, 0])
+
+    def test_if_after_if_with_dependent_read(self):
+        def k(i, x):
+            if i > 1:
+                x[i] = 10.0
+            if i > 3:
+                x[i] = x[i] + 1.0  # must see the 10 written above
+
+        x = np.zeros(6)
+        run_for(k, (6,), [x])
+        assert np.allclose(x, [0, 0, 10, 10, 11, 11])
+
+    def test_all_false_guard_writes_nothing(self):
+        def k(i, x, n):
+            if i >= n:
+                x[i] = 9.0
+
+        x = np.zeros(4)
+        run_for(k, (4,), [x, 4])
+        assert np.allclose(x, 0.0)
+
+    def test_scalar_guard_true_for_all_lanes(self):
+        def k(i, x, flag):
+            if flag > 0:
+                x[i] = 3.0
+
+        x = np.zeros(4)
+        run_for(k, (4,), [x, 1.0])
+        assert np.allclose(x, 3.0)
+
+    def test_scalar_guard_false_for_all_lanes(self):
+        def k(i, x, flag):
+            if flag > 0:
+                x[i] = 3.0
+
+        x = np.zeros(4)
+        run_for(k, (4,), [x, -1.0])
+        assert np.allclose(x, 0.0)
+
+
+class TestLoadAfterStore:
+    def test_load_sees_prior_store_same_lane(self):
+        def k(i, x, y):
+            x[i] = y[i] * 2.0
+            x[i] = x[i] + 1.0
+
+        x = np.zeros(5)
+        y = np.arange(5.0)
+        run_for(k, (5,), [x, y])
+        assert np.allclose(x, 2 * y + 1)
+
+    def test_stream_then_read_pattern(self):
+        # The LBM pattern: write f from f1, then read f back.
+        def k(i, f, f1, out):
+            f[i] = f1[i] + 1.0
+            out[i] = f[i] * 10.0
+
+        f = np.zeros(4)
+        f1 = np.arange(4.0)
+        out = np.zeros(4)
+        run_for(k, (4,), [f, f1, out])
+        assert np.allclose(out, (f1 + 1) * 10)
+
+    def test_memoized_load_invalidated_between_stores(self):
+        def k(i, x):
+            a = x[i]
+            x[i] = a + 1.0
+            b = x[i]  # must observe the store, not the memo of `a`
+            x[i] = b * 2.0
+
+        x = np.ones(3)
+        run_for(k, (3,), [x])
+        assert np.allclose(x, 4.0)
+
+
+class TestReduce:
+    def test_sum_reduction(self):
+        def dot(i, x, y):
+            return x[i] * y[i]
+
+        x = np.arange(10.0)
+        y = np.full(10, 2.0)
+        assert run_reduce(dot, (10,), [x, y]) == pytest.approx(2 * x.sum())
+
+    def test_min_max_reduction(self):
+        def val(i, x):
+            return x[i]
+
+        x = np.array([3.0, -1.0, 7.0, 2.0])
+        assert run_reduce(val, (4,), [x], op="min") == -1.0
+        assert run_reduce(val, (4,), [x], op="max") == 7.0
+
+    def test_2d_reduction(self):
+        def dot(i, j, x, y):
+            return x[i, j] * y[i, j]
+
+        x = np.ones((3, 4))
+        y = np.full((3, 4), 0.5)
+        assert run_reduce(dot, (3, 4), [x, y]) == pytest.approx(6.0)
+
+    def test_reduction_with_branch(self):
+        def masked(i, x, n):
+            if i < n:
+                return x[i]
+            return 0.0
+
+        x = np.arange(6.0)
+        assert run_reduce(masked, (6,), [x, 3]) == pytest.approx(0 + 1 + 2)
+
+    def test_unknown_op_rejected(self):
+        def val(i, x):
+            return x[i]
+
+        x = np.ones(3)
+        with pytest.raises(KernelExecutionError):
+            run_reduce(val, (3,), [x], op="prod")
+
+    def test_reduce_on_for_trace_raises(self):
+        def k(i, x):
+            x[i] = 1.0
+
+        x = np.ones(3)
+        t = trace_kernel(k, 1, [x])
+        with pytest.raises(KernelExecutionError):
+            reduce_trace(t, IndexDomain.full((3,)), [x])
+
+    def test_constant_result_broadcasts(self):
+        def one(i, x):
+            return 1.0
+
+        x = np.ones(7)
+        assert run_reduce(one, (7,), [x]) == pytest.approx(7.0)
+
+
+class TestEvaluateValues:
+    def test_per_lane_values(self):
+        def dot(i, x, y):
+            return x[i] * y[i]
+
+        x = np.arange(6.0)
+        y = np.full(6, 3.0)
+        t = trace_kernel(dot, 1, [x, y])
+        vals = evaluate_values(t, IndexDomain.full((6,)), [x, y])
+        assert vals.shape == (6,)
+        assert np.allclose(vals, x * y)
+
+    def test_values_of_for_trace_raise(self):
+        def k(i, x):
+            x[i] = 1.0
+
+        x = np.ones(3)
+        t = trace_kernel(k, 1, [x])
+        with pytest.raises(KernelExecutionError):
+            evaluate_values(t, IndexDomain.full((3,)), [x])
+
+
+class TestIntrinsicOpsInVector:
+    def test_math_intrinsics(self):
+        from repro.math import exp, sqrt, where
+
+        def k(i, x, y):
+            y[i] = sqrt(x[i]) + exp(0.0) + where(i > 1, 1.0, 0.0)
+
+        x = np.array([4.0, 9.0, 16.0])
+        y = np.zeros(3)
+        run_for(k, (3,), [x, y])
+        assert np.allclose(y, [2 + 1 + 0, 3 + 1 + 0, 4 + 1 + 1])
+
+    def test_trunc_int_cast(self):
+        from repro.math import trunc_int
+
+        def k(i, x, y):
+            y[i] = x[trunc_int(i * 1.5)]
+
+        x = np.arange(8.0)
+        y = np.zeros(4)
+        run_for(k, (4,), [x, y])
+        assert np.allclose(y, [0, 1, 3, 4])
+
+    def test_minimum_maximum_nonforking(self):
+        from repro.math import maximum, minimum
+
+        def k(i, x, y):
+            y[i] = minimum(x[i], 2.0) + maximum(x[i], 2.0)
+
+        x = np.array([1.0, 5.0])
+        y = np.zeros(2)
+        t = run_for(k, (2,), [x, y])
+        assert t.n_paths == 1  # no fork
+        assert np.allclose(y, [3.0, 7.0])
+
+    def test_kernel_using_wrong_axis_raises(self):
+        def k(i, x):
+            x[i] = 1.0
+
+        # hand-build a trace that uses axis 1 in a 1-D launch
+        from repro.ir import nodes as N
+
+        t = N.Trace(
+            1,
+            [N.Store(N.ArrayArg(0, 1), [N.Index(1)], N.Const(1.0))],
+            None,
+            [0],
+            [],
+        )
+        with pytest.raises(KernelExecutionError):
+            execute_trace(t, IndexDomain.full((3,)), [np.zeros(3)])
