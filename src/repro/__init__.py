@@ -16,13 +16,21 @@ The public surface mirrors the paper's front end:
 Backend selection follows the paper's Preferences mechanism
 (``LocalPreferences.toml`` / ``PYACC_BACKEND``) and defaults to the
 threads (Base.Threads-analogue) backend; ``repro.set_backend("cuda-sim")``
-switches to a simulated GPU.  See README.md and DESIGN.md.
+switches to a simulated GPU, and ``repro.use_backend(...)`` scopes a
+backend to the current thread/task only.  ``repro.launch(dims, f, *args,
+sync=False)`` dispatches a reified ``LaunchPlan`` asynchronously;
+``repro.synchronize()`` drains the queue.  See README.md and DESIGN.md.
 """
 
 from .core import (
+    ExecutionContext,
+    LaunchHandle,
+    LaunchPlan,
     active_backend,
     array,
+    current_context,
     is_backend_array,
+    launch,
     ones,
     parallel_for,
     parallel_reduce,
@@ -30,23 +38,30 @@ from .core import (
     set_backend,
     synchronize,
     to_host,
+    use_backend,
     zeros,
 )
 from .backends import available_backends, register_backend
-from .ir import cache_info, clear_cache, inspect_kernel
+from .ir import KernelCache, cache_info, clear_cache, inspect_kernel
 from . import math
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "ExecutionContext",
+    "KernelCache",
+    "LaunchHandle",
+    "LaunchPlan",
     "active_backend",
     "array",
     "available_backends",
     "cache_info",
     "clear_cache",
+    "current_context",
     "inspect_kernel",
     "is_backend_array",
+    "launch",
     "math",
     "ones",
     "parallel_for",
@@ -56,5 +71,6 @@ __all__ = [
     "set_backend",
     "synchronize",
     "to_host",
+    "use_backend",
     "zeros",
 ]

@@ -24,7 +24,7 @@ All kernels are module-level, defined in advance, per the JACC model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,6 @@ second-order BGK equilibrium with ``cs² = 1/3``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -19,13 +19,12 @@ figures.  Native code built directly on :class:`Device` does not pay it.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
 import numpy as np
 
 from ...core.backend import Backend
-from ...ir.compile import CompiledKernel
-from ...ir.vectorizer import IndexDomain
+from ...core.plan import LaunchPlan, LaunchSchedule
 from ...perfmodel import get_overhead
 from .device import DEFAULT_REDUCE_BLOCK, Device
 from .memory import DeviceArray
@@ -67,30 +66,32 @@ class GpuSimBackend(Backend):
         self.device.synchronize()
 
     # -- compute ------------------------------------------------------------
-    def run_for(
-        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
-    ) -> None:
-        # Validate the launch shape the way the JACC GPU code paths do.
-        self.device.launch_config(dims)
-        kernel.run_for(IndexDomain.full(dims), args)
-        lanes = int(np.prod(dims))
-        self.device._charge_kernel(
-            kernel, lanes, len(dims), getattr(kernel.fn, "__name__", "kernel")
-        )
-        self.accounting.n_kernel_launches += 1
-        self._sync_counters()
+    def schedule(self, plan: LaunchPlan) -> LaunchSchedule:
+        """Derive (and validate) the paper's launch shape for the plan.
 
-    def run_reduce(
-        self,
-        dims: tuple[int, ...],
-        kernel: CompiledKernel,
-        args: Sequence[Any],
-        op: str = "add",
-    ) -> float:
-        result = kernel.run_reduce(IndexDomain.full(dims), args, op)
-        lanes = int(np.prod(dims))
+        The thread/block configuration from the Figs. 6-7 formulas is
+        recorded on the plan; execution consumes it instead of re-deriving.
+        """
+        config = self.device.launch_config(plan.dims)
+        return LaunchSchedule(
+            domains=(plan.full_domain(),), inline=True, launch_config=config
+        )
+
+    def execute(self, plan: LaunchPlan) -> Optional[float]:
+        kernel, args = plan.kernel, plan.resolved_args
+        (domain,) = plan.schedule.domains
+        lanes = int(np.prod(plan.dims))
         dev = self.device
-        cost = dev.model.reduce_cost(kernel.stats, lanes, len(dims))
+        if not plan.is_reduce:
+            kernel.run_for(domain, args)
+            dev._charge_kernel(
+                kernel, lanes, plan.ndim, getattr(kernel.fn, "__name__", "kernel")
+            )
+            self.accounting.n_kernel_launches += 1
+            self._sync_counters()
+            return None
+        result = kernel.run_reduce(domain, args, plan.op)
+        cost = dev.model.reduce_cost(kernel.stats, lanes, plan.ndim)
         mult = self._overhead.reduce_bw_mult
         # The Intel ≈35% DOT overhead is a bandwidth-efficiency loss of the
         # portable reduction kernel, so it scales the bandwidth term.

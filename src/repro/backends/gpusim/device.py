@@ -17,7 +17,6 @@ the native code shape identical to the vendor APIs (``CUDA.@sync`` etc.).
 
 from __future__ import annotations
 
-import math
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -26,7 +25,6 @@ from ...core.backend import Accounting
 from ...core.exceptions import DeviceError, LaunchConfigError
 from ...core.launch import LaunchConfig, gpu_launch_config
 from ...ir.compile import CompiledKernel, compile_kernel
-from ...ir.interpreter import interpret_reduce
 from ...ir.vectorizer import IndexDomain, evaluate_values
 from ...perfmodel import PerfModel, get_profile
 from .clock import SimClock

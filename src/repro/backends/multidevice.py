@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.backend import Backend
 from ..core.launch import cpu_chunks, weighted_chunks
+from ..core.plan import LaunchPlan, LaunchSchedule
 from ..ir.compile import CompiledKernel
 from ..ir.vectorizer import IndexDomain
 from .gpusim.device import Device
@@ -141,30 +142,29 @@ class MultiDeviceBackend(Backend):
             max(ends) - start if ends else 0.0
         ) + _COORDINATION_LATENCY
 
-    def run_for(
-        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
-    ) -> None:
-        domains = self._chunk_domains(dims)
-        for dom in domains:
-            kernel.run_for(dom, args)
-        self.accounting.n_kernel_launches += len(domains)
-        self._charge(kernel, domains, dims)
+    def schedule(self, plan: LaunchPlan) -> LaunchSchedule:
+        """Record the per-device split: bandwidth-weighted chunks on a
+        heterogeneous node, balanced chunks otherwise."""
+        return LaunchSchedule(
+            domains=tuple(self._chunk_domains(plan.dims)), inline=True
+        )
 
-    def run_reduce(
-        self,
-        dims: tuple[int, ...],
-        kernel: CompiledKernel,
-        args: Sequence[Any],
-        op: str = "add",
-    ) -> float:
-        domains = self._chunk_domains(dims)
+    def execute(self, plan: LaunchPlan) -> Optional[float]:
+        kernel, args, op = plan.kernel, plan.resolved_args, plan.op
+        domains = plan.schedule.domains
+        if not plan.is_reduce:
+            for dom in domains:
+                kernel.run_for(dom, args)
+            self.accounting.n_kernel_launches += len(domains)
+            self._charge(kernel, domains, plan.dims)
+            return None
         partials = [kernel.run_reduce(dom, args, op) for dom in domains]
         self.accounting.n_kernel_launches += 2 * len(domains)
         # Per-device reduction cost + per-device scalar readback.
         start = max(dev.clock.now for dev in self.devices)
         ends = []
         for dev, dom in zip(self.devices, domains):
-            cost = dev.model.reduce_cost(kernel.stats, dom.size, len(dims)).total
+            cost = dev.model.reduce_cost(kernel.stats, dom.size, plan.ndim).total
             dev.clock.advance(cost, kind="kernel", label="multi_reduce")
             dev.accounting.n_kernel_launches += 2
             ends.append(start + cost)

@@ -35,6 +35,7 @@ __all__ = [
     "available_backends",
     "create_backend",
     "register_backend",
+    "resolve_backend",
     "unregister_backend",
 ]
 
@@ -72,6 +73,22 @@ def create_backend(name: str) -> Backend:
             "expected a Backend"
         )
     return backend
+
+
+def resolve_backend(backend) -> Backend:
+    """Accept a registry name or a ready :class:`Backend` instance.
+
+    The single normalization point used by the execution-context layer
+    (``set_backend`` / ``use_backend``): instances pass through, names go
+    through the lazy factory registry.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        return create_backend(backend)
+    raise BackendError(
+        f"expected a backend name or Backend instance, got {type(backend).__name__}"
+    )
 
 
 # -- built-in factories (lazy imports inside each) ---------------------------

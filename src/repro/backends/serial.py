@@ -16,14 +16,13 @@ and ``to_host`` returns the same storage.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional
 
 import numpy as np
 
 from ..core.backend import Backend
-from ..ir.compile import CompiledKernel
+from ..core.plan import LaunchPlan
 from ..ir.interpreter import interpret_for, interpret_reduce
-from ..ir.vectorizer import IndexDomain
 
 __all__ = ["SerialBackend", "InterpreterBackend"]
 
@@ -43,21 +42,13 @@ class SerialBackend(Backend):
     def unwrap(self, arr: Any) -> np.ndarray:
         return np.asarray(arr)
 
-    def run_for(
-        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
-    ) -> None:
+    def execute(self, plan: LaunchPlan) -> Optional[float]:
         self.accounting.n_kernel_launches += 1
-        kernel.run_for(IndexDomain.full(dims), args)
-
-    def run_reduce(
-        self,
-        dims: tuple[int, ...],
-        kernel: CompiledKernel,
-        args: Sequence[Any],
-        op: str = "add",
-    ) -> float:
-        self.accounting.n_kernel_launches += 1
-        return kernel.run_reduce(IndexDomain.full(dims), args, op)
+        (domain,) = plan.schedule.domains
+        if plan.is_reduce:
+            return plan.kernel.run_reduce(domain, plan.resolved_args, plan.op)
+        plan.kernel.run_for(domain, plan.resolved_args)
+        return None
 
 
 class InterpreterBackend(SerialBackend):
@@ -65,18 +56,10 @@ class InterpreterBackend(SerialBackend):
 
     name = "interp"
 
-    def run_for(
-        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
-    ) -> None:
+    def execute(self, plan: LaunchPlan) -> Optional[float]:
         self.accounting.n_kernel_launches += 1
-        interpret_for(kernel.fn, IndexDomain.full(dims), args)
-
-    def run_reduce(
-        self,
-        dims: tuple[int, ...],
-        kernel: CompiledKernel,
-        args: Sequence[Any],
-        op: str = "add",
-    ) -> float:
-        self.accounting.n_kernel_launches += 1
-        return interpret_reduce(kernel.fn, IndexDomain.full(dims), args, op)
+        (domain,) = plan.schedule.domains
+        if plan.is_reduce:
+            return interpret_reduce(plan.fn, domain, plan.resolved_args, plan.op)
+        interpret_for(plan.fn, domain, plan.resolved_args)
+        return None

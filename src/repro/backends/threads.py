@@ -34,13 +34,13 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
 import numpy as np
 
 from ..core.backend import Backend
 from ..core.launch import cpu_chunks
-from ..ir.compile import CompiledKernel
+from ..core.plan import LaunchPlan, LaunchSchedule
 from ..ir.vectorizer import IndexDomain
 from ..perfmodel import PerfModel, get_overhead, get_profile
 
@@ -117,50 +117,53 @@ class ThreadsBackend(Backend):
         tail = [(0, d) for d in dims[1:]]
         return [IndexDomain([(lo, hi)] + tail) for lo, hi in chunks]
 
-    def run_for(
-        self, dims: tuple[int, ...], kernel: CompiledKernel, args: Sequence[Any]
-    ) -> None:
-        self.accounting.n_kernel_launches += 1
-        lanes = int(np.prod(dims))
-        self.accounting.sim_time += self.model.for_cost(
-            kernel.stats, lanes, len(dims)
-        ).total
-        if (
-            self.n_threads == 1
-            or lanes < self.min_parallel_size
-            or kernel.trace is None  # interpreter fallback stays inline
-        ):
-            kernel.run_for(IndexDomain.full(dims), args)
-            return
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(kernel.run_for, dom, args) for dom in self._domains(dims)
-        ]
-        for fut in futures:
-            fut.result()  # join + re-raise worker errors (Threads.@sync)
+    def schedule(self, plan: LaunchPlan) -> LaunchSchedule:
+        """Coarse decomposition decision, recorded on the plan.
 
-    def run_reduce(
-        self,
-        dims: tuple[int, ...],
-        kernel: CompiledKernel,
-        args: Sequence[Any],
-        op: str = "add",
-    ) -> float:
-        self.accounting.n_kernel_launches += 1
+        Inline (calling thread, full domain) when the pool cannot help:
+        one worker, a domain below ``min_parallel_size``, or an
+        interpreter-fallback kernel.  Otherwise one contiguous chunk of
+        the leading axis per worker (``Threads.@threads``' static
+        schedule).
+        """
+        dims = plan.dims
         lanes = int(np.prod(dims))
-        self.accounting.sim_time += self.model.reduce_cost(
-            kernel.stats, lanes, len(dims)
-        ).total
         if (
             self.n_threads == 1
             or lanes < self.min_parallel_size
-            or kernel.trace is None
+            or plan.kernel.trace is None  # interpreter fallback stays inline
         ):
-            return kernel.run_reduce(IndexDomain.full(dims), args, op)
+            return LaunchSchedule(domains=(IndexDomain.full(dims),), inline=True)
+        return LaunchSchedule(domains=tuple(self._domains(dims)), inline=False)
+
+    def execute(self, plan: LaunchPlan) -> Optional[float]:
+        self.accounting.n_kernel_launches += 1
+        kernel, args, op = plan.kernel, plan.resolved_args, plan.op
+        lanes = int(np.prod(plan.dims))
+        cost = (
+            self.model.reduce_cost(kernel.stats, lanes, plan.ndim)
+            if plan.is_reduce
+            else self.model.for_cost(kernel.stats, lanes, plan.ndim)
+        )
+        self.accounting.sim_time += cost.total
+        if plan.schedule.inline:
+            (domain,) = plan.schedule.domains
+            if plan.is_reduce:
+                return kernel.run_reduce(domain, args, op)
+            kernel.run_for(domain, args)
+            return None
         pool = self._ensure_pool()
+        if not plan.is_reduce:
+            futures = [
+                pool.submit(kernel.run_for, dom, args)
+                for dom in plan.schedule.domains
+            ]
+            for fut in futures:
+                fut.result()  # join + re-raise worker errors (Threads.@sync)
+            return None
         futures = [
             pool.submit(kernel.run_reduce, dom, args, op)
-            for dom in self._domains(dims)
+            for dom in plan.schedule.domains
         ]
         partials = [fut.result() for fut in futures]
         if op == "add":

@@ -111,19 +111,14 @@ def main(argv=None) -> int:
         _print_panels([panel], False)
     if args.target == "stream":
         from ..apps.stream import run_stream
-        from ..core import api as core_api
+        from ..core.context import use_backend
         from .harness import ARCHES
 
         n = args.n or (1 << 22 if not args.full else 1 << 26)
         print(f"== STREAM (modeled, n={n} doubles) ==")
         for arch in ARCHES:
-            backend = arch.make_jacc_backend()
-            prev = core_api._active
-            core_api.set_backend(backend)
-            try:
+            with use_backend(arch.make_jacc_backend()):
                 res = run_stream(n)
-            finally:
-                core_api._active = prev
             print(f"[{arch.display}]")
             print(str(res))
     if args.target == "roofline":

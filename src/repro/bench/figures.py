@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..apps import blas, cg, lbm
+from ..apps import blas, lbm
 from ..perfmodel import Panel, Series
 from .harness import (
     ARCHES,

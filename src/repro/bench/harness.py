@@ -21,15 +21,15 @@ allocation counters start from zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..backends.gpusim import Device, GpuSimBackend
 from ..backends.gpusim.vendor import VendorAPI
 from ..backends.threads import ThreadsBackend
-from ..core import api as core_api
 from ..core.array import array as make_array
+from ..core.context import ExecutionContext, use_backend
 from ..ir.compile import compile_kernel
 from ..perfmodel import PerfModel, get_overhead, get_profile
 from ..apps import blas, blas_native, cg, cg_native, lbm
@@ -38,6 +38,7 @@ __all__ = [
     "ArchSpec",
     "ARCHES",
     "get_arch",
+    "DispatchTimer",
     "measure_axpy",
     "measure_dot",
     "measure_lbm",
@@ -90,26 +91,44 @@ def get_arch(key: str) -> ArchSpec:
     raise KeyError(f"unknown architecture {key!r}; have {[a.key for a in ARCHES]}")
 
 
-class _use_backend:
-    """Temporarily install a backend as the active one."""
+class DispatchTimer:
+    """Modeled-time observer built on the dispatch-event hooks.
 
-    def __init__(self, backend):
-        self.backend = backend
+    Subscribes to an :class:`ExecutionContext`'s ``on_launch`` /
+    ``on_complete`` events and reports the modeled seconds spanned by
+    the constructs dispatched while subscribed — the harness no longer
+    reaches into backend accounting fields.  ``records`` keeps the
+    completed :class:`~repro.core.plan.LaunchPlan` objects for deeper
+    inspection (per-construct times, schedules).
+    """
 
-    def __enter__(self):
-        self._prev = core_api._active
-        core_api.set_backend(self.backend)
-        return self.backend
+    def __init__(self, ctx: ExecutionContext):
+        self.records: list = []
+        self._t_first: Optional[float] = None
+        self._t_last: Optional[float] = None
+        self._unsubscribe = (
+            ctx.on_launch(self._launched),
+            ctx.on_complete(self._completed),
+        )
 
-    def __exit__(self, *exc):
-        core_api._active = self._prev
-        return False
+    def _launched(self, plan) -> None:
+        if self._t_first is None:
+            self._t_first = plan.sim_time_before
 
+    def _completed(self, plan) -> None:
+        self._t_last = plan.sim_time_after
+        self.records.append(plan)
 
-def _clock_of(backend) -> Callable[[], float]:
-    if isinstance(backend, GpuSimBackend):
-        return lambda: backend.device.clock.now
-    return lambda: backend.accounting.sim_time
+    @property
+    def elapsed(self) -> float:
+        """Modeled seconds from the first launch to the last completion."""
+        if self._t_first is None or self._t_last is None:
+            return 0.0
+        return self._t_last - self._t_first
+
+    def close(self) -> None:
+        for unsub in self._unsubscribe:
+            unsub()
 
 
 # ---------------------------------------------------------------------------
@@ -142,12 +161,11 @@ def measure_axpy(arch: ArchSpec, dims) -> tuple[float, float]:
         blas_native.cpu_axpy(backend, dims, 2.5, x, y)
         t_native = backend.accounting.sim_time - t0
 
-    with _use_backend(arch.make_jacc_backend()) as backend:
+    with use_backend(arch.make_jacc_backend()) as ctx:
         dx, dy = make_array(xh), make_array(yh)
-        clock = _clock_of(backend)
-        t0 = clock()
+        timer = DispatchTimer(ctx)
         blas.axpy(dims, 2.5, dx, dy)
-        t_jacc = clock() - t0
+        t_jacc = timer.elapsed
     return t_native, t_jacc
 
 
@@ -168,12 +186,11 @@ def measure_dot(arch: ArchSpec, dims) -> tuple[float, float]:
         blas_native.cpu_dot(backend, dims, xh, yh)
         t_native = backend.accounting.sim_time - t0
 
-    with _use_backend(arch.make_jacc_backend()) as backend:
+    with use_backend(arch.make_jacc_backend()) as ctx:
         dx, dy = make_array(xh), make_array(yh)
-        clock = _clock_of(backend)
-        t0 = clock()
+        timer = DispatchTimer(ctx)
         blas.dot(dims, dx, dy)
-        t_jacc = clock() - t0
+        t_jacc = timer.elapsed
     return t_native, t_jacc
 
 
@@ -206,12 +223,11 @@ def measure_lbm(arch: ArchSpec, n: int, steps: int = 1) -> tuple[float, float]:
             f1, f2 = f2, f1
         t_native = backend.accounting.sim_time - t0
 
-    with _use_backend(arch.make_jacc_backend()) as backend:
+    with use_backend(arch.make_jacc_backend()) as ctx:
         sim = lbm.LBM(n, tau=0.8)
-        clock = _clock_of(backend)
-        t0 = clock()
+        timer = DispatchTimer(ctx)
         sim.step(steps)
-        t_jacc = clock() - t0
+        t_jacc = timer.elapsed
     return t_native / steps, t_jacc / steps
 
 
@@ -231,12 +247,11 @@ def measure_cg(arch: ArchSpec, n: int) -> tuple[float, float]:
         cg_native.cg_iteration_native_cpu(backend, state)
         t_native = backend.accounting.sim_time - t0
 
-    with _use_backend(arch.make_jacc_backend()) as backend:
+    with use_backend(arch.make_jacc_backend()) as ctx:
         state = cg.make_paper_cg_state(n)
-        clock = _clock_of(backend)
-        t0 = clock()
+        timer = DispatchTimer(ctx)
         cg.cg_iteration_paper(state)
-        t_jacc = clock() - t0
+        t_jacc = timer.elapsed
     return t_native, t_jacc
 
 

@@ -1,55 +1,62 @@
-"""The portable front end: ``parallel_for`` and ``parallel_reduce``.
+"""The portable front end: ``parallel_for``, ``parallel_reduce``, ``launch``.
 
-These two constructs are the whole user-facing compute surface of the
-model (paper §III): the programmer writes a scalar kernel ``f(i, ...)`` /
-``f(i, j, ...)`` separately and in advance, then hands it to a construct
-together with the iteration count(s) and the kernel's arguments.  Both
-constructs are **synchronous** — when they return, the computation has
-completed on the backend (paper §IV, last paragraph).
+The paper's two constructs (§III) remain the whole user-facing compute
+surface, and both remain **synchronous** — when they return, the
+computation has completed on the backend (paper §IV, last paragraph).
+Underneath, every construct is now a staged pipeline over a reified
+:class:`~repro.core.plan.LaunchPlan`:
+
+``resolve`` (bind backend + args from the current
+:class:`~repro.core.context.ExecutionContext`) → ``compile`` (the
+specialization ladder, against the context's kernel cache) → ``schedule``
+(record the launch-shape/chunking decision on the plan) → ``execute``
+(the backend consumes the plan through ``Backend.execute``).
+
+:func:`launch` exposes the plan machinery directly and adds the
+asynchronous path: ``launch(dims, f, *args, sync=False)`` enqueues the
+plan on the context's in-order launch stream and returns a
+:class:`~repro.core.plan.LaunchHandle`; :func:`synchronize` drains the
+stream.  The default constructs never queue — the paper's synchronous
+guarantee is preserved bit-for-bit.
 
 Backend selection follows the paper's Preferences mechanism (see
-:mod:`repro.core.preferences`): the active backend is resolved lazily on
-first use from ``PYACC_BACKEND`` / ``LocalPreferences.toml`` and defaults
-to the threads (Base.Threads-analogue) backend.  ``set_backend`` switches
-at runtime and can persist the choice.
+:mod:`repro.core.preferences`) on the process-default context;
+:func:`~repro.core.context.use_backend` scopes a different backend to the
+current thread/task only.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Union
 
 from ..ir.compile import compile_kernel
 from .backend import Backend, normalize_dims
-from .exceptions import BackendError
-from .preferences import resolve_backend_name, write_preference
+from .context import ExecutionContext, current_context, use_backend
+from .exceptions import BackendError, InvalidReduceOpError
+from .plan import LaunchHandle, LaunchPlan
+from .preferences import write_preference
 
 __all__ = [
     "parallel_for",
     "parallel_reduce",
+    "launch",
     "active_backend",
     "set_backend",
     "reset_backend",
     "synchronize",
+    "use_backend",
+    "REDUCE_OPS",
 ]
 
-_active: Optional[Backend] = None
+#: The reductions the portable front end accepts (paper: ``add`` only;
+#: ``min``/``max`` are the repository's documented extension).
+REDUCE_OPS = ("add", "min", "max")
 
 
 def active_backend() -> Backend:
-    """The backend in use, resolving preferences on first call."""
-    global _active
-    if _active is None:
-        name = resolve_backend_name()
-        _active = _instantiate(name)
-    return _active
-
-
-def _instantiate(name: str) -> Backend:
-    # Imported here (not at module top) so the registry's lazy loading —
-    # the weak-dependency analogue — actually stays lazy.
-    from ..backends.registry import create_backend
-
-    return create_backend(name)
+    """The backend of the current execution context, resolving
+    preferences on first call."""
+    return current_context().backend()
 
 
 def set_backend(
@@ -57,37 +64,130 @@ def set_backend(
 ) -> Backend:
     """Select the active backend by registry name or instance.
 
-    With ``persist=True`` the name is also written to
+    Operates on the *current* execution context — the process-default
+    one unless called inside a :func:`use_backend` scope.  With
+    ``persist=True`` the name is also written to
     ``LocalPreferences.toml`` so future processes pick it up, mirroring
     Preferences.jl.  Persisting an ad-hoc instance is rejected because it
     cannot be reconstructed from a name.
     """
-    global _active
     if isinstance(backend, Backend):
         if persist:
             raise BackendError(
                 "cannot persist a backend instance; pass its registry name"
             )
-        _active = backend
-        return _active
-    instance = _instantiate(backend)
+        return current_context().set_backend(backend)
     if persist:
         write_preference("backend", backend)
-    _active = instance
-    return _active
+    return current_context().set_backend(backend)
 
 
 def reset_backend() -> None:
-    """Drop the active backend so the next use re-resolves preferences."""
-    global _active
-    _active = None
+    """Drop the current context's backend so the next use re-resolves
+    preferences.  Only the calling context is affected."""
+    current_context().reset()
 
 
 def synchronize() -> None:
-    """Explicit synchronization point.  The constructs already synchronize
-    (the API is synchronous); this exists for symmetry with the vendor
-    models and is a no-op on CPU backends."""
-    active_backend().synchronize()
+    """Synchronization point: drain the context's asynchronous launch
+    queue, then synchronize the backend device.
+
+    The default constructs are already synchronous; this is required
+    only after ``launch(..., sync=False)`` (and kept for symmetry with
+    the vendor models — it is a no-op on CPU backends with an empty
+    queue).  Errors raised by queued kernels surface here.
+    """
+    ctx = current_context()
+    ctx.drain()
+    ctx.backend().synchronize()
+
+
+# ---------------------------------------------------------------------------
+# The staged dispatch pipeline
+# ---------------------------------------------------------------------------
+
+
+def _resolve(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
+    """Stage 1: bind the context's backend and map user args to kernel
+    args (backend arrays → raw storage)."""
+    plan.backend = ctx.backend()
+    plan.resolved_args = plan.backend.resolve_args(plan.args)
+    return plan
+
+
+def _compile(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
+    """Stage 2: attach the compiled kernel, using the context's kernel
+    cache when one is scoped (process-global otherwise)."""
+    plan.kernel = compile_kernel(
+        plan.fn,
+        plan.ndim,
+        plan.resolved_args,
+        reduce=plan.is_reduce,
+        cache=ctx.kernel_cache,
+    )
+    return plan
+
+
+def _schedule(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
+    """Stage 3: record the backend's launch-shape/chunking decision on
+    the plan (GPU thread/block shapes, CPU chunk domains, inline flag)."""
+    plan.schedule = plan.backend.schedule(plan)
+    return plan
+
+
+def _execute(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
+    """Stage 4: account the dispatch, fire hooks, and hand the plan to
+    the backend's narrowed ``execute`` entry point."""
+    backend = plan.backend
+    if plan.is_reduce:
+        backend.accounting.n_reduce += 1
+    else:
+        backend.accounting.n_for += 1
+    plan.sim_time_before = backend.accounting.sim_time
+    ctx.fire_launch(plan)
+    backend.account_portable_dispatch(plan.construct, plan.dims)
+    plan.result = backend.execute(plan)
+    plan.sim_time_after = backend.accounting.sim_time
+    ctx.fire_complete(plan)
+    return plan
+
+
+def _stage(construct: str, dims, f: Callable, args: tuple, op: str) -> tuple:
+    """Build a plan and run the pre-execution stages."""
+    ctx = current_context()
+    plan = LaunchPlan(
+        construct=construct, dims=normalize_dims(dims), fn=f, args=args, op=op
+    )
+    _resolve(plan, ctx)
+    _compile(plan, ctx)
+    _schedule(plan, ctx)
+    return plan, ctx
+
+
+def _dispatch(construct: str, dims, f: Callable, args: tuple, op: str) -> LaunchPlan:
+    """Run a construct through the full pipeline, synchronously.
+
+    A synchronous construct issued after asynchronous launches observes
+    their effects: the context queue is drained first (program order).
+    """
+    ctx = current_context()
+    if ctx.pending_launches:
+        ctx.drain()
+    plan, ctx = _stage(construct, dims, f, args, op)
+    return _execute(plan, ctx)
+
+
+def _validate_op(op: str) -> None:
+    if op not in REDUCE_OPS:
+        raise InvalidReduceOpError(
+            f"unknown reduction op {op!r}; expected one of "
+            "{'add', 'min', 'max'}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The paper's constructs (synchronous, unchanged semantics)
+# ---------------------------------------------------------------------------
 
 
 def parallel_for(dims, f: Callable, *args: Any) -> None:
@@ -107,13 +207,7 @@ def parallel_for(dims, f: Callable, *args: Any) -> None:
 
     The call returns only after the computation has completed.
     """
-    shape = normalize_dims(dims)
-    backend = active_backend()
-    kargs = backend.resolve_args(args)
-    kernel = compile_kernel(f, len(shape), kargs, reduce=False)
-    backend.accounting.n_for += 1
-    backend.account_portable_dispatch("for", shape)
-    backend.run_for(shape, kernel, kargs)
+    _dispatch("for", dims, f, args, op="add")
 
 
 def parallel_reduce(dims, f: Callable, *args: Any, op: str = "add") -> float:
@@ -121,17 +215,55 @@ def parallel_reduce(dims, f: Callable, *args: Any, op: str = "add") -> float:
 
     Same shape/kernel conventions as :func:`parallel_for`; ``f`` must
     return a value on every path.  ``op`` selects the fold: ``"add"``
-    (default, the paper's only reduction), ``"min"`` or ``"max"``.
+    (default, the paper's only reduction), ``"min"`` or ``"max"`` —
+    anything else raises :class:`ValueError` here, at the API boundary.
 
     Returns the reduced value as a Python float.  (JACC returns a
     one-element device array; we return the host scalar directly and
     charge the device→host copy to the model, which is what the paper's
     DOT timing includes.)
     """
-    shape = normalize_dims(dims)
-    backend = active_backend()
-    kargs = backend.resolve_args(args)
-    kernel = compile_kernel(f, len(shape), kargs, reduce=True)
-    backend.accounting.n_reduce += 1
-    backend.account_portable_dispatch("reduce", shape)
-    return backend.run_reduce(shape, kernel, kargs, op=op)
+    _validate_op(op)
+    return _dispatch("reduce", dims, f, args, op=op).result
+
+
+# ---------------------------------------------------------------------------
+# The reified-launch surface
+# ---------------------------------------------------------------------------
+
+
+def launch(
+    dims,
+    f: Callable,
+    *args: Any,
+    reduce: bool = False,
+    op: str = "add",
+    sync: bool = True,
+) -> LaunchHandle:
+    """Dispatch a construct as an explicit :class:`LaunchPlan`.
+
+    With ``sync=True`` (default) this is :func:`parallel_for` /
+    :func:`parallel_reduce` returning an already-completed
+    :class:`LaunchHandle` — same synchronous guarantee as the paper's
+    constructs.
+
+    With ``sync=False`` the fully staged plan (resolved, compiled,
+    scheduled) is enqueued on the context's launch stream and the handle
+    returns immediately.  Launches on one stream execute in submission
+    order (so dependent kernels stay correct); they overlap with the
+    submitting thread.  ``handle.wait()`` blocks for one launch,
+    ``handle.result()`` additionally returns the reduce value, and
+    :func:`synchronize` drains the whole stream.  Staging errors (unknown
+    backend, untraceable kernel, bad op) still raise immediately at the
+    call site; only execution is deferred.
+    """
+    if reduce:
+        _validate_op(op)
+    construct = "reduce" if reduce else "for"
+    if sync:
+        return LaunchHandle(_dispatch(construct, dims, f, args, op=op))
+    plan, ctx = _stage(construct, dims, f, args, op=op)
+    future = ctx.submit(lambda: _execute(plan, ctx))
+    handle = LaunchHandle(plan, future)
+    ctx.enqueue(handle)
+    return handle

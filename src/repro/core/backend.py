@@ -22,12 +22,14 @@ metaprogramming layer.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from ..ir.compile import CompiledKernel
+from ..ir.vectorizer import IndexDomain
+from .plan import LaunchPlan, LaunchSchedule
 
 __all__ = ["Accounting", "Backend", "normalize_dims"]
 
@@ -97,17 +99,41 @@ class Backend(ABC):
         """Expose the raw ndarray storage a kernel executes against."""
 
     # ---- compute component --------------------------------------------
+    def schedule(self, plan: LaunchPlan) -> LaunchSchedule:
+        """Decide the launch shape for a staged plan.
+
+        Called during the pipeline's schedule stage; the decision is
+        recorded on the plan so :meth:`execute` consumes it instead of
+        recomputing.  Default: one full-domain chunk run inline —
+        backends with chunking (threads, multi-device) or a device
+        launch shape (GPU simulators) override.
+        """
+        return LaunchSchedule(domains=(IndexDomain.full(plan.dims),))
+
     @abstractmethod
+    def execute(self, plan: LaunchPlan) -> Optional[float]:
+        """Execute a fully staged :class:`LaunchPlan`, then synchronize
+        (JACC is a synchronous API).
+
+        The plan carries the compiled kernel, resolved args and the
+        recorded :class:`LaunchSchedule`.  Returns the folded value for
+        reduce plans, ``None`` for for-plans.
+        """
+
     def run_for(
         self,
         dims: tuple[int, ...],
         kernel: CompiledKernel,
         args: Sequence[Any],
     ) -> None:
-        """Execute a compiled for-kernel over the full domain, then
-        synchronize (JACC is a synchronous API)."""
+        """Execute a compiled for-kernel over the full domain.
 
-    @abstractmethod
+        Thin shim over :meth:`execute` kept for native code paths (the
+        paper's device-specific baselines) and direct backend use; the
+        portable front end stages a :class:`LaunchPlan` instead.
+        """
+        self.execute(self._plan_for("for", dims, kernel, args))
+
     def run_reduce(
         self,
         dims: tuple[int, ...],
@@ -115,7 +141,33 @@ class Backend(ABC):
         args: Sequence[Any],
         op: str = "add",
     ) -> float:
-        """Execute a compiled reduce-kernel and return the folded value."""
+        """Execute a compiled reduce-kernel and return the folded value.
+
+        Thin shim over :meth:`execute`, like :meth:`run_for`.
+        """
+        return self.execute(self._plan_for("reduce", dims, kernel, args, op=op))
+
+    def _plan_for(
+        self,
+        construct: str,
+        dims: tuple[int, ...],
+        kernel: CompiledKernel,
+        args: Sequence[Any],
+        op: str = "add",
+    ) -> LaunchPlan:
+        """Stage a plan directly against this backend (no context)."""
+        plan = LaunchPlan(
+            construct=construct,
+            dims=tuple(int(d) for d in dims),
+            fn=kernel.fn,
+            args=tuple(args),
+            op=op,
+        )
+        plan.backend = self
+        plan.resolved_args = list(args)
+        plan.kernel = kernel
+        plan.schedule = self.schedule(plan)
+        return plan
 
     def synchronize(self) -> None:
         """Block until outstanding work completes.  CPU backends are

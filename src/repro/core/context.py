@@ -1,0 +1,241 @@
+"""Context-local execution state: backend, kernel cache, hooks, queue.
+
+The reproduction originally kept the active backend in a module-global —
+faithful to the paper's single-tenant workflow, but hostile to concurrent
+use: two threads (or asyncio tasks) could not hold different backends.
+This module replaces the global with an :class:`ExecutionContext` held in
+a :mod:`contextvars` variable:
+
+* the **process-default context** backs ``set_backend``/``active_backend``
+  exactly as before (one shared backend, resolved lazily from the
+  Preferences mechanism), so single-tenant code is unchanged;
+* :func:`use_backend` installs a *scoped* context visible only to the
+  current thread/task — concurrent scopes are fully isolated, which is
+  what multi-tenant serving and the multi-device work need.
+
+Each context also owns:
+
+* an optional **kernel cache** (``kernel_cache``) so compiles can be
+  scoped per-context instead of process-global;
+* **dispatch-event hooks** (:meth:`ExecutionContext.on_launch` /
+  :meth:`ExecutionContext.on_complete`) that fire around every construct
+  with the :class:`~repro.core.plan.LaunchPlan`, so observers (the bench
+  harness, future tracing layers) subscribe instead of reaching into
+  backend accounting fields;
+* an **asynchronous launch queue** — an in-order stream (one worker, like
+  a CUDA stream) that ``repro.launch(..., sync=False)`` submits to and
+  ``repro.synchronize()`` drains.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Union
+
+from .exceptions import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..ir.compile import KernelCache
+    from .backend import Backend
+    from .plan import LaunchHandle, LaunchPlan
+
+__all__ = [
+    "ExecutionContext",
+    "current_context",
+    "use_backend",
+]
+
+
+def _instantiate(name: str) -> "Backend":
+    # Imported here (not at module top) so the registry's lazy loading —
+    # the weak-dependency analogue — actually stays lazy.
+    from ..backends.registry import create_backend
+
+    return create_backend(name)
+
+
+class ExecutionContext:
+    """One tenant's execution state: backend + cache + hooks + queue."""
+
+    def __init__(
+        self,
+        backend: Optional["Backend"] = None,
+        *,
+        kernel_cache: Optional["KernelCache"] = None,
+    ):
+        self._backend = backend
+        #: Per-context compiled-kernel cache; ``None`` uses the
+        #: process-global cache in :mod:`repro.ir.compile`.
+        self.kernel_cache = kernel_cache
+        self._on_launch: list[Callable[["LaunchPlan"], None]] = []
+        self._on_complete: list[Callable[["LaunchPlan"], None]] = []
+        self._lock = threading.Lock()
+        self._pending: deque["LaunchHandle"] = deque()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- backend resolution -------------------------------------------------
+    def backend(self) -> "Backend":
+        """This context's backend, resolving preferences on first use."""
+        if self._backend is None:
+            from .preferences import resolve_backend_name
+
+            self._backend = _instantiate(resolve_backend_name())
+        return self._backend
+
+    def set_backend(self, backend: Union[str, "Backend"]) -> "Backend":
+        """Install a backend (by registry name or instance) in this
+        context only."""
+        from ..backends.registry import resolve_backend
+
+        self._backend = resolve_backend(backend)
+        return self._backend
+
+    def reset(self) -> None:
+        """Drop this context's backend; the next use re-resolves
+        preferences.  Other contexts are unaffected."""
+        self._backend = None
+
+    # -- dispatch-event hooks ------------------------------------------------
+    def on_launch(
+        self, callback: Callable[["LaunchPlan"], None]
+    ) -> Callable[[], None]:
+        """Subscribe to plan executions starting in this context.
+
+        ``callback(plan)`` fires after the plan is fully staged (backend,
+        kernel and schedule attached, ``sim_time_before`` recorded) and
+        before the backend executes it.  Returns an unsubscribe callable.
+        """
+        self._on_launch.append(callback)
+        return lambda: self._discard(self._on_launch, callback)
+
+    def on_complete(
+        self, callback: Callable[["LaunchPlan"], None]
+    ) -> Callable[[], None]:
+        """Subscribe to plan completions in this context.
+
+        ``callback(plan)`` fires after the backend finished the plan, with
+        ``plan.result`` and ``plan.sim_time_after`` populated.  Returns an
+        unsubscribe callable.
+        """
+        self._on_complete.append(callback)
+        return lambda: self._discard(self._on_complete, callback)
+
+    @staticmethod
+    def _discard(hooks: list, callback: Callable) -> None:
+        try:
+            hooks.remove(callback)
+        except ValueError:
+            pass
+
+    def fire_launch(self, plan: "LaunchPlan") -> None:
+        for cb in list(self._on_launch):
+            cb(plan)
+
+    def fire_complete(self, plan: "LaunchPlan") -> None:
+        for cb in list(self._on_complete):
+            cb(plan)
+
+    # -- asynchronous launch queue --------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                # One worker = an in-order stream: async launches overlap
+                # with the submitting thread but execute in submission
+                # order relative to each other, so dependent kernels stay
+                # correct without explicit events (CUDA-stream semantics).
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="pyacc-launch"
+                )
+            return self._executor
+
+    def submit(self, fn: Callable[[], Any]) -> Future:
+        """Submit work to this context's launch stream."""
+        return self._ensure_executor().submit(fn)
+
+    def enqueue(self, handle: "LaunchHandle") -> None:
+        """Track an in-flight asynchronous launch for :meth:`drain`."""
+        with self._lock:
+            self._pending.append(handle)
+
+    @property
+    def pending_launches(self) -> int:
+        """Number of asynchronous launches not yet waited on."""
+        with self._lock:
+            return len(self._pending)
+
+    def drain(self) -> None:
+        """Wait for every queued asynchronous launch.
+
+        All pending launches are waited even if one fails; the first
+        error is re-raised afterwards (matching how a device ``sync``
+        surfaces asynchronous kernel failures).
+        """
+        first_error: Optional[BaseException] = None
+        while True:
+            with self._lock:
+                if not self._pending:
+                    break
+                handle = self._pending.popleft()
+            try:
+                handle.wait()
+            except BaseException as exc:  # re-raised after the drain
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def close(self) -> None:
+        """Drain the queue and shut the launch stream down."""
+        self.drain()
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+#: The process-default context: what ``set_backend``/``active_backend``
+#: operate on outside any ``use_backend`` scope.  Shared across threads,
+#: matching the old module-global behaviour.
+_GLOBAL_CONTEXT = ExecutionContext()
+
+_CURRENT: ContextVar[Optional[ExecutionContext]] = ContextVar(
+    "pyacc_execution_context", default=None
+)
+
+
+def current_context() -> ExecutionContext:
+    """The context governing dispatch for the calling thread/task."""
+    return _CURRENT.get() or _GLOBAL_CONTEXT
+
+
+@contextmanager
+def use_backend(
+    backend: Union[str, "Backend"],
+    *,
+    kernel_cache: Optional["KernelCache"] = None,
+) -> Iterator[ExecutionContext]:
+    """Run the enclosed block under a private :class:`ExecutionContext`.
+
+    ``backend`` is a registry name or a :class:`Backend` instance.  The
+    scope is context-local (:mod:`contextvars`): concurrent threads and
+    asyncio tasks each see only their own scope, never each other's.
+    Pass ``kernel_cache=KernelCache()`` to also scope compiles to this
+    context instead of the process-global trace cache.
+
+    On exit the scope's asynchronous launch queue is drained (no launch
+    escapes its context) and the previous context is restored.
+    """
+    if backend is None:
+        raise BackendError("use_backend requires a backend name or instance")
+    ctx = ExecutionContext(kernel_cache=kernel_cache)
+    ctx.set_backend(backend)
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+        ctx.close()

@@ -87,6 +87,16 @@ class KernelExecutionError(PyACCError):
     """Executing a compiled kernel failed."""
 
 
+class InvalidReduceOpError(KernelExecutionError, ValueError):
+    """An unknown reduction op reached the API boundary.
+
+    Subclasses :class:`ValueError` (the natural contract for a bad
+    argument value) *and* :class:`KernelExecutionError` (what the
+    backends historically raised for the same mistake), so both
+    ``except`` styles keep working.
+    """
+
+
 class LaunchConfigError(PyACCError):
     """An invalid launch configuration (dims, block shape) was requested."""
 

@@ -1,0 +1,173 @@
+"""Reified kernel launches: :class:`LaunchPlan` and friends.
+
+The portable front end no longer funnels every construct through a
+monolithic resolve→compile→run call chain.  Instead each construct is
+reified as a :class:`LaunchPlan` — a first-class value object that moves
+through four explicit stages (see :mod:`repro.core.api`):
+
+1. **resolve** — bind the backend and map user-visible arguments to
+   kernel arguments (``plan.backend``, ``plan.resolved_args``);
+2. **compile** — attach the :class:`~repro.ir.compile.CompiledKernel`
+   (``plan.kernel``), using the execution context's kernel cache;
+3. **schedule** — record the launch-shape/chunking decision as a
+   :class:`LaunchSchedule` (``plan.schedule``) so backends consume a
+   decision instead of recomputing one;
+4. **execute** — the backend consumes the plan through the narrowed
+   :meth:`repro.core.backend.Backend.execute` entry point.
+
+Reifying the launch is what the OpenACC-era JACC runtime does to enable
+kernel-level scheduling (Matsumura et al.): once a launch is data, it can
+be queued, observed, split, or fused.  :class:`LaunchHandle` is the
+user-facing half — the return value of ``repro.launch(..., sync=False)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..ir.vectorizer import IndexDomain
+from .launch import LaunchConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from concurrent.futures import Future
+
+    from ..ir.compile import CompiledKernel
+    from .backend import Backend
+
+__all__ = ["LaunchPlan", "LaunchSchedule", "LaunchHandle"]
+
+
+@dataclass(frozen=True)
+class LaunchSchedule:
+    """The recorded launch-shape decision for one plan.
+
+    Produced by :meth:`repro.core.backend.Backend.schedule` during the
+    schedule stage and consumed by ``execute``:
+
+    * ``domains`` — the :class:`IndexDomain` chunks the kernel runs over
+      (one full-domain entry for serial/GPU backends; one chunk per
+      worker/device for the threads and multi-device backends);
+    * ``inline`` — run in the calling thread instead of a worker pool
+      (the threads backend's small-domain / interpreter-fallback path);
+    * ``launch_config`` — the GPU thread/block shape derived from the
+      paper's Figs. 6-7 formulas, when the backend owns a device.
+    """
+
+    domains: tuple[IndexDomain, ...]
+    inline: bool = True
+    launch_config: Optional[LaunchConfig] = None
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.domains)
+
+
+@dataclass
+class LaunchPlan:
+    """One reified construct dispatch.
+
+    Immutable inputs (``construct``/``dims``/``fn``/``args``/``op``) are
+    set at creation; each pipeline stage fills in its own fields.  A plan
+    is single-use: it describes exactly one launch, executed exactly once.
+    """
+
+    #: ``"for"`` or ``"reduce"``.
+    construct: str
+    #: Normalized launch domain, 1-D..3-D.
+    dims: tuple[int, ...]
+    #: The user's scalar kernel.
+    fn: Callable
+    #: User-visible arguments, as passed to the construct.
+    args: tuple
+    #: Reduction fold (reduce plans only).
+    op: str = "add"
+
+    # -- filled by the resolve stage --------------------------------------
+    backend: Optional["Backend"] = None
+    resolved_args: Optional[list] = None
+
+    # -- filled by the compile stage ---------------------------------------
+    kernel: Optional["CompiledKernel"] = None
+
+    # -- filled by the schedule stage ----------------------------------------
+    schedule: Optional[LaunchSchedule] = None
+
+    # -- filled by the execute stage (observability) ---------------------------
+    #: Backend modeled time immediately before/after execution; the
+    #: dispatch-event hooks read these instead of backend accounting.
+    sim_time_before: Optional[float] = None
+    sim_time_after: Optional[float] = None
+    #: The reduce value (``None`` for for-plans).
+    result: Any = None
+
+    @property
+    def is_reduce(self) -> bool:
+        return self.construct == "reduce"
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def full_domain(self) -> IndexDomain:
+        """The whole launch domain as one :class:`IndexDomain`."""
+        return IndexDomain.full(self.dims)
+
+    @property
+    def sim_time_elapsed(self) -> float:
+        """Modeled seconds this plan's execution spanned (0.0 until run)."""
+        if self.sim_time_before is None or self.sim_time_after is None:
+            return 0.0
+        return self.sim_time_after - self.sim_time_before
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stage = (
+            "executed"
+            if self.sim_time_after is not None
+            else "scheduled"
+            if self.schedule is not None
+            else "compiled"
+            if self.kernel is not None
+            else "resolved"
+            if self.backend is not None
+            else "new"
+        )
+        return (
+            f"<LaunchPlan {self.construct} dims={self.dims} "
+            f"fn={getattr(self.fn, '__name__', self.fn)!r} stage={stage}>"
+        )
+
+
+class LaunchHandle:
+    """Handle to a launched construct (``repro.launch``).
+
+    Synchronous launches return an already-completed handle; asynchronous
+    launches (``sync=False``) return a live one.  ``wait()`` blocks until
+    the launch finishes (re-raising any kernel error); ``result()`` waits
+    and returns the reduce value (``None`` for for-kernels).
+    """
+
+    __slots__ = ("plan", "_future")
+
+    def __init__(self, plan: LaunchPlan, future: Optional["Future"] = None):
+        self.plan = plan
+        self._future = future
+
+    def done(self) -> bool:
+        """True once the launch has completed (always true for sync)."""
+        return self._future is None or self._future.done()
+
+    def wait(self, timeout: Optional[float] = None) -> "LaunchHandle":
+        """Block until the launch completes; re-raises kernel errors."""
+        if self._future is not None:
+            self._future.result(timeout)
+        return self
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Wait, then return the reduce value (``None`` for a for-plan)."""
+        self.wait(timeout)
+        return self.plan.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"<LaunchHandle {self.plan.construct} dims={self.plan.dims} {state}>"

@@ -10,6 +10,7 @@ DESIGN.md §2).  Public surface:
 
 from .compile import (
     CompiledKernel,
+    KernelCache,
     cache_info,
     clear_cache,
     compile_kernel,
@@ -20,6 +21,7 @@ from .vectorizer import IndexDomain
 __all__ = [
     "CompiledKernel",
     "IndexDomain",
+    "KernelCache",
     "KernelReport",
     "inspect_kernel",
     "cache_info",

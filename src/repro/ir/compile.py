@@ -169,22 +169,40 @@ class KernelCache:
             self.hits = 0
             self.misses = 0
 
+    def stats(self) -> dict:
+        """A consistent snapshot of size/hits/misses.
+
+        All three counters are read under the cache lock so concurrent
+        compiles can never produce a torn view (e.g. a hit counted
+        against the previous size).
+        """
+        with self._lock:
+            return {
+                "size": len(self.entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
 
 _CACHE = KernelCache()
 
 
-def clear_cache() -> None:
-    """Drop all compiled kernels (tests / ablation benchmarks)."""
-    _CACHE.clear()
+def clear_cache(cache: Optional[KernelCache] = None) -> None:
+    """Drop all compiled kernels (tests / ablation benchmarks).
+
+    Clears the process-global cache by default; pass a context-scoped
+    :class:`KernelCache` to clear that one instead.
+    """
+    (cache if cache is not None else _CACHE).clear()
 
 
-def cache_info() -> dict:
-    """Return cache statistics: size, hits, misses."""
-    return {
-        "size": len(_CACHE.entries),
-        "hits": _CACHE.hits,
-        "misses": _CACHE.misses,
-    }
+def cache_info(cache: Optional[KernelCache] = None) -> dict:
+    """Return cache statistics: size, hits, misses (locked snapshot).
+
+    Reports on the process-global cache by default; pass a
+    context-scoped :class:`KernelCache` to inspect that one instead.
+    """
+    return (cache if cache is not None else _CACHE).stats()
 
 
 def _analyze_or_placeholder(trace: Optional[N.Trace]) -> TraceStats:
@@ -200,21 +218,27 @@ def compile_kernel(
     *,
     reduce: bool = False,
     max_paths: Optional[int] = None,
+    cache: Optional[KernelCache] = None,
 ) -> CompiledKernel:
     """Compile (or fetch from cache) a kernel for the given call site.
 
     ``args`` are the runtime arguments; only their types (and, when the
-    ladder requires it, shapes/values) enter the cache key.
+    ladder requires it, shapes/values) enter the cache key.  ``cache``
+    selects the :class:`KernelCache` to consult — ``None`` (the default)
+    uses the process-global cache; execution contexts may scope a private
+    one (see :mod:`repro.core.context`).
     """
+    if cache is None:
+        cache = _CACHE
     base_key = (fn, ndim, bool(reduce), _type_signature(args))
 
     # 1. Generic (type-specialized) entry.
-    ck = _CACHE.lookup(base_key)
+    ck = cache.lookup(base_key)
     if ck is not None:
         return ck
     # 2. Shape-specialized entry (kernel observed len()/shape).
     shape_key = base_key + ("shape", _shape_signature(args))
-    ck = _CACHE.lookup(shape_key)
+    ck = cache.lookup(shape_key)
     if ck is not None:
         return ck
     # 3. Value-specialized entry (kernel needed concrete scalars).
@@ -223,7 +247,7 @@ def compile_kernel(
         + ("shape", _shape_signature(args))
         + ("values", _value_signature(args))
     )
-    ck = _CACHE.lookup(value_key)
+    ck = cache.lookup(value_key)
     if ck is not None:
         return ck
 
@@ -288,13 +312,13 @@ def compile_kernel(
     )
 
     if mode == "vector" and trace is not None and not trace.shape_dependent:
-        _CACHE.store(base_key, ck)
+        cache.store(base_key, ck)
     elif mode == "vector" and trace is not None:
-        _CACHE.store(shape_key, ck)
+        cache.store(shape_key, ck)
     elif mode == "vector-specialized":
-        _CACHE.store(value_key, ck)
+        cache.store(value_key, ck)
     else:
         # Interpreter fallback: cache under the value key so a different
         # scalar value (e.g. a different loop bound) recompiles.
-        _CACHE.store(value_key, ck)
+        cache.store(value_key, ck)
     return ck

@@ -18,7 +18,7 @@ import math
 from typing import Any
 
 from . import nodes as N
-from .tracer import SymBool, SymScalar, as_node
+from .tracer import SymScalar, as_node
 
 __all__ = [
     "sqrt",

@@ -33,7 +33,7 @@ Kernel classes (see :func:`repro.perfmodel.model.classify`):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 __all__ = ["Series", "Panel", "format_table", "ascii_chart", "format_timeline"]
 

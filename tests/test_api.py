@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.backend import Backend, normalize_dims
+from repro.core.backend import normalize_dims
 from repro.core.exceptions import BackendError, UnknownBackendError
 
 
@@ -99,6 +99,25 @@ class TestParallelReduce:
         x = repro.array(np.array([4.0, -2.0, 9.0]))
         assert repro.parallel_reduce(3, val, x, op="min") == -2.0
         assert repro.parallel_reduce(3, val, x, op="max") == 9.0
+
+    def test_unknown_op_rejected_at_api_boundary(self):
+        # Validated before any backend work: a clear ValueError naming
+        # the accepted ops, not a failure deep inside a backend.
+        x = repro.array(np.ones(3))
+        with pytest.raises(ValueError, match="add.*min.*max"):
+            repro.parallel_reduce(3, dot, x, x, op="mul")
+
+    def test_unknown_op_rejected_before_compile(self):
+        calls = []
+
+        def kernel(i, x):
+            calls.append(i)
+            return x[i]
+
+        x = repro.array(np.ones(3))
+        with pytest.raises(ValueError):
+            repro.parallel_reduce(3, kernel, x, op="prod")
+        assert calls == []  # rejected before tracing/execution
 
     def test_2d_reduce(self):
         def dot2(i, j, x, y):

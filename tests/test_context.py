@@ -1,0 +1,303 @@
+"""Tests for execution contexts, use_backend isolation, LaunchPlans and
+the asynchronous launch queue (repro.core.context / repro.core.plan)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.serial import SerialBackend
+from repro.backends.threads import ThreadsBackend
+from repro.core.context import current_context, use_backend
+from repro.core.exceptions import BackendError
+from repro.core.plan import LaunchHandle, LaunchPlan
+
+
+@pytest.fixture(autouse=True)
+def serial_backend():
+    repro.set_backend("serial")
+    yield
+    repro.reset_backend()
+
+
+def axpy(i, alpha, x, y):
+    x[i] += alpha * y[i]
+
+
+def dot(i, x, y):
+    return x[i] * y[i]
+
+
+class TestUseBackend:
+    def test_scoped_backend(self):
+        outer = repro.active_backend()
+        with use_backend("threads"):
+            assert isinstance(repro.active_backend(), ThreadsBackend)
+        assert repro.active_backend() is outer
+
+    def test_accepts_instance(self):
+        backend = SerialBackend()
+        with use_backend(backend):
+            assert repro.active_backend() is backend
+
+    def test_nested_scopes(self):
+        with use_backend("serial") as ctx1:
+            with use_backend("threads") as ctx2:
+                assert current_context() is ctx2
+                assert isinstance(repro.active_backend(), ThreadsBackend)
+            assert current_context() is ctx1
+            assert isinstance(repro.active_backend(), SerialBackend)
+
+    def test_none_rejected(self):
+        with pytest.raises(BackendError):
+            with use_backend(None):
+                pass
+
+    def test_set_backend_inside_scope_is_local(self):
+        outer = repro.active_backend()
+        with use_backend("serial"):
+            repro.set_backend("threads")
+            assert isinstance(repro.active_backend(), ThreadsBackend)
+        assert repro.active_backend() is outer
+
+    def test_constructs_run_on_scoped_backend(self):
+        with use_backend("serial") as ctx:
+            x = repro.array(np.zeros(8))
+            y = repro.array(np.ones(8))
+            repro.parallel_for(8, axpy, 2.0, x, y)
+            assert np.allclose(repro.to_host(x), 2.0)
+            assert ctx.backend().accounting.n_for == 1
+
+
+class TestThreadIsolation:
+    def test_concurrent_scopes_do_not_leak(self):
+        # Two threads hold different backends at the same time; neither
+        # may observe the other's choice.
+        barrier = threading.Barrier(2)
+        seen = {}
+        errors = []
+
+        def worker(name, backend_name, expected_type):
+            try:
+                with use_backend(backend_name):
+                    barrier.wait(timeout=10)  # both scopes active now
+                    seen[name] = type(repro.active_backend())
+                    barrier.wait(timeout=10)  # hold until both observed
+                    assert isinstance(repro.active_backend(), expected_type)
+            except Exception as exc:  # surfaces in the main thread
+                errors.append(exc)
+
+        t1 = threading.Thread(
+            target=worker, args=("a", "serial", SerialBackend)
+        )
+        t2 = threading.Thread(
+            target=worker, args=("b", "threads", ThreadsBackend)
+        )
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        assert not errors
+        assert seen["a"] is SerialBackend
+        assert seen["b"] is ThreadsBackend
+
+    def test_reset_backend_only_affects_calling_context(self):
+        # reset inside a scope must not disturb the process default.
+        outer = repro.active_backend()
+        with use_backend("threads") as ctx:
+            repro.reset_backend()
+            assert ctx._backend is None  # next use re-resolves
+        assert repro.active_backend() is outer
+
+    def test_reset_in_thread_does_not_touch_other_scope(self):
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def resetter():
+            try:
+                with use_backend("serial"):
+                    barrier.wait(timeout=10)
+                    repro.reset_backend()
+                    barrier.wait(timeout=10)
+            except Exception as exc:
+                errors.append(exc)
+
+        def holder():
+            try:
+                with use_backend("threads"):
+                    barrier.wait(timeout=10)
+                    barrier.wait(timeout=10)
+                    # unaffected by the other thread's reset
+                    assert isinstance(repro.active_backend(), ThreadsBackend)
+            except Exception as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=resetter)
+        t2 = threading.Thread(target=holder)
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        assert not errors
+
+    def test_global_context_shared_outside_scopes(self):
+        # Outside any use_backend scope every thread sees the
+        # process-default context (the pre-refactor behaviour).
+        repro.set_backend("serial")
+        observed = []
+
+        def worker():
+            observed.append(type(repro.active_backend()))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert observed == [SerialBackend]
+
+
+class TestLaunchSync:
+    def test_sync_launch_matches_parallel_for(self):
+        x = repro.array(np.zeros(6))
+        y = repro.array(np.ones(6))
+        handle = repro.launch(6, axpy, 3.0, x, y)
+        assert isinstance(handle, LaunchHandle)
+        assert handle.done()
+        assert np.allclose(repro.to_host(x), 3.0)
+
+    def test_sync_reduce_result(self):
+        x = repro.array(np.full(5, 2.0))
+        y = repro.array(np.full(5, 3.0))
+        handle = repro.launch(5, dot, x, y, reduce=True)
+        assert handle.result() == pytest.approx(30.0)
+        assert handle.plan.is_reduce
+
+    def test_plan_is_fully_staged(self):
+        x = repro.array(np.zeros(4))
+        y = repro.array(np.ones(4))
+        handle = repro.launch(4, axpy, 1.0, x, y)
+        plan = handle.plan
+        assert isinstance(plan, LaunchPlan)
+        assert plan.backend is repro.active_backend()
+        assert plan.kernel is not None
+        assert plan.schedule is not None
+        assert plan.schedule.n_chunks >= 1
+        assert plan.sim_time_before is not None
+        assert plan.sim_time_after is not None
+
+    def test_bad_op_raises_at_call_site(self):
+        x = repro.array(np.ones(3))
+        with pytest.raises(ValueError):
+            repro.launch(3, dot, x, x, reduce=True, op="mul", sync=False)
+
+
+class TestLaunchAsync:
+    def test_two_overlapping_launches_complete_after_synchronize(self):
+        # The acceptance scenario: two async launches in flight at once,
+        # in-order on the context stream, correct after synchronize().
+        n = 10_000
+        x = repro.array(np.zeros(n))
+        y = repro.array(np.ones(n))
+        h1 = repro.launch(n, axpy, 1.0, x, y, sync=False)
+        h2 = repro.launch(n, axpy, 2.0, x, y, sync=False)  # depends on h1's x
+        assert isinstance(h1, LaunchHandle)
+        assert isinstance(h2, LaunchHandle)
+        repro.synchronize()
+        assert h1.done() and h2.done()
+        assert np.allclose(repro.to_host(x), 3.0)
+
+    def test_async_reduce_result_via_handle(self):
+        x = repro.array(np.full(8, 2.0))
+        y = repro.array(np.full(8, 5.0))
+        handle = repro.launch(8, dot, x, y, reduce=True, sync=False)
+        assert handle.result() == pytest.approx(80.0)
+
+    def test_pending_count_drains(self):
+        ctx = current_context()
+        x = repro.array(np.zeros(16))
+        y = repro.array(np.ones(16))
+        repro.launch(16, axpy, 1.0, x, y, sync=False)
+        repro.launch(16, axpy, 1.0, x, y, sync=False)
+        repro.synchronize()
+        assert ctx.pending_launches == 0
+        assert np.allclose(repro.to_host(x), 2.0)
+
+    def test_sync_construct_observes_prior_async_launches(self):
+        # A synchronous construct issued after async launches must see
+        # their effects (program order: the queue drains first).
+        x = repro.array(np.zeros(32))
+        y = repro.array(np.ones(32))
+        repro.launch(32, axpy, 1.0, x, y, sync=False)
+        total = repro.parallel_reduce(32, dot, x, y)
+        assert total == pytest.approx(32.0)
+
+    def test_scope_exit_drains_queue(self):
+        with use_backend("serial"):
+            x = repro.array(np.zeros(8))
+            y = repro.array(np.ones(8))
+            handle = repro.launch(8, axpy, 4.0, x, y, sync=False)
+        # leaving the scope waited for the launch
+        assert handle.done()
+        assert np.allclose(repro.to_host(x), 4.0)
+
+    def test_in_order_stream_chains_many(self):
+        x = repro.array(np.zeros(64))
+        y = repro.array(np.ones(64))
+        handles = [
+            repro.launch(64, axpy, 1.0, x, y, sync=False) for _ in range(10)
+        ]
+        repro.synchronize()
+        assert all(h.done() for h in handles)
+        assert np.allclose(repro.to_host(x), 10.0)
+
+
+class TestDispatchHooks:
+    def test_hooks_fire_around_execution(self):
+        ctx = current_context()
+        launched, completed = [], []
+        unsub_l = ctx.on_launch(launched.append)
+        unsub_c = ctx.on_complete(completed.append)
+        try:
+            x = repro.array(np.zeros(4))
+            y = repro.array(np.ones(4))
+            repro.parallel_for(4, axpy, 1.0, x, y)
+            total = repro.parallel_reduce(4, dot, x, y)
+        finally:
+            unsub_l()
+            unsub_c()
+        assert total == pytest.approx(4.0)
+        assert [p.construct for p in launched] == ["for", "reduce"]
+        assert [p.construct for p in completed] == ["for", "reduce"]
+        # completion carries the result and the modeled time span
+        assert completed[1].result == pytest.approx(4.0)
+        assert completed[0].sim_time_elapsed >= 0.0
+
+    def test_unsubscribe_stops_events(self):
+        ctx = current_context()
+        seen = []
+        unsub = ctx.on_launch(seen.append)
+        x = repro.array(np.zeros(2))
+        y = repro.array(np.ones(2))
+        repro.parallel_for(2, axpy, 1.0, x, y)
+        unsub()
+        repro.parallel_for(2, axpy, 1.0, x, y)
+        assert len(seen) == 1
+
+
+class TestScopedKernelCache:
+    def test_context_cache_is_private(self):
+        from repro.ir.compile import KernelCache, cache_info
+
+        private = KernelCache()
+        with use_backend("serial", kernel_cache=private):
+
+            def triple(i, x):
+                x[i] *= 3.0
+
+            x = repro.array(np.ones(8))
+            repro.parallel_for(8, triple, x)
+            repro.parallel_for(8, triple, x)
+        stats = cache_info(private)
+        assert stats["size"] >= 1
+        assert stats["hits"] >= 1
+        assert np.allclose(repro.to_host(x), 9.0)

@@ -10,6 +10,7 @@ from repro.core.launch import (
     DEFAULT_TILE_3D,
     cpu_chunks,
     gpu_launch_config,
+    weighted_chunks,
 )
 
 
@@ -129,3 +130,72 @@ class TestCpuChunks:
         sizes = [hi - lo for lo, hi in chunks]
         assert max(sizes) - min(sizes) <= 1
         assert len(chunks) == min(n, w)
+
+
+class TestWeightedChunks:
+    def test_proportional_split(self):
+        # 3:1 bandwidth ratio over 8 rows -> 6 and 2.
+        assert weighted_chunks((8,), [3.0, 1.0]) == [(0, 6), (6, 8)]
+
+    def test_single_weight_passthrough(self):
+        # One device gets the whole axis, whatever its weight.
+        for w in (0.5, 1.0, 7.25):
+            assert weighted_chunks((10,), [w]) == [(0, 10)]
+
+    def test_axis_shorter_than_device_count(self):
+        # 2 rows over 4 devices: every device still gets a range, some
+        # empty, and the non-empty ones cover the axis in order.
+        chunks = weighted_chunks((2,), [1.0, 1.0, 1.0, 1.0])
+        assert len(chunks) == 4
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == 2
+        assert sum(hi - lo for lo, hi in chunks) == 2
+        assert sum(1 for lo, hi in chunks if hi == lo) == 2
+
+    def test_empty_ranges_are_well_formed(self):
+        # Empty ranges must still be half-open (lo == hi), contiguous
+        # with their neighbours, so iterating them launches zero lanes.
+        chunks = weighted_chunks((1,), [1.0, 1.0, 1.0])
+        for (a0, a1), (b0, b1) in zip(chunks, chunks[1:]):
+            assert a1 == b0
+        assert all(lo <= hi for lo, hi in chunks)
+
+    def test_largest_remainder_exactness(self):
+        # 10 rows at weights 1:1:1 -> sizes 4,3,3 (remainder goes to the
+        # largest fractional part, first index wins the tie).
+        chunks = weighted_chunks((10,), [1.0, 1.0, 1.0])
+        sizes = [hi - lo for lo, hi in chunks]
+        assert sum(sizes) == 10
+        assert sorted(sizes, reverse=True) == [4, 3, 3]
+
+    def test_no_weights_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            weighted_chunks((4,), [])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            weighted_chunks((4,), [1.0, 0.0])
+        with pytest.raises(LaunchConfigError):
+            weighted_chunks((4,), [1.0, -2.0])
+
+    def test_leading_axis_only(self):
+        # 2-D domains split the leading axis, like cpu_chunks.
+        assert weighted_chunks((4, 100), [1.0, 1.0]) == [(0, 2), (2, 4)]
+
+    @given(
+        n=st.integers(1, 10**5),
+        weights=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=16),
+    )
+    def test_apportionment_invariants(self, n, weights):
+        chunks = weighted_chunks((n,), weights)
+        # one range per weight, contiguous, covering exactly 0..n
+        assert len(chunks) == len(weights)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(chunks, chunks[1:]):
+            assert a1 == b0
+        # largest-remainder: each size within 1 of its exact share
+        total = sum(weights)
+        for (lo, hi), w in zip(chunks, weights):
+            exact = n * w / total
+            assert abs((hi - lo) - exact) < 1.0

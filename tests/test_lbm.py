@@ -10,7 +10,6 @@ from repro.apps.lbm import (
     WEIGHTS,
     LBM,
     equilibrium,
-    lbm_kernel,
     step_native_cpu,
     step_native_gpu,
 )

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 import repro
-from repro.backends.gpusim.device import Device
 from repro.backends.multidevice import MultiDeviceBackend
 
 

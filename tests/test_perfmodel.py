@@ -218,8 +218,6 @@ class TestReport:
 
 class TestTimeline:
     def _events(self):
-        import numpy as np
-
         import repro
         from repro.apps.cg import cg_iteration_paper, make_paper_cg_state
         from repro.backends.gpusim import Device, GpuSimBackend

@@ -1,12 +1,10 @@
 """Tests for the roofline analysis tool (repro.perfmodel.roofline)."""
 
-import numpy as np
 import pytest
 
 from repro.ir.stats import TraceStats
 from repro.perfmodel import get_profile
 from repro.perfmodel.roofline import (
-    RooflinePoint,
     paper_kernel_placements,
     place_kernel,
     roofline_report,

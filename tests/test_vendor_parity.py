@@ -7,7 +7,6 @@ results (the devices differ only in their cost profiles).
 """
 
 import numpy as np
-import pytest
 
 from repro.apps import blas_native, cg_native, lbm
 from repro.bench.harness import get_arch
