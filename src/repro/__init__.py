@@ -42,15 +42,30 @@ from .core import (
     zeros,
 )
 from .backends import available_backends, register_backend
-from .ir import KernelCache, cache_info, clear_cache, inspect_kernel
+from .core.exceptions import KernelVerificationError
+from .ir import (
+    Diagnostic,
+    KernelCache,
+    KernelVerificationWarning,
+    cache_info,
+    clear_cache,
+    inspect_kernel,
+    set_verify_mode,
+    suppress,
+    verify_kernel,
+    verify_mode,
+)
 from . import math
 
 __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "Diagnostic",
     "ExecutionContext",
     "KernelCache",
+    "KernelVerificationError",
+    "KernelVerificationWarning",
     "LaunchHandle",
     "LaunchPlan",
     "active_backend",
@@ -69,8 +84,12 @@ __all__ = [
     "register_backend",
     "reset_backend",
     "set_backend",
+    "set_verify_mode",
+    "suppress",
     "synchronize",
     "to_host",
     "use_backend",
+    "verify_kernel",
+    "verify_mode",
     "zeros",
 ]

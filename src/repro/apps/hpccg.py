@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from ..core import array, parallel_for
+from ..lint import lint_probe
 from .cg import CGResult, cg_solve_operator
 
 __all__ = [
@@ -40,6 +41,15 @@ __all__ = [
 _STENCIL_WIDTH = 27
 
 
+def _lint_args_ell(n: int = 6, slots: int = 4):
+    # The trace is shape-dependent (inner bound = vals.shape[1]) and the
+    # column array must index into x, so declare a consistent probe.
+    cols = np.zeros((n, slots), dtype=np.int64)
+    vals = np.zeros((n, slots))
+    return [cols, vals, np.zeros(n), np.zeros(n)]
+
+
+@lint_probe(dims=6, args=_lint_args_ell)
 def matvec_ell_kernel(i, cols, vals, x, y):
     """``y[i] = Σ_k vals[i,k] · x[cols[i,k]]`` — one padded ELL row.
 

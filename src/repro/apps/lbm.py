@@ -36,7 +36,23 @@ from ..backends.gpusim.vendor import VendorAPI
 from ..backends.threads import ThreadsBackend
 from ..core import array, parallel_for, to_host
 from ..ir.compile import compile_kernel
+from ..lint import lint_probe
 from ..math import where
+
+#: Probe lattice edge for ``repro.lint`` (flat arrays are 9·n² long, a
+#: relation the CLI's heuristics cannot guess).
+_LINT_N = 6
+
+
+def _lint_args_lbm():
+    f = np.zeros(9 * _LINT_N * _LINT_N)
+    return [f, f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, _LINT_N]
+
+
+def _lint_args_obstacle():
+    f = np.zeros(9 * _LINT_N * _LINT_N)
+    solid = np.zeros((_LINT_N, _LINT_N), dtype=np.int64)
+    return [f, f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, solid, OPPOSITE, _LINT_N]
 
 __all__ = [
     "WEIGHTS",
@@ -63,6 +79,7 @@ CY = np.array([0, 0, 1, 0, -1, 1, 1, -1, -1], dtype=np.int64)
 OPPOSITE = np.array([0, 3, 4, 1, 2, 7, 8, 5, 6], dtype=np.int64)
 
 
+@lint_probe(dims=(_LINT_N, _LINT_N), args=_lint_args_lbm)
 def lbm_kernel(x, y, f, f1, f2, tau, w, cx, cy, n):
     """One fused D2Q9 pull update at lattice site ``(x, y)``.
 
@@ -97,6 +114,7 @@ def lbm_kernel(x, y, f, f1, f2, tau, w, cx, cy, n):
             f2[ind] = f[ind] * (1.0 - 1.0 / tau) + feq * (1.0 / tau)
 
 
+@lint_probe(dims=(_LINT_N, _LINT_N), args=_lint_args_obstacle)
 def lbm_obstacle_kernel(x, y, f, f1, f2, tau, w, cx, cy, solid, opp, n):
     """D2Q9 pull update with solid-node bounce-back — the HARVEY case.
 
@@ -142,6 +160,12 @@ def lbm_obstacle_kernel(x, y, f, f1, f2, tau, w, cx, cy, solid, opp, n):
                 f2[ind] = f[ind] * (1.0 - 1.0 / tau) + feq * (1.0 / tau)
 
 
+@lint_probe(
+    dims=(_LINT_N, _LINT_N),
+    args=lambda: [np.ones(9 * _LINT_N * _LINT_N), CX, CY, _LINT_N],
+    reduce=True,
+    op="max",
+)
 def speed_squared_kernel(x, y, f1, cx, cy, n):
     """Local ``|u|²`` at site ``(x, y)`` from the distribution — the CFL
     stability monitor, computed as a ``parallel_reduce(..., op="max")``.

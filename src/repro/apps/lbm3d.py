@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import array, parallel_for, to_host
+from ..lint import lint_probe
 
 __all__ = ["WEIGHTS3D", "CX3D", "CY3D", "CZ3D", "lbm3d_kernel", "equilibrium3d", "LBM3D"]
 
@@ -47,6 +48,14 @@ def _build_d3q19():
 WEIGHTS3D, CX3D, CY3D, CZ3D = _build_d3q19()
 
 
+def _lint_args_lbm3d(n: int = 4):
+    # Flat distributions are 19·n³ long — declared explicitly because
+    # the lint CLI's probe heuristics cannot infer that relation.
+    f = np.zeros(19 * n * n * n)
+    return [f, f.copy(), f.copy(), 0.8, WEIGHTS3D, CX3D, CY3D, CZ3D, n]
+
+
+@lint_probe(dims=(4, 4, 4), args=_lint_args_lbm3d)
 def lbm3d_kernel(x, y, z, f, f1, f2, tau, w, cx, cy, cz, n):
     """One fused D3Q19 pull update at lattice site ``(x, y, z)``."""
     if (

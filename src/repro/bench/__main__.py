@@ -137,12 +137,17 @@ def main(argv=None) -> int:
         print("all within 2x band" if ok else "SOME RATIOS OUTSIDE 2x BAND")
 
     if args.json:
+        from ..ir.diagnostics import counters
+
         doc = {"panels": [_panel_to_dict(p) for p in all_panels]}
         if headline is not None:
             doc["headline"] = [
                 {"name": r.name, "paper": r.paper_value, "model": r.measured}
                 for r in headline
             ]
+        # Verifier activity across the run — a kernel that starts
+        # warning (or erroring) shows up in the perf trajectory JSON.
+        doc["diagnostics"] = counters.snapshot()
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
         print(f"wrote {args.json}")

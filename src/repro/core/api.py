@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Callable, Union
 
 from ..ir.compile import compile_kernel
+from ..ir.verify import active_verify_mode, verify_launch
 from .backend import Backend, normalize_dims
 from .context import ExecutionContext, current_context, use_backend
 from .exceptions import BackendError, InvalidReduceOpError
@@ -117,7 +118,9 @@ def _resolve(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
 
 def _compile(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
     """Stage 2: attach the compiled kernel, using the context's kernel
-    cache when one is scoped (process-global otherwise)."""
+    cache when one is scoped (process-global otherwise), then check the
+    parallel contract (races, bounds, reduction purity — see
+    :mod:`repro.ir.verify`) under the active enforcement mode."""
     plan.kernel = compile_kernel(
         plan.fn,
         plan.ndim,
@@ -125,6 +128,15 @@ def _compile(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
         reduce=plan.is_reduce,
         cache=ctx.kernel_cache,
     )
+    mode = active_verify_mode()
+    if mode != "off":
+        plan.diagnostics = verify_launch(
+            plan.kernel,
+            plan.dims,
+            plan.resolved_args,
+            plan.op if plan.is_reduce else None,
+            mode,
+        )
     return plan
 
 

@@ -57,12 +57,38 @@ class Accounting:
             setattr(self, k, 0 if k != "sim_time" else 0.0)
 
 
+def _as_launch_extent(d) -> int:
+    """One launch extent: a genuine integer (bools and floats rejected,
+    so ``parallel_for(n / 2, ...)`` fails here with a clear message
+    instead of silently truncating or blowing up inside a backend)."""
+    if isinstance(d, (bool, np.bool_)) or not isinstance(d, (int, np.integer)):
+        raise ValueError(
+            f"launch dims must be integers, got {d!r} "
+            f"({type(d).__name__}); use // for integer division"
+        )
+    return int(d)
+
+
 def normalize_dims(dims) -> tuple[int, ...]:
-    """Accept the paper's ``N`` / ``(M, N)`` / ``(L, M, N)`` launch spec."""
-    if isinstance(dims, (int, np.integer)):
+    """Accept the paper's ``N`` / ``(M, N)`` / ``(L, M, N)`` launch spec.
+
+    Validates at the construct boundary: extents must be genuine
+    integers (no bools, no floats) and strictly positive, in a 1-D..3-D
+    tuple.  Anything else raises :class:`ValueError` here rather than
+    deep inside a backend.
+    """
+    if isinstance(dims, (int, np.integer)) and not isinstance(
+        dims, (bool, np.bool_)
+    ):
         out: tuple[int, ...] = (int(dims),)
     else:
-        out = tuple(int(d) for d in dims)
+        try:
+            items = tuple(dims)
+        except TypeError:
+            raise ValueError(
+                f"launch dims must be an int or a tuple of ints, got {dims!r}"
+            ) from None
+        out = tuple(_as_launch_extent(d) for d in items)
     if not 1 <= len(out) <= 3:
         raise ValueError(f"launch domain must be 1-D..3-D, got {out!r}")
     if any(d <= 0 for d in out):

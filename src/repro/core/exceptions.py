@@ -83,6 +83,28 @@ class TooManyPathsError(TraceFallback):
         )
 
 
+class KernelVerificationError(PyACCError):
+    """The kernel verifier found contract violations under ``error`` mode.
+
+    Carries the full diagnostics tuple (see
+    :class:`repro.ir.diagnostics.Diagnostic`) so callers can inspect the
+    individual rule findings programmatically.
+    """
+
+    def __init__(self, kernel: str, diagnostics=()):
+        self.kernel = kernel
+        self.diagnostics = tuple(diagnostics)
+        n_errors = sum(
+            1 for d in self.diagnostics if getattr(d, "severity", "") == "error"
+        )
+        lines = [
+            f"kernel {kernel!r} failed verification "
+            f"({n_errors} error(s), {len(self.diagnostics)} finding(s) total)"
+        ]
+        lines.extend(f"  {d}" for d in self.diagnostics)
+        super().__init__("\n".join(lines))
+
+
 class KernelExecutionError(PyACCError):
     """Executing a compiled kernel failed."""
 

@@ -89,6 +89,9 @@ class LaunchPlan:
 
     # -- filled by the compile stage ---------------------------------------
     kernel: Optional["CompiledKernel"] = None
+    #: Verifier findings for this call signature (empty when the verify
+    #: mode is ``off`` or the kernel is clean).
+    diagnostics: tuple = ()
 
     # -- filled by the schedule stage ----------------------------------------
     schedule: Optional[LaunchSchedule] = None

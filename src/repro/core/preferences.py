@@ -30,17 +30,27 @@ from .exceptions import PreferencesError
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "DEFAULT_VERIFY_MODE",
+    "VERIFY_MODES",
     "preferences_path",
     "read_preferences",
     "write_preference",
     "resolve_backend_name",
+    "resolve_verify_mode",
 ]
 
 #: The paper's default backend is Base.Threads; ours is its analogue.
 DEFAULT_BACKEND = "threads"
 
+#: Enforcement modes of the kernel verifier (see repro.ir.verify).
+VERIFY_MODES = ("off", "warn", "error")
+
+#: Default verifier enforcement: report findings, never block a launch.
+DEFAULT_VERIFY_MODE = "warn"
+
 _ENV_FILE = "PYACC_PREFERENCES"
 _ENV_BACKEND = "PYACC_BACKEND"
+_ENV_VERIFY = "PYACC_VERIFY"
 _TABLE = "repro"
 _FILENAME = "LocalPreferences.toml"
 
@@ -118,3 +128,23 @@ def resolve_backend_name() -> str:
             f"preference 'backend' must be a string, got {backend!r}"
         )
     return backend
+
+
+def resolve_verify_mode() -> str:
+    """Decide the verifier enforcement mode: env var > file > default.
+
+    The environment variable is ``PYACC_VERIFY``; the preferences key is
+    ``verify`` under ``[repro]``.  Valid values are ``off`` (skip the
+    analysis entirely), ``warn`` (emit ``KernelVerificationWarning``,
+    the default) and ``error`` (raise ``KernelVerificationError`` on
+    error-severity findings).
+    """
+    mode = os.environ.get(_ENV_VERIFY)
+    if not mode:
+        prefs = read_preferences()
+        mode = prefs.get("verify", DEFAULT_VERIFY_MODE)
+    if mode not in VERIFY_MODES:
+        raise PreferencesError(
+            f"verify mode must be one of {VERIFY_MODES}, got {mode!r}"
+        )
+    return mode

@@ -6,6 +6,8 @@ DESIGN.md §2).  Public surface:
 * :func:`repro.ir.compile.compile_kernel` — the specialization ladder.
 * :mod:`repro.ir.intrinsics` — portable math usable inside kernels.
 * :class:`repro.ir.vectorizer.IndexDomain` — launch sub-domains.
+* :mod:`repro.ir.verify` — the static kernel verifier (races, bounds,
+  reduction purity) and its enforcement-mode controls.
 """
 
 from .compile import (
@@ -15,16 +17,31 @@ from .compile import (
     clear_cache,
     compile_kernel,
 )
+from .diagnostics import Diagnostic, KernelVerificationWarning
 from .inspect import KernelReport, inspect_kernel
 from .vectorizer import IndexDomain
+from .verify import (
+    set_verify_mode,
+    suppress,
+    verify_kernel,
+    verify_mode,
+    verify_trace,
+)
 
 __all__ = [
     "CompiledKernel",
+    "Diagnostic",
     "IndexDomain",
     "KernelCache",
     "KernelReport",
+    "KernelVerificationWarning",
     "inspect_kernel",
     "cache_info",
     "clear_cache",
     "compile_kernel",
+    "set_verify_mode",
+    "suppress",
+    "verify_kernel",
+    "verify_mode",
+    "verify_trace",
 ]

@@ -300,6 +300,7 @@ def compile_kernel(
             const_args=trace.const_args,
             n_paths=trace.n_paths,
             shape_dependent=trace.shape_dependent,
+            implicit_return_paths=0,
         )
 
     ck = CompiledKernel(

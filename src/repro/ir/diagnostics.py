@@ -1,0 +1,186 @@
+"""Structured diagnostics for the kernel verifier.
+
+The verifier (:mod:`repro.ir.verify`) analyzes a traced kernel against
+the parallel contract of ``parallel_for``/``parallel_reduce`` and emits
+:class:`Diagnostic` records — one per violated rule, carrying the rule
+id, severity, the kernel's name and a formatted provenance snippet of the
+offending IR.  Severity drives enforcement (see ``docs/API.md``, "Kernel
+verification"):
+
+* ``error`` — the kernel breaks the parallel contract (a cross-iteration
+  race, a provable out-of-bounds access, an impure reduction).  In
+  ``error`` mode these raise
+  :class:`~repro.core.exceptions.KernelVerificationError`; the lint CLI
+  exits nonzero on them.
+* ``warning`` — lint-grade findings (dead stores, unused array
+  arguments, float equality guards).  Reported, never fatal.
+* ``info`` — notes (e.g. a kernel that fell to the interpreter and could
+  not be analyzed).
+
+The rule catalog below is the single source of truth for ids and default
+severities; ``docs/API.md`` documents each rule with examples.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Diagnostic",
+    "KernelVerificationWarning",
+    "RULES",
+    "SEVERITIES",
+    "rule_severity",
+    "counters",
+    "DiagnosticCounters",
+]
+
+#: Severities in decreasing order of gravity.
+SEVERITIES = ("error", "warning", "info")
+
+#: Rule catalog: id -> (default severity, one-line description).
+RULES: dict[str, tuple[str, str]] = {
+    "V101": (
+        "error",
+        "cross-iteration race: two stores to the same array may target "
+        "the same element from distinct iterations",
+    ),
+    "V102": (
+        "error",
+        "cross-iteration race: a store and a load on the same array may "
+        "alias across distinct iterations",
+    ),
+    "V201": (
+        "error",
+        "out-of-bounds access: an index can leave the array extent for "
+        "some iteration of the launch domain",
+    ),
+    "V301": (
+        "error",
+        "impure reduction: a parallel_reduce kernel stores into an "
+        "array argument",
+    ),
+    "V302": (
+        "error",
+        "reduction default mismatch: a path returns no value and the "
+        "implicit 0.0 is not neutral for the combine op",
+    ),
+    "V401": (
+        "warning",
+        "dead store: unconditionally overwritten by a later store to "
+        "the same element with no intervening read",
+    ),
+    "V402": (
+        "warning",
+        "unused array argument: passed to the kernel but never loaded "
+        "or stored",
+    ),
+    "V403": (
+        "warning",
+        "float equality guard: branching on == / != against a float "
+        "constant is fragile",
+    ),
+    "V901": (
+        "info",
+        "kernel not analyzable: no IR trace (interpreter tier) or no "
+        "probe arguments",
+    ),
+}
+
+
+def rule_severity(rule: str) -> str:
+    """Default severity of a catalog rule (``info`` for unknown ids)."""
+    return RULES.get(rule, ("info", ""))[0]
+
+
+class KernelVerificationWarning(UserWarning):
+    """Python warning category used by the ``warn`` enforcement mode."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the kernel verifier.
+
+    Attributes
+    ----------
+    rule:
+        Catalog id (``V101`` ... ``V901``), see :data:`RULES`.
+    severity:
+        ``"error"``, ``"warning"`` or ``"info"``.
+    kernel:
+        Name of the kernel function the finding is about.
+    message:
+        Human-readable explanation, self-contained.
+    provenance:
+        Formatted IR snippet(s) locating the finding (store/load
+        expressions as printed by :func:`repro.ir.nodes.format_node`).
+    """
+
+    rule: str
+    severity: str
+    kernel: str
+    message: str
+    provenance: str = ""
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def __str__(self) -> str:
+        loc = f" [{self.provenance}]" if self.provenance else ""
+        return f"{self.rule} {self.severity} ({self.kernel}): {self.message}{loc}"
+
+
+@dataclass
+class DiagnosticCounters:
+    """Process-wide tally of verifier activity.
+
+    The bench harness snapshots these into its JSON results so verifier
+    noise (new warnings/errors on the paper workloads) is visible in the
+    perf trajectory alongside the timing numbers.
+    """
+
+    kernels_verified: int = 0
+    errors: int = 0
+    warnings: int = 0
+    infos: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, diagnostics) -> None:
+        """Count one fresh verification and its findings."""
+        with self._lock:
+            self.kernels_verified += 1
+            for d in diagnostics:
+                if d.severity == "error":
+                    self.errors += 1
+                elif d.severity == "warning":
+                    self.warnings += 1
+                else:
+                    self.infos += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "kernels_verified": self.kernels_verified,
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "infos": self.infos,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.kernels_verified = 0
+            self.errors = 0
+            self.warnings = 0
+            self.infos = 0
+
+
+#: The process-wide counters instance (see :class:`DiagnosticCounters`).
+counters = DiagnosticCounters()

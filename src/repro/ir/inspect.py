@@ -44,6 +44,8 @@ class KernelReport:
     fallback_reason: Optional[str]
     specialized_on: dict  # arg position -> baked-in value
     kernel_class: str  # perf class at this ndim ("n/a" for interpreter)
+    #: Verifier findings (populated when concrete dims were given).
+    diagnostics: tuple = ()
 
     def explain(self) -> str:
         """Human-readable multi-line summary."""
@@ -72,6 +74,9 @@ class KernelReport:
             f"{self.stats.intensity:.3f} F/B)"
         )
         lines.append(f"  performance class: {self.kernel_class}")
+        if self.diagnostics:
+            lines.append(f"  diagnostics: {len(self.diagnostics)} finding(s)")
+            lines += [f"    {d}" for d in self.diagnostics]
         lines.append("  IR:")
         lines += [f"    {line}" for line in self.ir.splitlines()]
         return "\n".join(lines)
@@ -106,13 +111,23 @@ def inspect_kernel(
     small probe arrays are fine; only types/shapes/values-on-demand
     matter, exactly as for a real construct call.
     """
+    dims: Optional[tuple] = None
     if isinstance(ndim_or_dims, (tuple, list)):
-        ndim = len(ndim_or_dims)
+        dims = tuple(int(d) for d in ndim_or_dims)
+        ndim = len(dims)
     else:
         ndim = int(ndim_or_dims)
     if ndim not in (1, 2, 3):
         raise PyACCError(f"launch rank must be 1..3, got {ndim}")
     ck: CompiledKernel = compile_kernel(fn, ndim, args, reduce=reduce)
+
+    diagnostics: tuple = ()
+    if dims is not None and ck.trace is not None:
+        from .verify import verify_compiled
+
+        diagnostics = verify_compiled(
+            ck, dims, list(args), "add" if reduce else None
+        )
 
     if ck.trace is None:
         kernel_class = "n/a"
@@ -137,4 +152,5 @@ def inspect_kernel(
         fallback_reason=ck.fallback_reason,
         specialized_on=specialized,
         kernel_class=kernel_class,
+        diagnostics=diagnostics,
     )

@@ -35,6 +35,7 @@ __all__ = [
     "where",
     "minimum",
     "maximum",
+    "exclusive",
 ]
 
 
@@ -88,6 +89,27 @@ def where(cond: Any, if_true: Any, if_false: Any):
             N.Select(as_node(cond), as_node(if_true), as_node(if_false))
         )
     return if_true if cond else if_false
+
+
+def exclusive(index: Any, at: Any = 0):
+    """Single-lane guard: true only where ``index == at``.
+
+    The idiomatic way to mark an intentional single-iteration store so
+    the race verifier (:mod:`repro.ir.verify`) can prove it safe — the
+    JACC-style analogue of an "exclusive" section:
+
+    .. code-block:: python
+
+        def finalize(i, out, x):
+            if exclusive(i):       # exactly one lane runs this store
+                out[0] = x[0] * 2.0
+
+    Equality on a launch index pins the guarded store to one iteration
+    tuple, which satisfies the cross-iteration race rules (V101/V102).
+    Works in both worlds: traced (returns a symbolic boolean the guard
+    machinery understands) and interpreted (plain comparison).
+    """
+    return index == at  # SymScalar.__eq__ builds the Compare node
 
 
 def minimum(a: Any, b: Any):

@@ -339,6 +339,12 @@ class Trace:
         True when the kernel observed an array's concrete shape (``len``)
         during tracing; such a trace is only valid for arguments of the
         same shapes and is cached under a shape-specific key.
+    implicit_return_paths:
+        Number of enumerated control-flow paths that fell off the end of
+        the kernel without an explicit ``return`` while other paths did
+        return a value.  Those paths contribute the implicit ``0.0``
+        merged in by the tracer — neutral for ``op="add"`` but wrong for
+        ``min``/``max``, which the verifier flags (rule ``V302``).
     """
 
     __slots__ = (
@@ -350,6 +356,7 @@ class Trace:
         "const_args",
         "n_paths",
         "shape_dependent",
+        "implicit_return_paths",
     )
 
     def __init__(
@@ -362,6 +369,7 @@ class Trace:
         const_args: Optional[dict] = None,
         n_paths: int = 1,
         shape_dependent: bool = False,
+        implicit_return_paths: int = 0,
     ):
         self.ndim = ndim
         self.stores = tuple(stores)
@@ -371,6 +379,7 @@ class Trace:
         self.const_args = dict(const_args or {})
         self.n_paths = n_paths
         self.shape_dependent = shape_dependent
+        self.implicit_return_paths = implicit_return_paths
 
     @property
     def is_reduction(self) -> bool:

@@ -287,6 +287,7 @@ def optimize_trace(trace: N.Trace) -> N.Trace:
         const_args=trace.const_args,
         n_paths=trace.n_paths,
         shape_dependent=trace.shape_dependent,
+        implicit_return_paths=trace.implicit_return_paths,
     )
 
 

@@ -487,6 +487,11 @@ def trace_kernel(
         pending.extend(rec.alternatives)
 
     result = _merge_results(path_results)
+    implicit = (
+        sum(1 for _, value in path_results if value is None)
+        if result is not None
+        else 0
+    )
     return N.Trace(
         ndim=ndim,
         stores=stores,
@@ -496,4 +501,5 @@ def trace_kernel(
         const_args=const_args,
         n_paths=explored,
         shape_dependent=shape_dependent,
+        implicit_return_paths=implicit,
     )

@@ -1,0 +1,958 @@
+"""Static kernel verifier: race, bounds and reduction-purity analysis.
+
+``parallel_for``/``parallel_reduce`` carry an implicit contract the paper
+leaves entirely to the programmer: every iteration of a for-kernel must
+be independent of every other, every access must stay inside its array,
+and a reduce body must be pure.  Because the tracing JIT already lowers
+kernels to a complete expression DAG (:mod:`repro.ir.nodes`), we can
+check that contract *statically*, before a plan ever reaches a backend —
+something neither Julia JACC nor a C++ template model can do cheaply.
+
+The analysis core is a small **symbolic index-distance lattice**: every
+index expression is abstracted to an affine form ``c0 + Σ c_a · i_a``
+over the launch axes (with scalar arguments bound to their concrete
+launch values, mirroring the JIT's value specialization), or to ⊤ when
+it is not affine.  Guard conditions refine each axis to an interval (and
+can pin an access to a single iteration, e.g. ``if i == 0:``).  Two
+accesses on the same array then race iff the difference of their forms
+can be zero for two *distinct* in-range iteration tuples — decided by
+interval range tests, a gcd divisibility test and a mixed-radix
+dominance test for injectivity (which is what proves the paper's
+flattened LBM indexing ``k·n² + x·n + y`` race-free).
+
+Checked rules (catalog in :mod:`repro.ir.diagnostics`):
+
+* ``V101``/``V102`` — cross-iteration store/store and store/load races;
+* ``V201`` — out-of-bounds accesses relative to the launch domain and
+  the known array extents;
+* ``V301``/``V302`` — reduction impurity (stores in a reduce body;
+  an implicit ``0.0`` fall-through return under a non-``add`` combine);
+* ``V401``/``V402``/``V403`` — lint: dead stores, unused array
+  arguments, float equality guards.
+
+Enforcement is selected by the ``verify`` preference
+(``off | warn | error``, default ``warn`` — see
+:mod:`repro.core.preferences`), overridable per process with
+:func:`set_verify_mode` / :func:`verify_mode`.  ``error`` raises
+:class:`~repro.core.exceptions.KernelVerificationError` at the construct
+call site; ``warn`` emits one :class:`KernelVerificationWarning` per
+fresh finding.  Individual rules can be suppressed per kernel with the
+:func:`suppress` decorator.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+import warnings
+from contextlib import contextmanager
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import KernelVerificationError
+from ..core.preferences import VERIFY_MODES, resolve_verify_mode
+from . import nodes as N
+from .diagnostics import (
+    Diagnostic,
+    KernelVerificationWarning,
+    RULES,
+    counters,
+)
+
+__all__ = [
+    "verify_trace",
+    "verify_compiled",
+    "verify_kernel",
+    "verify_launch",
+    "active_verify_mode",
+    "set_verify_mode",
+    "verify_mode",
+    "suppress",
+]
+
+_INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Enforcement-mode selection
+# ---------------------------------------------------------------------------
+
+_MODE_OVERRIDE: Optional[str] = None
+_MODE_RESOLVED: Optional[str] = None
+
+
+def active_verify_mode() -> str:
+    """The enforcement mode in effect: process override, else the
+    ``verify`` preference (env ``PYACC_VERIFY`` > file > ``"warn"``)."""
+    global _MODE_RESOLVED
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    if _MODE_RESOLVED is None:
+        _MODE_RESOLVED = resolve_verify_mode()
+    return _MODE_RESOLVED
+
+
+def set_verify_mode(mode: Optional[str]) -> Optional[str]:
+    """Set the process-wide enforcement mode (``off | warn | error``).
+
+    ``None`` drops the override so the next construct re-resolves the
+    Preferences mechanism.  Returns the previous override.
+    """
+    global _MODE_OVERRIDE, _MODE_RESOLVED
+    if mode is not None and mode not in VERIFY_MODES:
+        raise ValueError(
+            f"unknown verify mode {mode!r}; expected one of {VERIFY_MODES}"
+        )
+    previous = _MODE_OVERRIDE
+    _MODE_OVERRIDE = mode
+    _MODE_RESOLVED = None
+    return previous
+
+
+@contextmanager
+def verify_mode(mode: str):
+    """Scope an enforcement mode: ``with verify_mode("error"): ...``."""
+    previous = set_verify_mode(mode)
+    try:
+        yield
+    finally:
+        set_verify_mode(previous)
+
+
+def suppress(*rules: str):
+    """Decorator: suppress the given verifier rules for one kernel.
+
+    >>> @suppress("V101")
+    ... def histogram(i, bins, x):
+    ...     bins[0] += x[i]   # intentional single-bin accumulation
+
+    The decorated function object is returned unchanged (so trace-cache
+    keys are unaffected); the rule ids are recorded on
+    ``fn.__verify_suppress__`` and documented suppressions show up in
+    ``repro.lint`` output as skipped rules.
+    """
+    for rule in rules:
+        if rule not in RULES:
+            raise ValueError(
+                f"unknown verifier rule {rule!r}; known rules: {sorted(RULES)}"
+            )
+
+    def deco(fn):
+        have = set(getattr(fn, "__verify_suppress__", ()))
+        fn.__verify_suppress__ = tuple(sorted(have | set(rules)))
+        return fn
+
+    return deco
+
+
+# ---------------------------------------------------------------------------
+# The affine index lattice
+# ---------------------------------------------------------------------------
+
+
+class _Lin:
+    """An affine form ``const + Σ coeffs[a] · i_a`` with concrete
+    numeric coefficients — one lattice element below ⊤ (= ``None``)."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: tuple, const):
+        self.coeffs = coeffs
+        self.const = const
+
+    def is_const(self) -> bool:
+        return all(c == 0 for c in self.coeffs)
+
+    def eval_at(self, point: Sequence[int]):
+        return self.const + sum(c * p for c, p in zip(self.coeffs, point))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Lin({self.coeffs}, {self.const})"
+
+
+def _is_intlike(v) -> bool:
+    if isinstance(v, bool):
+        return True
+    if isinstance(v, numbers.Integral):
+        return True
+    return isinstance(v, float) and math.isfinite(v) and v.is_integer()
+
+
+def _lin_range(lin: _Lin, box: Sequence[tuple]) -> tuple:
+    """Interval of an affine form over a per-axis interval box."""
+    lo = hi = lin.const
+    for c, (alo, ahi) in zip(lin.coeffs, box):
+        if c == 0:
+            continue
+        a, b = c * alo, c * ahi
+        lo += min(a, b)
+        hi += max(a, b)
+    return lo, hi
+
+
+def _int_gcd(values) -> Optional[int]:
+    """gcd of the nonzero coefficients, or ``None`` if any is not an
+    integer (the gcd divisibility test then gives no information)."""
+    g = 0
+    for v in values:
+        if v == 0:
+            continue
+        if not _is_intlike(v):
+            return None
+        g = math.gcd(g, abs(int(v)))
+    return g
+
+
+class _Access:
+    """One store or load with its affine index forms and guard box."""
+
+    __slots__ = ("kind", "array", "forms", "box", "text")
+
+    def __init__(self, kind, array, forms, box, text):
+        self.kind = kind
+        self.array = array
+        self.forms = forms
+        self.box = box
+        self.text = text
+
+    def pin(self) -> Optional[tuple]:
+        """The single iteration tuple this access runs at, if its guard
+        pins every launch axis; ``None`` otherwise."""
+        point = []
+        for lo, hi in self.box:
+            if lo != hi or lo in (-_INF, _INF):
+                return None
+            point.append(lo)
+        return tuple(point)
+
+
+_NEGATE_CMP = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
+_MIRROR_CMP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq", "ne": "ne"}
+
+
+class _Verifier:
+    """One verification run over a single optimized trace."""
+
+    def __init__(
+        self,
+        trace: N.Trace,
+        *,
+        dims: Optional[tuple],
+        shapes: Optional[dict],
+        scalars: Optional[dict],
+        op: Optional[str],
+        kernel: str,
+    ):
+        self.trace = trace
+        self.ndim = trace.ndim
+        self.dims = dims
+        self.shapes = shapes or {}
+        self.scalars = scalars or {}
+        self.op = op
+        self.kernel = kernel
+        self.used_scalars: set[int] = set()
+        self.diagnostics: list[Diagnostic] = []
+        self._emitted: set[tuple] = set()
+        self._affine_memo: dict[int, Optional[_Lin]] = {}
+        self._accesses: list[_Access] = []
+        self._float_eq: list[N.Compare] = []
+
+    # -- diagnostics -------------------------------------------------------
+    def _emit(self, rule: str, message: str, provenance: str = "") -> None:
+        key = (rule, message, provenance)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                severity=RULES[rule][0],
+                kernel=self.kernel,
+                message=message,
+                provenance=provenance,
+            )
+        )
+
+    # -- affine abstraction -------------------------------------------------
+    def _affine(self, node: N.Node) -> Optional[_Lin]:
+        nid = id(node)
+        if nid in self._affine_memo:
+            return self._affine_memo[nid]
+        lin = self._affine_uncached(node)
+        self._affine_memo[nid] = lin
+        return lin
+
+    def _zero(self) -> tuple:
+        return (0,) * self.ndim
+
+    def _affine_uncached(self, node: N.Node) -> Optional[_Lin]:
+        if isinstance(node, N.Const):
+            if isinstance(node.value, (bool, int, float)):
+                return _Lin(self._zero(), node.value)
+            return None
+        if isinstance(node, N.Index):
+            coeffs = tuple(1 if a == node.axis else 0 for a in range(self.ndim))
+            return _Lin(coeffs, 0)
+        if isinstance(node, N.ScalarArg):
+            value = self.scalars.get(node.pos)
+            if isinstance(value, numbers.Real) and not isinstance(value, complex):
+                self.used_scalars.add(node.pos)
+                v = int(value) if _is_intlike(value) else float(value)
+                return _Lin(self._zero(), v)
+            return None
+        if isinstance(node, N.BinOp):
+            lhs = self._affine(node.lhs)
+            rhs = self._affine(node.rhs)
+            if lhs is None or rhs is None:
+                return None
+            if node.op == "add":
+                return _Lin(
+                    tuple(a + b for a, b in zip(lhs.coeffs, rhs.coeffs)),
+                    lhs.const + rhs.const,
+                )
+            if node.op == "sub":
+                return _Lin(
+                    tuple(a - b for a, b in zip(lhs.coeffs, rhs.coeffs)),
+                    lhs.const - rhs.const,
+                )
+            if node.op == "mul":
+                if rhs.is_const():
+                    k = rhs.const
+                    return _Lin(tuple(c * k for c in lhs.coeffs), lhs.const * k)
+                if lhs.is_const():
+                    k = lhs.const
+                    return _Lin(tuple(c * k for c in rhs.coeffs), rhs.const * k)
+                return None
+            return None
+        if isinstance(node, N.UnOp) and node.op == "neg":
+            inner = self._affine(node.operand)
+            if inner is None:
+                return None
+            return _Lin(tuple(-c for c in inner.coeffs), -inner.const)
+        if isinstance(node, N.Cast) and node.kind == "int":
+            inner = self._affine(node.operand)
+            if inner is not None and _is_intlike(inner.const) and all(
+                _is_intlike(c) for c in inner.coeffs
+            ):
+                return inner  # int() of an integer form is the identity
+            return None
+        return None
+
+    # -- guard refinement ---------------------------------------------------
+    def _base_box(self) -> list:
+        if self.dims is None:
+            return [(-_INF, _INF)] * self.ndim
+        return [(0, d - 1) for d in self.dims]
+
+    def _refine(self, box: list, cond: Optional[N.Node], polarity: bool = True):
+        """Intersect ``box`` with the iterations satisfying ``cond``.
+
+        Returns the refined box, or ``None`` when the guard is
+        infeasible within the launch domain (the access never runs).
+        """
+        if cond is None:
+            return box
+        box = list(box)
+        for node, pol in self._conjuncts(cond, polarity):
+            if isinstance(node, N.Compare):
+                box = self._apply_compare(node, pol, box)
+                if box is None:
+                    return None
+        return box
+
+    def _conjuncts(self, node: N.Node, polarity: bool):
+        """Yield ``(leaf, polarity)`` conjuncts of a guard expression."""
+        if isinstance(node, N.Not):
+            yield from self._conjuncts(node.operand, not polarity)
+        elif isinstance(node, N.BoolOp) and (
+            (node.op == "and" and polarity) or (node.op == "or" and not polarity)
+        ):
+            yield from self._conjuncts(node.lhs, polarity)
+            yield from self._conjuncts(node.rhs, polarity)
+        else:
+            yield node, polarity
+
+    def _apply_compare(self, cmp: N.Compare, polarity: bool, box: list):
+        lhs = self._affine(cmp.lhs)
+        rhs = self._affine(cmp.rhs)
+        if lhs is None or rhs is None:
+            return box
+        form = _Lin(
+            tuple(a - b for a, b in zip(lhs.coeffs, rhs.coeffs)),
+            lhs.const - rhs.const,
+        )
+        axes = [a for a, c in enumerate(form.coeffs) if c != 0]
+        if len(axes) != 1:
+            return box
+        axis = axes[0]
+        c = form.coeffs[axis]
+        op = cmp.op if polarity else _NEGATE_CMP[cmp.op]
+        if c < 0:  # divide through by a negative coefficient
+            op = _MIRROR_CMP[op]
+        bound = -form.const / c
+        lo, hi = box[axis]
+        if op == "lt":
+            hi = min(hi, math.ceil(bound) - 1 if _is_intlike(bound) else math.floor(bound))
+        elif op == "le":
+            hi = min(hi, math.floor(bound))
+        elif op == "gt":
+            lo = max(lo, math.floor(bound) + 1 if _is_intlike(bound) else math.ceil(bound))
+        elif op == "ge":
+            lo = max(lo, math.ceil(bound))
+        elif op == "eq":
+            if not _is_intlike(bound):
+                return None
+            lo = max(lo, int(bound))
+            hi = min(hi, int(bound))
+        elif op == "ne":
+            if _is_intlike(bound):
+                b = int(bound)
+                if lo == b == hi:
+                    return None
+                if lo == b:
+                    lo += 1
+                elif hi == b:
+                    hi -= 1
+        if lo > hi:
+            return None
+        box[axis] = (lo, hi)
+        return box
+
+    # -- access collection ---------------------------------------------------
+    def _add_access(self, kind, array, indices, box, text) -> None:
+        forms = tuple(self._affine(ix) for ix in indices)
+        self._accesses.append(_Access(kind, array, forms, box, text))
+
+    def _box_sig(self, box) -> tuple:
+        return tuple(box)
+
+    def collect(self) -> None:
+        base = self._base_box()
+        for st in self.trace.stores:
+            box = self._refine(base, st.condition)
+            if box is None:
+                continue  # statically unreachable under these dims
+            self._add_access(
+                "store",
+                st.array,
+                st.indices,
+                box,
+                f"arg{st.array.pos}[{', '.join(N.format_node(ix) for ix in st.indices)}]",
+            )
+            seen: set[tuple] = set()
+            for ix in st.indices:
+                self._walk_expr(ix, box, seen)
+            self._walk_expr(st.value, box, seen)
+            if st.condition is not None:
+                self._walk_condition(st.condition, base, seen)
+        if self.trace.result is not None:
+            self._walk_expr(self.trace.result, base, set())
+
+    def _walk_condition(self, cond: N.Node, box: list, seen: set) -> None:
+        """Walk a guard left-to-right, refining the box progressively so
+        a load in a later conjunct is analyzed under the earlier ones
+        (matching Python's short-circuit evaluation order)."""
+        if isinstance(cond, N.BoolOp) and cond.op == "and":
+            self._walk_condition(cond.lhs, box, seen)
+            refined = self._refine(box, cond.lhs)
+            if refined is not None:
+                self._walk_condition(cond.rhs, refined, seen)
+            return
+        if isinstance(cond, N.Not):
+            self._walk_condition(cond.operand, box, seen)
+            return
+        self._walk_expr(cond, box, seen)
+
+    def _walk_expr(self, node: N.Node, box: list, seen: set) -> None:
+        key = (id(node), self._box_sig(box))
+        if key in seen:
+            return
+        seen.add(key)
+        if isinstance(node, N.Load):
+            self._add_access(
+                "load", node.array, node.indices, box, N.format_node(node)
+            )
+            for ix in node.indices:
+                self._walk_expr(ix, box, seen)
+            return
+        if isinstance(node, N.Select):
+            self._walk_expr(node.cond, box, seen)
+            box_t = self._refine(box, node.cond, True)
+            if box_t is not None:
+                self._walk_expr(node.if_true, box_t, seen)
+            box_f = self._refine(box, node.cond, False)
+            if box_f is not None:
+                self._walk_expr(node.if_false, box_f, seen)
+            return
+        if isinstance(node, N.Compare) and node.op in ("eq", "ne"):
+            for side in (node.lhs, node.rhs):
+                if isinstance(side, N.Const) and isinstance(side.value, float):
+                    self._float_eq.append(node)
+        for child in node.children:
+            self._walk_expr(child, box, seen)
+
+    # -- the index-distance decision procedure --------------------------------
+    def _conflict(self, a: _Access, b: _Access) -> Optional[str]:
+        """Can ``a`` and ``b`` touch the same element from two *distinct*
+        iteration tuples?  ``None`` means provably not; otherwise a short
+        reason string."""
+        pa, pb = a.pin(), b.pin()
+        if a is b and pa is not None:
+            return None  # runs on exactly one iteration
+        if pa is not None and pb is not None:
+            if pa == pb:
+                return None  # same single iteration: program order applies
+            la = [f.eval_at(pa) if f is not None else None for f in a.forms]
+            lb = [f.eval_at(pb) if f is not None else None for f in b.forms]
+            if any(x is None or y is None for x, y in zip(la, lb)):
+                return "single-lane accesses with unresolved indices"
+            return "distinct single lanes hit the same element" if la == lb else None
+
+        # Range disjointness: any dimension whose value sets cannot meet
+        # proves the pair safe regardless of iteration coupling.
+        for d in range(len(a.forms)):
+            fa, fb = a.forms[d], b.forms[d]
+            if fa is None or fb is None:
+                continue
+            alo, ahi = _lin_range(fa, a.box)
+            blo, bhi = _lin_range(fb, b.box)
+            if ahi < blo or bhi < alo:
+                return None
+
+        if any(f is None for f in a.forms) or any(f is None for f in b.forms):
+            return "index not affine in the launch indices"
+
+        # Per-dimension gcd feasibility over independent iteration tuples.
+        for d in range(len(a.forms)):
+            fa, fb = a.forms[d], b.forms[d]
+            delta = fb.const - fa.const
+            if not _is_intlike(delta):
+                return None  # fractional offset: integer elements never meet
+            g = _int_gcd(list(fa.coeffs) + list(fb.coeffs))
+            if g is not None and g > 0 and int(delta) % g != 0:
+                return None
+
+        same_coeffs = all(
+            fa.coeffs == fb.coeffs for fa, fb in zip(a.forms, b.forms)
+        )
+        if same_coeffs:
+            # Difference box of Δ = I_a − I_b.
+            dbox = [
+                (a.box[ax][0] - b.box[ax][1], a.box[ax][1] - b.box[ax][0])
+                for ax in range(self.ndim)
+            ]
+            deltas = []
+            for d in range(len(a.forms)):
+                delta = b.forms[d].const - a.forms[d].const
+                lo, hi = _lin_range(_Lin(a.forms[d].coeffs, 0), dbox)
+                if delta < lo or delta > hi:
+                    return None  # offset larger than any in-range distance
+                deltas.append(delta)
+            if all(d == 0 for d in deltas):
+                if self._injective(a.forms, dbox):
+                    return None
+                return "index map is not injective over the launch domain"
+            return "indices collide at a nonzero iteration distance"
+
+        # Mixed coefficients with one side pinned: safe when the moving
+        # side is injective and only meets the pinned element at the
+        # pinned iteration itself.
+        if pa is not None or pb is not None:
+            pinned, moving = (a, b) if pa is not None else (b, a)
+            point = pinned.pin()
+            loc = [f.eval_at(point) for f in pinned.forms]
+            at_pin = [f.eval_at(point) for f in moving.forms]
+            dbox = [
+                (moving.box[ax][0] - moving.box[ax][1],
+                 moving.box[ax][1] - moving.box[ax][0])
+                for ax in range(self.ndim)
+            ]
+            if at_pin == loc and self._injective(moving.forms, dbox):
+                return None
+        return "index maps can coincide across iterations"
+
+    def _injective(self, forms: Sequence[_Lin], dbox: list) -> bool:
+        """Is ``C·Δ = 0, Δ ≠ 0`` infeasible over the difference box?
+
+        Constraint propagation with a mixed-radix dominance test: an axis
+        whose coefficient in some dimension outweighs the maximal
+        contribution of every other still-free axis must have ``Δ = 0``.
+        """
+        maxabs = []
+        for lo, hi in dbox:
+            if lo == -_INF or hi == _INF:
+                maxabs.append(_INF)
+            else:
+                maxabs.append(max(abs(lo), abs(hi)))
+        free = {
+            a
+            for a in range(self.ndim)
+            if maxabs[a] != 0 and not (dbox[a][0] == 0 and dbox[a][1] == 0)
+        }
+        changed = True
+        while free and changed:
+            changed = False
+            for lin in forms:
+                active = [a for a in free if lin.coeffs[a] != 0]
+                if not active:
+                    continue
+                for a in active:
+                    others = sum(
+                        abs(lin.coeffs[b]) * maxabs[b] for b in active if b != a
+                    )
+                    if abs(lin.coeffs[a]) > others:
+                        if not (dbox[a][0] <= 0 <= dbox[a][1]):
+                            return True  # Δ_a = 0 contradicts the box
+                        free.discard(a)
+                        changed = True
+                        break
+                if changed:
+                    break
+        return not free
+
+    # -- rules ---------------------------------------------------------------
+    def check_races(self) -> None:
+        stores = [x for x in self._accesses if x.kind == "store"]
+        loads = [x for x in self._accesses if x.kind == "load"]
+        for i, a in enumerate(stores):
+            for b in stores[i:]:
+                if b.array.pos != a.array.pos:
+                    continue
+                reason = self._conflict(a, b)
+                if reason is not None:
+                    which = (
+                        f"store {a.text}"
+                        if a is b
+                        else f"stores {a.text} and {b.text}"
+                    )
+                    self._emit(
+                        "V101",
+                        f"{which} may write the same element from two "
+                        f"different iterations ({reason})",
+                        a.text if a is b else f"{a.text}; {b.text}",
+                    )
+            for ld in loads:
+                if ld.array.pos != a.array.pos:
+                    continue
+                reason = self._conflict(a, ld)
+                if reason is not None:
+                    self._emit(
+                        "V102",
+                        f"store {a.text} and load {ld.text} may alias across "
+                        f"iterations ({reason}); the value read depends on "
+                        "execution order",
+                        f"{a.text}; {ld.text}",
+                    )
+
+    def check_bounds(self) -> None:
+        for acc in self._accesses:
+            shape = self.shapes.get(acc.array.pos)
+            if shape is None or len(shape) != len(acc.forms):
+                continue
+            for d, form in enumerate(acc.forms):
+                if form is None:
+                    continue
+                lo, hi = _lin_range(form, acc.box)
+                extent = shape[d]
+                if lo < 0 or hi > extent - 1:
+                    self._emit(
+                        "V201",
+                        f"{acc.kind} {acc.text}: axis {d} index spans "
+                        f"[{lo:g}, {hi:g}] but the array extent is {extent} "
+                        "(negative indices wrap in NumPy; overruns raise at "
+                        "run time)",
+                        acc.text,
+                    )
+
+    def check_reduction(self) -> None:
+        if self.op is None:
+            return
+        if self.trace.stores:
+            names = ", ".join(
+                f"arg{st.array.pos}" for st in self.trace.stores
+            )
+            self._emit(
+                "V301",
+                "parallel_reduce kernels must be pure, but this one stores "
+                f"into {names}; move side effects to a parallel_for",
+                f"{len(self.trace.stores)} store(s)",
+            )
+        if self.op in ("min", "max") and self.trace.implicit_return_paths:
+            self._emit(
+                "V302",
+                f"{self.trace.implicit_return_paths} control-flow path(s) "
+                "fall off the kernel without returning; the implicit 0.0 "
+                f"is not the neutral element of op={self.op!r} — return an "
+                "explicit value on every path",
+                f"op={self.op}",
+            )
+
+    def check_lint(self) -> None:
+        # V401: dead stores.
+        stores = self.trace.stores
+        for i, sa in enumerate(stores):
+            for sb in stores[i + 1:]:
+                if sb.array.pos != sa.array.pos:
+                    continue
+                if len(sa.indices) != len(sb.indices):
+                    continue
+                if not all(
+                    _struct_eq(x, y) for x, y in zip(sa.indices, sb.indices)
+                ):
+                    continue
+                if sb.condition is not None and not _struct_eq(
+                    sa.condition, sb.condition
+                ):
+                    continue
+                if self._array_read_between(sa, i, stores.index(sb)):
+                    continue
+                self._emit(
+                    "V401",
+                    f"store arg{sa.array.pos}"
+                    f"[{', '.join(N.format_node(ix) for ix in sa.indices)}] "
+                    "is overwritten by a later store to the same element "
+                    "before any read",
+                    f"store #{i}",
+                )
+                break
+        # V402: unused array arguments.
+        used = set()
+        for root in self.trace.expressions():
+            for node in N.walk(root):
+                if isinstance(node, N.Load):
+                    used.add(node.array.pos)
+        for st in self.trace.stores:
+            used.add(st.array.pos)
+        for pos in self.trace.array_args:
+            if pos not in used:
+                self._emit(
+                    "V402",
+                    f"array argument {pos} is never loaded or stored; drop "
+                    "it or use it",
+                    f"arg{pos}",
+                )
+        # V403: float equality guards.
+        for cmp in self._float_eq:
+            self._emit(
+                "V403",
+                "equality comparison against a float constant "
+                f"({N.format_node(cmp)}) is sensitive to rounding; compare "
+                "against a tolerance instead",
+                N.format_node(cmp),
+            )
+
+    def _array_read_between(self, sa: N.Store, ia: int, ib: int) -> bool:
+        """Any load of ``sa``'s array in stores ``ia+1..ib`` (their
+        indices, guards and values) or in the result expression?"""
+        pos = sa.array.pos
+        roots: list[N.Node] = []
+        for st in self.trace.stores[ia + 1: ib + 1]:
+            roots.extend(st.indices)
+            roots.append(st.value)
+            if st.condition is not None:
+                roots.append(st.condition)
+        if self.trace.result is not None:
+            roots.append(self.trace.result)
+        for root in roots:
+            for node in N.walk(root):
+                if isinstance(node, N.Load) and node.array.pos == pos:
+                    return True
+        return False
+
+    def run(self) -> list[Diagnostic]:
+        self.collect()
+        self.check_races()
+        self.check_bounds()
+        self.check_reduction()
+        self.check_lint()
+        order = {"error": 0, "warning": 1, "info": 2}
+        self.diagnostics.sort(key=lambda d: (order[d.severity], d.rule))
+        return self.diagnostics
+
+
+def _struct_eq(a: Optional[N.Node], b: Optional[N.Node]) -> bool:
+    """Structural equality of two expressions (guards/indices)."""
+    if a is b:
+        return True
+    if a is None or b is None:
+        return False
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, N.Const):
+        return type(a.value) is type(b.value) and a.value == b.value
+    if isinstance(a, N.Index):
+        return a.axis == b.axis
+    if isinstance(a, N.ScalarArg):
+        return a.pos == b.pos
+    if isinstance(a, N.ArrayArg):
+        return a.pos == b.pos and a.ndim == b.ndim
+    if isinstance(a, N.Load):
+        return a.array.pos == b.array.pos and all(
+            _struct_eq(x, y) for x, y in zip(a.indices, b.indices)
+        )
+    op_a = getattr(a, "op", None)
+    kind_a = getattr(a, "kind", None)
+    if op_a != getattr(b, "op", None) or kind_a != getattr(b, "kind", None):
+        return False
+    ca, cb = a.children, b.children
+    return len(ca) == len(cb) and all(_struct_eq(x, y) for x, y in zip(ca, cb))
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def verify_trace(
+    trace: N.Trace,
+    *,
+    dims: Optional[tuple] = None,
+    shapes: Optional[dict] = None,
+    scalars: Optional[dict] = None,
+    op: Optional[str] = None,
+    kernel: str = "<kernel>",
+) -> tuple[list[Diagnostic], set[int]]:
+    """Run every rule over one trace.
+
+    ``dims`` bounds the launch axes, ``shapes`` maps array argument
+    positions to extents, ``scalars`` maps scalar argument positions to
+    their concrete values (the specialization analogue — e.g. ``n`` in
+    the flat LBM indexing), ``op`` is the reduce combine op or ``None``
+    for a for-kernel.  Returns ``(diagnostics, used_scalar_positions)``;
+    the second element supports value-insensitive caching upstream.
+    """
+    if dims is not None and len(dims) != trace.ndim:
+        raise ValueError(
+            f"dims {dims!r} does not match the trace's {trace.ndim}-D domain"
+        )
+    v = _Verifier(
+        trace, dims=dims, shapes=shapes, scalars=scalars, op=op, kernel=kernel
+    )
+    return v.run(), v.used_scalars
+
+
+_MISSING = object()
+
+
+def _args_env(args: Sequence[Any]) -> tuple[dict, dict]:
+    shapes: dict[int, tuple] = {}
+    scalars: dict[int, Any] = {}
+    for pos, a in enumerate(args):
+        if isinstance(a, np.ndarray):
+            shapes[pos] = tuple(a.shape)
+        elif isinstance(a, np.generic):
+            scalars[pos] = a.item()
+        elif isinstance(a, numbers.Real):
+            scalars[pos] = a
+    return shapes, scalars
+
+
+def _verify_cached(kernel, dims, args, op) -> tuple[tuple, bool]:
+    """Verify a :class:`~repro.ir.compile.CompiledKernel`, memoized.
+
+    The cache key is ``(dims, shapes, op)`` plus the values of only the
+    scalar arguments the analysis actually consumed — so an ``alpha``
+    that never reaches an index or guard does not force re-verification
+    every iteration of a solver loop.  Returns ``(diagnostics, fresh)``.
+    """
+    name = getattr(kernel.fn, "__name__", repr(kernel.fn))
+    if kernel.trace is None:
+        diags = (
+            Diagnostic(
+                rule="V901",
+                severity="info",
+                kernel=name,
+                message=(
+                    "kernel runs on the interpreter tier "
+                    f"({kernel.fallback_reason or 'no trace'}); static "
+                    "verification is not available"
+                ),
+            ),
+        )
+        return diags, False
+    shapes, scalars = _args_env(args)
+    base = (tuple(dims), tuple(sorted(shapes.items())), op)
+    cache = getattr(kernel, "_verify_cache", None)
+    if cache is None:
+        cache = []
+        object.__setattr__(kernel, "_verify_cache", cache)
+    for entry_base, used_values, diags in cache:
+        if entry_base == base and all(
+            scalars.get(pos, _MISSING) == value for pos, value in used_values
+        ):
+            return diags, False
+    found, used = verify_trace(
+        kernel.trace,
+        dims=tuple(dims),
+        shapes=shapes,
+        scalars=scalars,
+        op=op,
+        kernel=name,
+    )
+    suppressed = set(getattr(kernel.fn, "__verify_suppress__", ()))
+    if suppressed:
+        found = [d for d in found if d.rule not in suppressed]
+    diags = tuple(found)
+    used_values = tuple(
+        (pos, scalars[pos]) for pos in sorted(used) if pos in scalars
+    )
+    cache.append((base, used_values, diags))
+    counters.record(diags)
+    return diags, True
+
+
+def verify_compiled(kernel, dims, args, op: Optional[str] = None) -> tuple:
+    """Diagnostics for a compiled kernel at a concrete call signature
+    (no enforcement — inspection surface)."""
+    return _verify_cached(kernel, dims, args, op)[0]
+
+
+def verify_launch(kernel, dims, args, op: Optional[str], mode: str) -> tuple:
+    """Pipeline entry point: verify and enforce per ``mode``.
+
+    ``error`` raises :class:`KernelVerificationError` when any
+    error-severity diagnostic survives suppression (on every launch, not
+    just the first); ``warn`` emits each fresh non-info finding once as
+    a :class:`KernelVerificationWarning`.
+    """
+    diags, fresh = _verify_cached(kernel, dims, args, op)
+    if mode == "error" and any(d.is_error for d in diags):
+        raise KernelVerificationError(
+            getattr(kernel.fn, "__name__", repr(kernel.fn)), diags
+        )
+    if mode == "warn" and fresh:
+        for d in diags:
+            if d.severity != "info":
+                warnings.warn(str(d), KernelVerificationWarning, stacklevel=5)
+    return diags
+
+
+def verify_kernel(
+    fn,
+    dims,
+    args: Sequence[Any],
+    *,
+    reduce: bool = False,
+    op: str = "add",
+) -> tuple:
+    """Compile ``fn`` for the given call signature and verify it.
+
+    The public one-call surface: compiles through the normal
+    specialization ladder (shared trace cache) and returns the
+    diagnostics tuple without enforcing any mode.
+
+    >>> import numpy as np
+    >>> def racy(i, x):
+    ...     x[i] = x[i + 1]
+    >>> [d.rule for d in verify_kernel(racy, 8, [np.zeros(9)])]
+    ['V102']
+    """
+    from ..core.backend import normalize_dims
+    from .compile import compile_kernel
+
+    dims = normalize_dims(dims)
+    ck = compile_kernel(fn, len(dims), args, reduce=reduce)
+    return verify_compiled(
+        ck, dims, list(args), op if (reduce or ck.is_reduction) else None
+    )

@@ -1,0 +1,411 @@
+"""Kernel lint CLI: ``python -m repro.lint <paths>``.
+
+Discovers kernel functions in Python source files, traces each one with
+probe arguments, and runs the static verifier (:mod:`repro.ir.verify`)
+over the result — the batch/CI complement to the inline verification the
+dispatch pipeline performs on real launches.  Exits nonzero iff any
+kernel has an *error*-severity finding (races, out-of-bounds, impure
+reductions); lint-grade warnings and unanalyzable kernels never fail the
+build.
+
+Kernel discovery
+----------------
+A module-level function is treated as a kernel when its leading
+parameters name launch indices — a prefix of ``i, j, k`` or of
+``x, y, z`` (the repository's two index-naming conventions).  Probe
+arguments for the remaining parameters are inferred by convention:
+
+* names like ``n``/``m``/``size`` become the launch extent (an int);
+* names like ``alpha``/``beta``/``tau``/``coef`` become a float;
+* everything else becomes a float array whose rank is learned by
+  retrying on the tracer's rank-mismatch error.
+
+Kernels whose probe cannot be inferred (e.g. flat arrays whose length
+must relate to the launch extent, like the LBM distributions) declare an
+explicit probe with the :func:`lint_probe` decorator.  Kernels the
+tracer cannot handle at all (interpreter tier) are reported as ``V901``
+info and skipped.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint src/repro/apps examples
+    PYTHONPATH=src python -m repro.lint --json path/to/module.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import inspect as _inspect
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from .core.exceptions import ConcretizationRequired, TraceError
+from .ir.diagnostics import Diagnostic
+from .ir.optimize import optimize_trace
+from .ir.tracer import trace_kernel
+from .ir.verify import verify_trace
+
+__all__ = ["lint_probe", "lint_paths", "main"]
+
+_INDEX_CONVENTIONS = (("i", "j", "k"), ("x", "y", "z"))
+
+#: Parameter names probed as the launch extent (bound to ``dims[0]``).
+_INT_HINTS = frozenset(
+    {"n", "m", "l", "size", "count", "width", "height", "depth",
+     "nx", "ny", "nz", "rows", "cols_per_row"}
+)
+
+#: Parameter names probed as a plain float scalar.
+_FLOAT_HINTS = frozenset(
+    {"alpha", "beta", "gamma", "delta", "tau", "omega", "coef", "dt",
+     "eps", "scale", "scalar", "factor", "value", "tol", "h"}
+)
+
+#: Launch extent used for heuristic probes (small but > any stencil halo).
+_PROBE_EXTENT = 6
+
+_RANK_MISMATCH_RE = re.compile(
+    r"array argument (\d+) is \d+-D but was indexed with (\d+) indices"
+)
+
+
+def lint_probe(
+    dims,
+    args: Any,
+    *,
+    reduce: bool = False,
+    op: str = "add",
+) -> Callable:
+    """Attach an explicit lint probe to a kernel.
+
+    ``dims`` is the launch domain for the probe; ``args`` is either a
+    sequence of probe arguments or a zero-argument callable returning
+    one (preferred — fresh arrays per lint run).  ``reduce``/``op``
+    declare the construct the kernel is written for, enabling the
+    reduction-purity rules.
+
+    .. code-block:: python
+
+        @lint_probe(dims=(6, 6), args=lambda: [np.zeros(9 * 36), ...], )
+        def lbm_kernel(x, y, f, ...):
+            ...
+
+    The decorator only records metadata (``fn.__lint_probes__``); the
+    kernel itself is unchanged.
+    """
+    norm_dims = (dims,) if isinstance(dims, int) else tuple(dims)
+
+    def deco(fn):
+        probes = list(getattr(fn, "__lint_probes__", ()))
+        probes.append({"dims": norm_dims, "args": args, "reduce": reduce, "op": op})
+        fn.__lint_probes__ = probes
+        return fn
+
+    return deco
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+
+def _index_rank(params: Sequence[str]) -> int:
+    """Longest prefix of ``params`` matching an index-naming convention."""
+    best = 0
+    for names in _INDEX_CONVENTIONS:
+        rank = 0
+        for have, want in zip(params, names):
+            if have != want:
+                break
+            rank += 1
+        best = max(best, rank)
+    return min(best, 3)
+
+
+def discover_kernels(module) -> list[tuple[str, Callable, int, list[str]]]:
+    """Module-level kernel functions: ``(name, fn, rank, arg_params)``."""
+    out = []
+    for name, fn in _inspect.getmembers(module, _inspect.isfunction):
+        if name.startswith("_") or fn.__module__ != module.__name__:
+            continue
+        try:
+            params = list(_inspect.signature(fn).parameters)
+        except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+            continue
+        if any(
+            p.kind
+            not in (
+                _inspect.Parameter.POSITIONAL_ONLY,
+                _inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+            for p in _inspect.signature(fn).parameters.values()
+        ):
+            continue
+        rank = _index_rank(params)
+        if not getattr(fn, "__lint_probes__", None) and (
+            rank == 0 or rank == len(params)
+        ):
+            # No index prefix — not a kernel.  Index-like params only —
+            # could be a one-argument helper (``def norm(x)``); require
+            # an explicit probe rather than guessing.
+            continue
+        out.append((name, fn, rank, params[rank:]))
+    return out
+
+
+def _import_module(path: Path):
+    """Import a source file, as its package module when it has one."""
+    path = path.resolve()
+    if (path.parent / "__init__.py").exists():
+        parts = [path.stem]
+        root = path.parent
+        while (root / "__init__.py").exists():
+            parts.insert(0, root.name)
+            root = root.parent
+        if str(root) not in sys.path:
+            sys.path.insert(0, str(root))
+        return importlib.import_module(".".join(parts))
+    name = f"_pyacc_lint_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def iter_source_files(paths: Sequence[str]) -> list[Path]:
+    """Expand files/directories into lintable ``.py`` files."""
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if f.name != "__init__.py" and not f.name.startswith("_")
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Probing + verification
+# ---------------------------------------------------------------------------
+
+
+def _heuristic_args(arg_params: Sequence[str], extent: int, ranks: dict) -> list:
+    args: list = []
+    for pos, name in enumerate(arg_params):
+        lname = name.lower()
+        if lname in _INT_HINTS:
+            args.append(extent)
+        elif lname in _FLOAT_HINTS:
+            args.append(0.5)
+        else:
+            args.append(np.zeros((extent,) * ranks.get(pos, 1)))
+    return args
+
+
+def _trace_with_probe(fn, rank: int, args: list):
+    """Trace, escalating to value specialization like the compile driver.
+
+    Returns ``(trace, None)`` or ``(None, reason)``.
+    """
+    try:
+        try:
+            return trace_kernel(fn, rank, args), None
+        except ConcretizationRequired:
+            return trace_kernel(fn, rank, args, concretize_scalars=True), None
+    except TraceError as exc:
+        return None, str(exc)
+    except Exception as exc:  # noqa: BLE001 - probe args are guesses; a
+        # kernel body may fail on them in arbitrary ways (shape logic,
+        # assertions).  Report, never crash the lint run.
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _probe_specs(name: str, fn, rank: int, arg_params: list) -> list[dict]:
+    explicit = getattr(fn, "__lint_probes__", None)
+    if explicit:
+        specs = []
+        for probe in explicit:
+            args = probe["args"]
+            specs.append(
+                {
+                    "dims": probe["dims"],
+                    "args": list(args() if callable(args) else args),
+                    "reduce": probe["reduce"],
+                    "op": probe["op"],
+                }
+            )
+        return specs
+    # Heuristic: learn array ranks from the tracer's mismatch errors.
+    ranks: dict[int, int] = {}
+    dims = (_PROBE_EXTENT,) * rank
+    for _ in range(len(arg_params) + 1):
+        args = _heuristic_args(arg_params, _PROBE_EXTENT, ranks)
+        trace, reason = _trace_with_probe(fn, rank, args)
+        if trace is not None:
+            return [{"dims": dims, "args": args, "reduce": None, "op": "add"}]
+        match = _RANK_MISMATCH_RE.search(reason or "")
+        if match:
+            pos, want = int(match.group(1)), int(match.group(2))
+            if ranks.get(pos) == want or not 1 <= want <= 3:
+                break
+            ranks[pos] = want
+            continue
+        break
+    return [{"dims": dims, "args": None, "reduce": None, "op": "add", "reason": reason}]
+
+
+def lint_kernel(name: str, fn, rank: int, arg_params: list) -> list[Diagnostic]:
+    """Probe and verify one kernel; returns its diagnostics."""
+    diags: list[Diagnostic] = []
+    suppressed = set(getattr(fn, "__verify_suppress__", ()))
+    for spec in _probe_specs(name, fn, rank, arg_params):
+        if spec["args"] is None:
+            diags.append(
+                Diagnostic(
+                    rule="V901",
+                    severity="info",
+                    kernel=name,
+                    message=(
+                        "kernel could not be statically traced "
+                        f"({spec.get('reason', 'unknown')}); if the inferred "
+                        "probe arguments are at fault, declare a @lint_probe"
+                    ),
+                )
+            )
+            continue
+        trace, reason = _trace_with_probe(fn, len(spec["dims"]), spec["args"])
+        if trace is None:
+            diags.append(
+                Diagnostic(
+                    rule="V901",
+                    severity="info",
+                    kernel=name,
+                    message=f"kernel is interpreter-tier ({reason}); "
+                    "static verification is not available",
+                )
+            )
+            continue
+        trace = optimize_trace(trace)
+        shapes = {
+            pos: a.shape
+            for pos, a in enumerate(spec["args"])
+            if isinstance(a, np.ndarray)
+        }
+        scalars = {
+            pos: a
+            for pos, a in enumerate(spec["args"])
+            if isinstance(a, (int, float)) and not isinstance(a, bool)
+        }
+        if spec["reduce"] is None:
+            # Heuristic probe: apply reduce rules only to store-free
+            # kernels that return a value (unambiguously reductions).
+            op = "add" if trace.result is not None and not trace.stores else None
+        else:
+            op = spec["op"] if spec["reduce"] else None
+        found, _ = verify_trace(
+            trace,
+            dims=spec["dims"],
+            shapes=shapes,
+            scalars=scalars,
+            op=op,
+            kernel=name,
+        )
+        diags.extend(d for d in found if d.rule not in suppressed)
+    return diags
+
+
+def lint_paths(paths: Sequence[str]) -> dict:
+    """Lint every kernel reachable from ``paths``; returns a report doc."""
+    files = []
+    totals = {"kernels": 0, "errors": 0, "warnings": 0, "infos": 0}
+    for path in iter_source_files(paths):
+        module = _import_module(path)
+        kernels = []
+        for name, fn, rank, arg_params in discover_kernels(module):
+            diags = lint_kernel(name, fn, rank, arg_params)
+            totals["kernels"] += 1
+            for d in diags:
+                key = {"error": "errors", "warning": "warnings", "info": "infos"}
+                totals[key[d.severity]] += 1
+            kernels.append(
+                {
+                    "kernel": name,
+                    "diagnostics": [
+                        {
+                            "rule": d.rule,
+                            "severity": d.severity,
+                            "message": d.message,
+                            "provenance": d.provenance,
+                        }
+                        for d in diags
+                    ],
+                }
+            )
+        files.append({"file": str(path), "kernels": kernels})
+    return {"files": files, "totals": totals}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically verify PyACC kernels (races, bounds, "
+        "reduction purity, lint rules).",
+    )
+    parser.add_argument("paths", nargs="+", help="Python files or directories")
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="only print findings"
+    )
+    ns = parser.parse_args(argv)
+
+    try:
+        report = lint_paths(ns.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if ns.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for entry in report["files"]:
+            shown = False
+            for kernel in entry["kernels"]:
+                for d in kernel["diagnostics"]:
+                    loc = f" [{d['provenance']}]" if d["provenance"] else ""
+                    print(
+                        f"{entry['file']}: {kernel['kernel']}: {d['rule']} "
+                        f"{d['severity']}: {d['message']}{loc}"
+                    )
+                    shown = True
+            if not ns.quiet and not shown and entry["kernels"]:
+                names = ", ".join(k["kernel"] for k in entry["kernels"])
+                print(f"{entry['file']}: OK ({names})")
+        t = report["totals"]
+        if not ns.quiet:
+            print(
+                f"checked {t['kernels']} kernel(s): {t['errors']} error(s), "
+                f"{t['warnings']} warning(s), {t['infos']} info(s)"
+            )
+    return 1 if report["totals"]["errors"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

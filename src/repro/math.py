@@ -11,6 +11,7 @@ symbolic values (inside traced kernels).
 from .ir.intrinsics import (
     ceil,
     cos,
+    exclusive,
     exp,
     floor,
     log,
@@ -28,6 +29,7 @@ from .ir.intrinsics import (
 __all__ = [
     "ceil",
     "cos",
+    "exclusive",
     "exp",
     "floor",
     "log",

@@ -1,0 +1,174 @@
+"""Tests for the kernel lint CLI (python -m repro.lint)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, main
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def write_module(tmp_path: Path, body: str, name: str = "kernels_mod.py") -> Path:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+class TestLintPaths:
+    def test_racy_kernel_reported_as_error(self, tmp_path, capsys):
+        path = write_module(
+            tmp_path,
+            """
+            def shift_kernel(i, x):
+                x[i] = x[i + 1]
+            """,
+        )
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "V102" in out
+        assert "shift_kernel" in out
+
+    def test_oob_kernel_reported_as_error(self, tmp_path, capsys):
+        path = write_module(
+            tmp_path,
+            """
+            def oob_kernel(i, n, x):
+                x[i + n] = 1.0
+            """,
+        )
+        assert main([str(path)]) == 1
+        assert "V201" in capsys.readouterr().out
+
+    def test_clean_kernel_exits_zero(self, tmp_path, capsys):
+        path = write_module(
+            tmp_path,
+            """
+            def axpy_kernel(i, alpha, x, y):
+                y[i] = y[i] + alpha * x[i]
+            """,
+        )
+        assert main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_warnings_do_not_fail_the_run(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """
+            def unused_kernel(i, x, y):
+                x[i] = 1.0
+            """,
+        )
+        report = lint_paths([str(path)])
+        assert report["totals"]["warnings"] == 1
+        assert report["totals"]["errors"] == 0
+        assert main([str(path)]) == 0
+
+    def test_non_kernel_functions_are_skipped(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """
+            def helper(x):
+                return x + 1
+
+            def setup(n, m):
+                return n * m
+            """,
+        )
+        report = lint_paths([str(path)])
+        assert report["totals"]["kernels"] == 0
+
+    def test_lint_probe_decorator_controls_probing(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """
+            import numpy as np
+            from repro.lint import lint_probe
+
+            @lint_probe(dims=4, args=lambda: [np.zeros((4, 3)), np.zeros(4)])
+            def rowsum_kernel(i, a, out):
+                s = 0.0
+                for k in range(a.shape[1]):
+                    s += a[i, k]
+                out[i] = s
+            """,
+        )
+        report = lint_paths([str(path)])
+        assert report["totals"] == {
+            "kernels": 1,
+            "errors": 0,
+            "warnings": 0,
+            "infos": 0,
+        }
+
+    def test_untraceable_kernel_is_info_only(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """
+            def dynamic_kernel(i, x):
+                acc = 0.0
+                for k in range(int(x[0])):
+                    acc += k
+                x[i] = acc
+            """,
+        )
+        report = lint_paths([str(path)])
+        assert report["totals"]["errors"] == 0
+        assert report["totals"]["infos"] == 1
+        assert main([str(path)]) == 0
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        path = write_module(
+            tmp_path,
+            """
+            def shift_kernel(i, x):
+                x[i] = x[i + 1]
+            """,
+        )
+        main(["--json", str(path)])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["totals"]["errors"] >= 1
+        (entry,) = doc["files"]
+        assert entry["file"] == str(path)
+        (kernel,) = entry["kernels"]
+        assert kernel["kernel"] == "shift_kernel"
+        assert any(d["rule"] == "V102" for d in kernel["diagnostics"])
+        assert all(
+            {"rule", "severity", "message", "provenance"} <= set(d)
+            for d in kernel["diagnostics"]
+        )
+
+    def test_directory_input_recurses(self, tmp_path):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        write_module(sub, "def one_kernel(i, x):\n    x[i] = 1.0\n", "a.py")
+        write_module(sub, "def two_kernel(i, y):\n    y[i] = 2.0\n", "b.py")
+        report = lint_paths([str(tmp_path)])
+        assert report["totals"]["kernels"] == 2
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAcceptance:
+    """The acceptance criteria run the CLI as a subprocess, like CI does."""
+
+    @pytest.mark.parametrize("target", ["src/repro/apps", "examples"])
+    def test_shipped_kernels_are_clean(self, target):
+        root = Path(__file__).resolve().parents[1]
+        if not (root / target).exists():
+            pytest.skip(f"{target} not present")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "-q", str(root / target)],
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
