@@ -1,0 +1,298 @@
+"""Ablation: generated NumPy programs vs the IR walk vs the interpreter.
+
+PR 3's executor ladder gives every traced kernel three execution
+strategies: the codegen tier (straight-line NumPy source compiled once,
+scratch temporaries from the arena), the vector tier (the original
+per-launch IR walk), and the scalar interpreter.  This ablation times all
+three on AXPY, DOT and the D2Q9 LBM kernel.
+
+The codegen win concentrates at *small* domains, where the per-launch
+interpretive walk (node dispatch, memo dict churn, temp allocation) is
+comparable to the actual array work — exactly the launch profile of an
+iterative solver's inner kernels.
+
+Standalone usage (the CI smoke job)::
+
+    python benchmarks/bench_ablation_codegen.py --tiny --json out.json
+
+writes ``{"axpy": {"codegen": s, "vector": s, "interpreter": s}, ...}``
+per-executor timings plus process-wide arena statistics.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.blas import axpy_kernel_1d, dot_kernel_1d
+from repro.apps.lbm import CX, CY, WEIGHTS, lbm_kernel
+from repro.ir.compile import compile_kernel
+from repro.ir.interpreter import interpret_for, interpret_reduce
+from repro.ir.vectorizer import IndexDomain, execute_trace, reduce_trace
+
+N = 1 << 14
+N_LBM = 32  # lattice edge; the interpreter leg keeps this modest
+
+
+def _axpy_args(rng):
+    return [2.5, rng.random(N), rng.random(N)]
+
+
+def _lbm_args(rng, n=N_LBM):
+    f = 1.0 + 0.01 * rng.random(9 * n * n)
+    return [f.copy(), f.copy(), f.copy(), 0.8, WEIGHTS, CX, CY, n]
+
+
+@pytest.fixture
+def axpy_args(rng):
+    return _axpy_args(rng)
+
+
+# -- AXPY --------------------------------------------------------------------
+
+
+def test_axpy_codegen(benchmark, axpy_args):
+    benchmark.group = "ablation-codegen-axpy"
+    ck = compile_kernel(axpy_kernel_1d, 1, axpy_args, executor="codegen")
+    dom = IndexDomain.full((N,))
+    benchmark(ck.run_for, dom, axpy_args)
+
+
+def test_axpy_ir_walk(benchmark, axpy_args):
+    benchmark.group = "ablation-codegen-axpy"
+    ck = compile_kernel(axpy_kernel_1d, 1, axpy_args, executor="vector")
+    dom = IndexDomain.full((N,))
+    benchmark(execute_trace, ck.trace, dom, axpy_args)
+
+
+def test_axpy_interpreted(benchmark, axpy_args):
+    benchmark.group = "ablation-codegen-axpy"
+    dom = IndexDomain.full((N,))
+    benchmark(interpret_for, axpy_kernel_1d, dom, axpy_args)
+
+
+# -- DOT ---------------------------------------------------------------------
+
+
+def test_dot_codegen(benchmark, rng):
+    benchmark.group = "ablation-codegen-dot"
+    args = [rng.random(N), rng.random(N)]
+    ck = compile_kernel(dot_kernel_1d, 1, args, reduce=True, executor="codegen")
+    dom = IndexDomain.full((N,))
+    result = benchmark(ck.run_reduce, dom, args)
+    assert result == pytest.approx(float(args[0] @ args[1]), rel=1e-10)
+
+
+def test_dot_ir_walk(benchmark, rng):
+    benchmark.group = "ablation-codegen-dot"
+    args = [rng.random(N), rng.random(N)]
+    ck = compile_kernel(dot_kernel_1d, 1, args, reduce=True, executor="vector")
+    dom = IndexDomain.full((N,))
+    result = benchmark(reduce_trace, ck.trace, dom, args)
+    assert result == pytest.approx(float(args[0] @ args[1]), rel=1e-10)
+
+
+def test_dot_interpreted(benchmark, rng):
+    benchmark.group = "ablation-codegen-dot"
+    args = [rng.random(N), rng.random(N)]
+    dom = IndexDomain.full((N,))
+    result = benchmark(interpret_reduce, dot_kernel_1d, dom, args)
+    assert result == pytest.approx(float(args[0] @ args[1]), rel=1e-10)
+
+
+# -- LBM D2Q9 ----------------------------------------------------------------
+
+
+def test_lbm_codegen(benchmark, rng):
+    benchmark.group = "ablation-codegen-lbm"
+    args = _lbm_args(rng)
+    ck = compile_kernel(lbm_kernel, 2, args, executor="codegen")
+    dom = IndexDomain.full((N_LBM, N_LBM))
+    benchmark(ck.run_for, dom, args)
+
+
+def test_lbm_ir_walk(benchmark, rng):
+    benchmark.group = "ablation-codegen-lbm"
+    args = _lbm_args(rng)
+    ck = compile_kernel(lbm_kernel, 2, args, executor="vector")
+    dom = IndexDomain.full((N_LBM, N_LBM))
+    benchmark(execute_trace, ck.trace, dom, args)
+
+
+def test_lbm_interpreted(benchmark, rng):
+    benchmark.group = "ablation-codegen-lbm"
+    n = 12  # the scalar interpreter is ~1000x slower; keep it honest but short
+    args = _lbm_args(rng, n)
+    dom = IndexDomain.full((n, n))
+    benchmark(interpret_for, lbm_kernel, dom, args)
+
+
+# -- the acceptance gate -----------------------------------------------------
+
+
+def test_codegen_speedup_on_small_domain_launch_loop(rng):
+    """A launch loop over a small domain (an iterative solver's profile)
+    must run ≥1.5x faster through the generated program than through the
+    per-launch IR walk (typically 2-2.5x: no node dispatch, no memo
+    dict, arena-recycled temporaries)."""
+    n = 1024
+    args = [2.5, rng.random(n), rng.random(n)]
+    ckc = compile_kernel(axpy_kernel_1d, 1, args, executor="codegen")
+    ckv = compile_kernel(axpy_kernel_1d, 1, args, executor="vector")
+    dom = IndexDomain.full((n,))
+    reps = 2000
+    for _ in range(100):  # warm both paths
+        ckc.run_for(dom, args)
+        execute_trace(ckv.trace, dom, args)
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        ckc.run_for(dom, args)
+    t_codegen = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        execute_trace(ckv.trace, dom, args)
+    t_walk = time.perf_counter() - t0
+
+    assert t_walk / t_codegen >= 1.5, (
+        f"codegen {t_codegen:.4f}s vs IR walk {t_walk:.4f}s "
+        f"({t_walk / t_codegen:.2f}x)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (CI smoke job / BENCH_codegen.json)
+# ---------------------------------------------------------------------------
+
+
+def _time_loop(fn, *args, reps, warmup=10):
+    for _ in range(warmup):
+        fn(*args)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn(*args)
+    return (time.perf_counter() - t0) / reps
+
+
+def run_ablation(n=N, n_lbm=N_LBM, reps=200, interp_cap=4096):
+    """Per-executor seconds-per-launch for AXPY / DOT / LBM.
+
+    ``interp_cap`` bounds the interpreter legs (they are hundreds of
+    times slower); the codegen/vector legs always run at full size.
+    """
+    rng = np.random.default_rng(42)
+    timings = {}
+
+    axpy_args = [2.5, rng.random(n), rng.random(n)]
+    dom = IndexDomain.full((n,))
+    ckc = compile_kernel(axpy_kernel_1d, 1, axpy_args, executor="codegen")
+    ckv = compile_kernel(axpy_kernel_1d, 1, axpy_args, executor="vector")
+    n_i = min(n, interp_cap)
+    axpy_args_i = [2.5, rng.random(n_i), rng.random(n_i)]
+    timings["axpy"] = {
+        "codegen": _time_loop(ckc.run_for, dom, axpy_args, reps=reps),
+        "vector": _time_loop(
+            execute_trace, ckv.trace, dom, axpy_args, reps=reps
+        ),
+        "interpreter": _time_loop(
+            interpret_for,
+            axpy_kernel_1d,
+            IndexDomain.full((n_i,)),
+            axpy_args_i,
+            reps=max(1, reps // 20),
+        ),
+        "n": n,
+        "interpreter_n": n_i,
+    }
+
+    dot_args = [rng.random(n), rng.random(n)]
+    ckc = compile_kernel(
+        dot_kernel_1d, 1, dot_args, reduce=True, executor="codegen"
+    )
+    ckv = compile_kernel(
+        dot_kernel_1d, 1, dot_args, reduce=True, executor="vector"
+    )
+    dot_args_i = [rng.random(n_i), rng.random(n_i)]
+    timings["dot"] = {
+        "codegen": _time_loop(ckc.run_reduce, dom, dot_args, reps=reps),
+        "vector": _time_loop(
+            reduce_trace, ckv.trace, dom, dot_args, reps=reps
+        ),
+        "interpreter": _time_loop(
+            interpret_reduce,
+            dot_kernel_1d,
+            IndexDomain.full((n_i,)),
+            dot_args_i,
+            reps=max(1, reps // 20),
+        ),
+        "n": n,
+        "interpreter_n": n_i,
+    }
+
+    lbm_args = _lbm_args(rng, n_lbm)
+    dom2 = IndexDomain.full((n_lbm, n_lbm))
+    ckc = compile_kernel(lbm_kernel, 2, lbm_args, executor="codegen")
+    ckv = compile_kernel(lbm_kernel, 2, lbm_args, executor="vector")
+    n_lbm_i = min(n_lbm, 12)
+    lbm_args_i = _lbm_args(rng, n_lbm_i)
+    timings["lbm"] = {
+        "codegen": _time_loop(ckc.run_for, dom2, lbm_args, reps=max(1, reps // 4)),
+        "vector": _time_loop(
+            execute_trace, ckv.trace, dom2, lbm_args, reps=max(1, reps // 4)
+        ),
+        "interpreter": _time_loop(
+            interpret_for,
+            lbm_kernel,
+            IndexDomain.full((n_lbm_i, n_lbm_i)),
+            lbm_args_i,
+            reps=max(1, reps // 100),
+        ),
+        "n": n_lbm,
+        "interpreter_n": n_lbm_i,
+    }
+    return timings
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    from repro.ir.arena import global_stats
+
+    parser = argparse.ArgumentParser(
+        description="codegen vs IR-walk vs interpreter ablation"
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test sizes (CI): seconds total, not minutes",
+    )
+    parser.add_argument("--json", metavar="FILE", default=None)
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        timings = run_ablation(n=1 << 10, n_lbm=8, reps=20, interp_cap=256)
+    else:
+        timings = run_ablation()
+
+    doc = {"timings": timings, "arena": global_stats()}
+    for kernel, row in timings.items():
+        ratio = row["vector"] / row["codegen"]
+        print(
+            f"{kernel:>5}: codegen {row['codegen'] * 1e6:9.2f}us  "
+            f"ir-walk {row['vector'] * 1e6:9.2f}us  "
+            f"interp {row['interpreter'] * 1e6:9.2f}us  "
+            f"(codegen {ratio:.2f}x vs walk)"
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -49,7 +49,9 @@ from .ir import (
     KernelVerificationWarning,
     cache_info,
     clear_cache,
+    executor_mode,
     inspect_kernel,
+    set_executor_mode,
     set_verify_mode,
     suppress,
     verify_kernel,
@@ -74,7 +76,9 @@ __all__ = [
     "cache_info",
     "clear_cache",
     "current_context",
+    "executor_mode",
     "inspect_kernel",
+    "set_executor_mode",
     "is_backend_array",
     "launch",
     "math",

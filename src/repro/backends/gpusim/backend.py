@@ -83,14 +83,14 @@ class GpuSimBackend(Backend):
         lanes = int(np.prod(plan.dims))
         dev = self.device
         if not plan.is_reduce:
-            kernel.run_for(domain, args)
+            kernel.run_for(domain, args, plan.arena)
             dev._charge_kernel(
                 kernel, lanes, plan.ndim, getattr(kernel.fn, "__name__", "kernel")
             )
             self.accounting.n_kernel_launches += 1
             self._sync_counters()
             return None
-        result = kernel.run_reduce(domain, args, plan.op)
+        result = kernel.run_reduce(domain, args, plan.op, plan.arena)
         cost = dev.model.reduce_cost(kernel.stats, lanes, plan.ndim)
         mult = self._overhead.reduce_bw_mult
         # The Intel ≈35% DOT overhead is a bandwidth-efficiency loss of the

@@ -154,11 +154,13 @@ class MultiDeviceBackend(Backend):
         domains = plan.schedule.domains
         if not plan.is_reduce:
             for dom in domains:
-                kernel.run_for(dom, args)
+                kernel.run_for(dom, args, plan.arena)
             self.accounting.n_kernel_launches += len(domains)
             self._charge(kernel, domains, plan.dims)
             return None
-        partials = [kernel.run_reduce(dom, args, op) for dom in domains]
+        partials = [
+            kernel.run_reduce(dom, args, op, plan.arena) for dom in domains
+        ]
         self.accounting.n_kernel_launches += 2 * len(domains)
         # Per-device reduction cost + per-device scalar readback.
         start = max(dev.clock.now for dev in self.devices)

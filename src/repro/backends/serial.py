@@ -46,8 +46,10 @@ class SerialBackend(Backend):
         self.accounting.n_kernel_launches += 1
         (domain,) = plan.schedule.domains
         if plan.is_reduce:
-            return plan.kernel.run_reduce(domain, plan.resolved_args, plan.op)
-        plan.kernel.run_for(domain, plan.resolved_args)
+            return plan.kernel.run_reduce(
+                domain, plan.resolved_args, plan.op, plan.arena
+            )
+        plan.kernel.run_for(domain, plan.resolved_args, plan.arena)
         return None
 
 

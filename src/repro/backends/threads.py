@@ -146,23 +146,29 @@ class ThreadsBackend(Backend):
             else self.model.for_cost(kernel.stats, lanes, plan.ndim)
         )
         self.accounting.sim_time += cost.total
+        arena = plan.arena
         if plan.schedule.inline:
             (domain,) = plan.schedule.domains
             if plan.is_reduce:
-                return kernel.run_reduce(domain, args, op)
-            kernel.run_for(domain, args)
+                return kernel.run_reduce(domain, args, op, arena)
+            kernel.run_for(domain, args, arena)
             return None
         pool = self._ensure_pool()
+        # Each chunk opens its own arena *frame*: workers draw from the
+        # shared per-context pool under its lock, but an in-flight buffer
+        # belongs to exactly one frame, so chunks never alias scratch
+        # memory (the verifier's V101/V102 facts already guarantee the
+        # kernel effects themselves are chunk-independent).
         if not plan.is_reduce:
             futures = [
-                pool.submit(kernel.run_for, dom, args)
+                pool.submit(kernel.run_for, dom, args, arena)
                 for dom in plan.schedule.domains
             ]
             for fut in futures:
                 fut.result()  # join + re-raise worker errors (Threads.@sync)
             return None
         futures = [
-            pool.submit(kernel.run_reduce, dom, args, op)
+            pool.submit(kernel.run_reduce, dom, args, op, arena)
             for dom in plan.schedule.domains
         ]
         partials = [fut.result() for fut in futures]

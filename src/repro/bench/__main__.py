@@ -137,6 +137,7 @@ def main(argv=None) -> int:
         print("all within 2x band" if ok else "SOME RATIOS OUTSIDE 2x BAND")
 
     if args.json:
+        from ..ir.arena import global_stats
         from ..ir.diagnostics import counters
 
         doc = {"panels": [_panel_to_dict(p) for p in all_panels]}
@@ -148,6 +149,9 @@ def main(argv=None) -> int:
         # Verifier activity across the run — a kernel that starts
         # warning (or erroring) shows up in the perf trajectory JSON.
         doc["diagnostics"] = counters.snapshot()
+        # Scratch-arena activity (all executors, process-wide): buffer
+        # churn avoided by the codegen tier's pooled temporaries.
+        doc["arena"] = global_stats()
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
         print(f"wrote {args.json}")

@@ -113,6 +113,7 @@ def _resolve(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
     args (backend arrays → raw storage)."""
     plan.backend = ctx.backend()
     plan.resolved_args = plan.backend.resolve_args(plan.args)
+    plan.arena = ctx.arena
     return plan
 
 

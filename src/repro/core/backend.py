@@ -192,6 +192,12 @@ class Backend(ABC):
         plan.backend = self
         plan.resolved_args = list(args)
         plan.kernel = kernel
+        # Native paths skip the resolve stage; draw scratch buffers from
+        # the calling context's arena anyway so direct backend use pools
+        # temporaries exactly like staged dispatch.
+        from .context import current_context
+
+        plan.arena = current_context().arena
         plan.schedule = self.schedule(plan)
         return plan
 

@@ -24,7 +24,10 @@ Each context also owns:
   backend accounting fields;
 * an **asynchronous launch queue** — an in-order stream (one worker, like
   a CUDA stream) that ``repro.launch(..., sync=False)`` submits to and
-  ``repro.synchronize()`` drains.
+  ``repro.synchronize()`` drains;
+* a **scratch-buffer arena** (:class:`repro.ir.arena.ScratchArena`) that
+  the codegen executor draws ``out=`` temporaries from — per-context, so
+  concurrent tenants never exchange buffers.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Union
 
+from ..ir.arena import ScratchArena
 from .exceptions import BackendError
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -71,6 +75,10 @@ class ExecutionContext:
         #: Per-context compiled-kernel cache; ``None`` uses the
         #: process-global cache in :mod:`repro.ir.compile`.
         self.kernel_cache = kernel_cache
+        #: Per-context scratch-buffer pool for generated kernels (see
+        #: :mod:`repro.ir.arena`); scoped like the kernel cache so
+        #: concurrent tenants never share buffers.
+        self.arena = ScratchArena()
         self._on_launch: list[Callable[["LaunchPlan"], None]] = []
         self._on_complete: list[Callable[["LaunchPlan"], None]] = []
         self._lock = threading.Lock()

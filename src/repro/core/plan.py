@@ -32,6 +32,7 @@ from .launch import LaunchConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from concurrent.futures import Future
 
+    from ..ir.arena import ScratchArena
     from ..ir.compile import CompiledKernel
     from .backend import Backend
 
@@ -86,6 +87,10 @@ class LaunchPlan:
     # -- filled by the resolve stage --------------------------------------
     backend: Optional["Backend"] = None
     resolved_args: Optional[list] = None
+    #: The execution context's scratch-buffer arena; backends hand it to
+    #: ``CompiledKernel.run_for``/``run_reduce`` so generated kernels
+    #: draw ``out=`` temporaries from a per-context pool.
+    arena: Optional["ScratchArena"] = None
 
     # -- filled by the compile stage ---------------------------------------
     kernel: Optional["CompiledKernel"] = None

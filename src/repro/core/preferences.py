@@ -30,12 +30,15 @@ from .exceptions import PreferencesError
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "DEFAULT_EXECUTOR",
     "DEFAULT_VERIFY_MODE",
+    "EXECUTOR_MODES",
     "VERIFY_MODES",
     "preferences_path",
     "read_preferences",
     "write_preference",
     "resolve_backend_name",
+    "resolve_executor_mode",
     "resolve_verify_mode",
 ]
 
@@ -48,9 +51,18 @@ VERIFY_MODES = ("off", "warn", "error")
 #: Default verifier enforcement: report findings, never block a launch.
 DEFAULT_VERIFY_MODE = "warn"
 
+#: Executor strategies for traced kernels (see repro.ir.compile):
+#: ``codegen`` lowers the trace to straight-line NumPy source once,
+#: ``vector`` walks the IR per launch, ``interpreter`` skips tracing.
+EXECUTOR_MODES = ("codegen", "vector", "interpreter")
+
+#: Default executor: generated code (the fastest steady-state path).
+DEFAULT_EXECUTOR = "codegen"
+
 _ENV_FILE = "PYACC_PREFERENCES"
 _ENV_BACKEND = "PYACC_BACKEND"
 _ENV_VERIFY = "PYACC_VERIFY"
+_ENV_EXECUTOR = "PYACC_EXECUTOR"
 _TABLE = "repro"
 _FILENAME = "LocalPreferences.toml"
 
@@ -146,5 +158,26 @@ def resolve_verify_mode() -> str:
     if mode not in VERIFY_MODES:
         raise PreferencesError(
             f"verify mode must be one of {VERIFY_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def resolve_executor_mode() -> str:
+    """Decide the kernel executor: env var > file > default.
+
+    The environment variable is ``PYACC_EXECUTOR``; the preferences key
+    is ``executor`` under ``[repro]``.  Valid values are ``codegen``
+    (lower each trace to generated NumPy source, the default),
+    ``vector`` (walk the IR per launch) and ``interpreter`` (scalar
+    reference execution, no tracing) — the ablation axis for the
+    codegen benchmark.
+    """
+    mode = os.environ.get(_ENV_EXECUTOR)
+    if not mode:
+        prefs = read_preferences()
+        mode = prefs.get("executor", DEFAULT_EXECUTOR)
+    if mode not in EXECUTOR_MODES:
+        raise PreferencesError(
+            f"executor mode must be one of {EXECUTOR_MODES}, got {mode!r}"
         )
     return mode

@@ -6,16 +6,24 @@ DESIGN.md §2).  Public surface:
 * :func:`repro.ir.compile.compile_kernel` — the specialization ladder.
 * :mod:`repro.ir.intrinsics` — portable math usable inside kernels.
 * :class:`repro.ir.vectorizer.IndexDomain` — launch sub-domains.
+* :mod:`repro.ir.codegen` — the straight-line NumPy code generator (the
+  default executor tier) and :mod:`repro.ir.arena`, its scratch-buffer
+  pool; :func:`repro.ir.compile.executor_mode` /
+  :func:`~repro.ir.compile.set_executor_mode` select the tier.
 * :mod:`repro.ir.verify` — the static kernel verifier (races, bounds,
   reduction purity) and its enforcement-mode controls.
 """
 
+from .arena import ScratchArena, default_arena
+from .arena import global_stats as arena_stats
 from .compile import (
     CompiledKernel,
     KernelCache,
     cache_info,
     clear_cache,
     compile_kernel,
+    executor_mode,
+    set_executor_mode,
 )
 from .diagnostics import Diagnostic, KernelVerificationWarning
 from .inspect import KernelReport, inspect_kernel
@@ -35,10 +43,15 @@ __all__ = [
     "KernelCache",
     "KernelReport",
     "KernelVerificationWarning",
+    "ScratchArena",
+    "arena_stats",
+    "default_arena",
     "inspect_kernel",
     "cache_info",
     "clear_cache",
     "compile_kernel",
+    "executor_mode",
+    "set_executor_mode",
     "set_verify_mode",
     "suppress",
     "verify_kernel",

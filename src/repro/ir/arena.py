@@ -1,0 +1,186 @@
+"""Scratch-buffer arena: recycled temporaries for generated kernels.
+
+The codegen executor (:mod:`repro.ir.codegen`) writes every full-domain
+temporary with ``out=`` into a preallocated buffer instead of letting each
+ufunc allocate a fresh result array.  Iterative solvers issue hundreds of
+identical launches (HPCCG/CG run the same AXPY/DOT/matvec shapes every
+iteration), so without reuse the allocator is churned with the same
+``(shape, dtype)`` requests over and over — pure overhead the paper's
+LLVM-compiled kernels never pay.
+
+Design
+------
+* A :class:`ScratchArena` keeps per-``(shape, dtype)`` free-lists of
+  buffers.  Arenas are **per execution context** (see
+  :class:`repro.core.context.ExecutionContext`), so concurrent tenants
+  never exchange buffers; a process-wide default arena backs direct
+  ``CompiledKernel.run_for`` calls made outside any context.
+* A launch acquires buffers through an :class:`ArenaFrame` and releases
+  them all when the launch finishes.  The threads backend opens **one
+  frame per worker chunk**: frames draw from the shared pool under the
+  arena lock, but a buffer belongs to exactly one frame while in flight,
+  so chunked execution shares nothing (the verifier's V101/V102 analysis
+  already guarantees chunk independence at the kernel level; the arena
+  preserves it at the allocator level).
+* Statistics (buffers created/reused, bytes saved) are kept per arena and
+  aggregated process-wide for the bench harness's ``--json`` output.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ScratchArena", "ArenaFrame", "default_arena", "global_stats"]
+
+_F8_STR = np.dtype(np.float64).str
+
+
+class _GlobalCounters:
+    """Process-wide aggregate across every arena (bench reporting)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.buffers_created = 0
+        self.buffers_reused = 0
+        self.bytes_allocated = 0
+        self.bytes_saved = 0
+
+    def record(self, *, created: int, reused: int, bytes_allocated: int, bytes_saved: int) -> None:
+        with self._lock:
+            self.buffers_created += created
+            self.buffers_reused += reused
+            self.bytes_allocated += bytes_allocated
+            self.bytes_saved += bytes_saved
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "buffers_created": self.buffers_created,
+                "buffers_reused": self.buffers_reused,
+                "bytes_allocated": self.bytes_allocated,
+                "bytes_saved": self.bytes_saved,
+            }
+
+
+_GLOBAL = _GlobalCounters()
+
+
+def global_stats() -> dict:
+    """Process-wide arena activity (all arenas, since process start)."""
+    return _GLOBAL.snapshot()
+
+
+class ArenaFrame:
+    """The buffers one launch (or one worker chunk) has checked out.
+
+    ``take(shape, dtype)`` returns a C-contiguous scratch array drawn from
+    the arena's pool (or freshly allocated on a pool miss); ``release()``
+    returns every taken buffer to the pool.  Frames are not thread-safe —
+    each worker owns its own frame, which is the whole point.
+    """
+
+    __slots__ = ("_arena", "_taken")
+
+    def __init__(self, arena: "ScratchArena"):
+        self._arena = arena
+        self._taken: list[tuple[tuple, np.ndarray]] = []
+
+    def take(self, shape: tuple, dtype=np.float64) -> np.ndarray:
+        # Generated kernels take float64 scratch on every launch; skip
+        # the np.dtype round-trip on that hot path.
+        if dtype is np.float64:
+            key = (shape, _F8_STR)
+        else:
+            key = (shape, np.dtype(dtype).str)
+        buf = self._arena._pop(key, shape, dtype)
+        self._taken.append((key, buf))
+        return buf
+
+    def release(self) -> None:
+        if self._taken:
+            self._arena._push_all(self._taken)
+            self._taken = []
+
+    # Context-manager sugar for direct users/tests.
+    def __enter__(self) -> "ArenaFrame":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class ScratchArena:
+    """Pooled scratch buffers keyed by ``(shape, dtype)``.
+
+    Thread-safe: pops and pushes hold one lock; the arrays themselves are
+    only ever visible to one frame at a time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pools: dict[tuple, list[np.ndarray]] = {}
+        self._created = 0
+        self._reused = 0
+        self._bytes_allocated = 0
+        self._bytes_saved = 0
+
+    def frame(self) -> ArenaFrame:
+        """Open a frame for one launch / worker chunk."""
+        return ArenaFrame(self)
+
+    # -- pool mechanics (called by frames) ---------------------------------
+    def _pop(self, key: tuple, shape: tuple, dtype) -> np.ndarray:
+        with self._lock:
+            pool = self._pools.get(key)
+            if pool:
+                buf = pool.pop()
+                self._reused += 1
+                self._bytes_saved += buf.nbytes
+                _GLOBAL.record(created=0, reused=1, bytes_allocated=0, bytes_saved=buf.nbytes)
+                return buf
+        buf = np.empty(shape, dtype=dtype)
+        with self._lock:
+            self._created += 1
+            self._bytes_allocated += buf.nbytes
+        _GLOBAL.record(created=1, reused=0, bytes_allocated=buf.nbytes, bytes_saved=0)
+        return buf
+
+    def _push_all(self, taken: list[tuple[tuple, np.ndarray]]) -> None:
+        with self._lock:
+            for key, buf in taken:
+                self._pools.setdefault(key, []).append(buf)
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> dict:
+        """Locked snapshot: live buffer count + reuse counters."""
+        with self._lock:
+            live = sum(len(v) for v in self._pools.values())
+            return {
+                "buffers_live": live,
+                "buffers_created": self._created,
+                "buffers_reused": self._reused,
+                "bytes_allocated": self._bytes_allocated,
+                "bytes_saved": self._bytes_saved,
+            }
+
+    def clear(self) -> None:
+        """Drop pooled buffers (tests / memory pressure)."""
+        with self._lock:
+            self._pools.clear()
+
+
+#: Fallback arena for kernel executions issued outside any execution
+#: context (direct ``CompiledKernel.run_for`` calls, the ka layer).
+_DEFAULT = ScratchArena()
+
+
+def default_arena() -> ScratchArena:
+    return _DEFAULT
+
+
+def resolve(arena: Optional[ScratchArena]) -> ScratchArena:
+    """The arena to use for a launch: the given one, else the default."""
+    return arena if arena is not None else _DEFAULT

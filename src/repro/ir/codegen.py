@@ -1,0 +1,738 @@
+"""Trace-to-NumPy code generation: the top rung of the executor ladder.
+
+:mod:`repro.ir.vectorizer` executes a traced kernel by *walking* the IR on
+every launch — re-dispatching on node types, re-building the memo table,
+and allocating a fresh temporary per node.  That interpretive overhead is
+exactly what the paper's LLVM code generator does not pay: a Julia kernel
+is lowered once and every subsequent launch calls machine code.  This
+module closes the gap at the Python level: an optimized
+:class:`~repro.ir.nodes.Trace` is lowered **once** into straight-line
+Python/NumPy source — one ufunc call per IR node, in program order —
+compiled via :func:`compile`/``exec`` and cached on the
+:class:`~repro.ir.compile.CompiledKernel`.  Steady-state launches then
+run a plain Python function: no IR walk, no isinstance dispatch, no memo
+dict.
+
+Semantics are the vectorizer's, statically replayed
+---------------------------------------------------
+The generated program must be **bit-identical** to the IR walk (the
+differential suite in ``tests/test_codegen.py`` enforces this), so the
+lowering mirrors :class:`~repro.ir.vectorizer.VectorEvaluator` mechanism
+by mechanism:
+
+* **Memoization** becomes SSA-style temporaries: each distinct node object
+  is emitted once and later uses reference its variable.
+* **Store invalidation** becomes *static re-emission*: after a store to
+  array position ``p``, every emitted temporary whose value transitively
+  read ``p`` is forgotten; a later use re-emits the computation, exactly
+  as the evaluator re-walks it after dropping the memo entry.
+* The **identity fast paths** (whole-array / sub-box views for
+  ``x[i, j]``-shaped loads and stores) and the clamped-**gather** /
+  masked-**scatter** general paths are shared with the vectorizer — the
+  runtime helpers below call the very same code.
+
+Arena-backed temporaries
+------------------------
+Where the result dtype and shape can be *proven* at lowering time
+(float64, exactly the launch-domain shape), the emitted ufunc writes into
+a recycled scratch buffer (``out=_take(shape)``, see
+:mod:`repro.ir.arena`) instead of allocating; the final operation of an
+unconditional identity store is fused straight into the destination array
+(``np.add(a, b, out=x)`` for AXPY).  The dtype inference is deliberately
+conservative — anything uncertain (float32 inputs, small-int arrays,
+bool math) simply allocates like the vectorizer does, which is always
+correct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import KernelExecutionError
+from . import nodes as N
+from .arena import ScratchArena, resolve as _resolve_arena
+from .vectorizer import (
+    _as_index_array,
+    _BIN_FUNCS,
+    _BOOL_FUNCS,
+    _CMP_FUNCS,
+    _gather,
+    _UN_FUNCS,
+    IndexDomain,
+)
+
+__all__ = ["CodegenError", "CodegenProgram", "lower_trace"]
+
+
+class CodegenError(Exception):
+    """Lowering declined this trace; the caller falls back to the IR walk."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers shared by all generated programs.
+#
+# These replicate the vectorizer's Load/Store paths verbatim; keeping them
+# as plain functions (bound into the generated module's globals) keeps the
+# generated source short and guarantees the two executors cannot drift.
+# ---------------------------------------------------------------------------
+
+
+def _chk_array(args: Sequence[Any], pos: int) -> np.ndarray:
+    arr = args[pos]
+    if not isinstance(arr, np.ndarray):
+        raise KernelExecutionError(
+            f"argument {pos} is referenced as an array in the trace but "
+            f"a {type(arr).__name__} was passed"
+        )
+    return arr
+
+
+def _load_ident(arr: np.ndarray, dom: IndexDomain) -> np.ndarray:
+    """``x[i]`` / ``x[i, j]`` over (a chunk of) the domain — view fast
+    path, falling back to the clamped gather over the index grids."""
+    if len(arr.shape) == dom.ndim:
+        if dom.is_full_identity(arr.shape):
+            return arr
+        if all(hi <= s for (lo, hi), s in zip(dom.ranges, arr.shape)):
+            return arr[tuple(slice(lo, hi) for lo, hi in dom.ranges)]
+    return _gather(arr, dom.grids)
+
+
+def _store_ident(arr: np.ndarray, dom: IndexDomain, value: Any) -> None:
+    """Unconditional identity store: whole-array or sub-box assignment."""
+    if dom.is_full_identity(arr.shape):
+        arr[...] = value
+        return
+    slices = tuple(slice(lo, hi) for lo, hi in dom.ranges)
+    arr[slices] = np.broadcast_to(value, dom.shape)
+
+
+def _ident_view(arr: np.ndarray, dom: IndexDomain) -> Optional[np.ndarray]:
+    """The destination view an identity store writes, or ``None`` when the
+    assignment path must be taken (shape mismatch → same errors as the
+    vectorizer)."""
+    if dom.is_full_identity(arr.shape):
+        return arr
+    if len(arr.shape) == dom.ndim and all(
+        hi <= s for (lo, hi), s in zip(dom.ranges, arr.shape)
+    ):
+        return arr[tuple(slice(lo, hi) for lo, hi in dom.ranges)]
+    return None
+
+
+def _scatter(arr, dom, idx_vals, value, mask, pos):
+    shape = dom.shape
+    idx = tuple(
+        _as_index_array(np.broadcast_to(np.asarray(v), shape))
+        for v in idx_vals
+    )
+    value_b = np.broadcast_to(np.asarray(value), shape)
+    if mask is None:
+        try:
+            arr[idx] = value_b
+        except IndexError as exc:
+            raise KernelExecutionError(
+                f"out-of-bounds store into argument {pos}: {exc}"
+            ) from exc
+        return
+    sel = np.broadcast_to(np.asarray(mask, dtype=bool), shape)
+    if not sel.any():
+        return
+    try:
+        arr[tuple(ix[sel] for ix in idx)] = value_b[sel]
+    except IndexError as exc:
+        raise KernelExecutionError(
+            f"out-of-bounds store into argument {pos}: {exc}"
+        ) from exc
+
+
+def _normalize_mask(mask):
+    """The vectorizer's scalar-mask protocol: statically false skips the
+    store, statically true degrades to unconditional.  Returns the
+    sentinel ``_SKIP`` for "store suppressed"."""
+    if mask is False or (np.isscalar(mask) and not mask):
+        return _SKIP
+    if mask is True or (np.isscalar(mask) and mask):
+        return None
+    return mask
+
+
+_SKIP = object()
+
+
+def _store_guarded_ident(arr, dom, value, mask, pos):
+    """Identity-indexed store with a guard: scalar-true masks take the
+    same fast path the vectorizer takes; lane masks scatter over grids."""
+    mask = _normalize_mask(mask)
+    if mask is _SKIP:
+        return
+    if mask is None:
+        _store_ident(arr, dom, value)
+        return
+    _scatter(arr, dom, dom.grids, value, mask, pos)
+
+
+def _store_general(arr, dom, idx_vals, value, mask, pos):
+    if mask is not None:
+        mask = _normalize_mask(mask)
+        if mask is _SKIP:
+            return
+    _scatter(arr, dom, idx_vals, value, mask, pos)
+
+
+# ---------------------------------------------------------------------------
+# Static inference: result dtype and broadcast shape per node.
+#
+# Both analyses exist only to decide where ``out=`` is safe.  They are
+# *sound*, never complete: a ``None`` verdict means "allocate like the
+# vectorizer would", which is always correct.  Tokens:
+#
+# dtype — 'f8' (definitely float64), 'i' (int32/int64/uint32/uint64/intp
+#   array value, whose float promotions are float64), 'b' (boolean),
+#   'wi'/'wf' (weak Python int/float scalars, NEP 50), None (unknown —
+#   float32, small ints, anything exotic).
+# shape — per-axis booleans (True = the launch-domain extent on that
+#   axis, False = broadcast size 1), 'scalar' for scalar values, or None.
+# ---------------------------------------------------------------------------
+
+_F8_PARTNERS = frozenset({"f8", "i", "b", "wi", "wf"})
+_I_DTYPES = frozenset({"i4", "u4", "i8", "u8"})
+
+
+def _array_dtype_token(dtype: np.dtype) -> Optional[str]:
+    if dtype == np.float64:
+        return "f8"
+    if dtype == np.bool_:
+        return "b"
+    kind_size = f"{dtype.kind}{dtype.itemsize}"
+    if dtype.kind in "iu" and kind_size in _I_DTYPES:
+        return "i"
+    return None
+
+
+def _scalar_dtype_token(value: Any) -> Optional[str]:
+    v = value.item() if isinstance(value, np.generic) else value
+    if isinstance(v, bool):
+        return "b"
+    if isinstance(v, int):
+        return "wi"
+    if isinstance(v, float):
+        return "wf"
+    return None
+
+
+def _promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """NEP 50 promotion for arithmetic / ``where`` — f8-certifying only."""
+    if a is None or b is None:
+        return None
+    pair = {a, b}
+    if "f8" in pair and pair <= _F8_PARTNERS | {"f8"}:
+        return "f8"
+    if "i" in pair and "wf" in pair:
+        return "f8"  # int64-family + any float scalar → float64
+    if pair <= {"i", "b", "wi"}:
+        return "i" if "i" in pair else "wi"
+    if pair <= {"wf", "wi", "b"}:
+        return "wf"
+    return None
+
+
+class _Inference:
+    """Memoized dtype/shape analysis over the trace's shared DAG."""
+
+    def __init__(self, ndim: int, args: Sequence[Any]):
+        self.ndim = ndim
+        self.args = args
+        self._dtype: dict[int, Optional[str]] = {}
+        self._shape: dict[int, Any] = {}
+
+    # -- dtype ------------------------------------------------------------
+    def dtype(self, node: N.Node) -> Optional[str]:
+        nid = id(node)
+        if nid not in self._dtype:
+            self._dtype[nid] = self._dtype_inner(node)
+        return self._dtype[nid]
+
+    def _dtype_inner(self, node: N.Node) -> Optional[str]:
+        if isinstance(node, N.Const):
+            return _scalar_dtype_token(node.value)
+        if isinstance(node, N.Index):
+            return "i"
+        if isinstance(node, N.ScalarArg):
+            return _scalar_dtype_token(self.args[node.pos])
+        if isinstance(node, N.Load):
+            arr = self.args[node.array.pos]
+            if isinstance(arr, np.ndarray):
+                return _array_dtype_token(arr.dtype)
+            return None
+        if isinstance(node, N.BinOp):
+            a, b = self.dtype(node.lhs), self.dtype(node.rhs)
+            if node.op == "truediv":
+                if a is None or b is None:
+                    return None
+                pair = {a, b}
+                if "f8" in pair and pair <= _F8_PARTNERS | {"f8"}:
+                    return "f8"
+                if "i" in pair and pair <= {"i", "b", "wi", "wf"}:
+                    return "f8"
+                if pair <= {"wf", "wi"}:
+                    return "wf"
+                return None
+            return _promote(a, b)
+        if isinstance(node, N.UnOp):
+            t = self.dtype(node.operand)
+            if node.op in ("neg", "abs"):
+                return t if t in ("f8", "i", "wi", "wf") else None
+            if node.op == "sign":
+                return t if t in ("f8", "i") else None
+            # sqrt/exp/log/trig/floor/ceil: float64 for float64 and for the
+            # int64 family (whose float loop is the double one); weak
+            # scalars stay unknown — a runtime np.float32 scalar would
+            # compute in single precision.
+            return "f8" if t in ("f8", "i") else None
+        if isinstance(node, (N.Compare, N.BoolOp, N.Not)):
+            return "b"
+        if isinstance(node, N.Select):
+            return _promote(
+                self.dtype(node.if_true), self.dtype(node.if_false)
+            )
+        if isinstance(node, N.Cast):
+            return "i" if node.kind == "int" else "f8"
+        return None
+
+    # -- shape ------------------------------------------------------------
+    def shape(self, node: N.Node) -> Any:
+        nid = id(node)
+        if nid not in self._shape:
+            self._shape[nid] = self._shape_inner(node)
+        return self._shape[nid]
+
+    def _broadcast(self, *shapes: Any) -> Any:
+        out = "scalar"
+        for s in shapes:
+            if s is None:
+                return None
+            if s == "scalar":
+                continue
+            if out == "scalar":
+                out = s
+            else:
+                out = tuple(x or y for x, y in zip(out, s))
+        return out
+
+    def _shape_inner(self, node: N.Node) -> Any:
+        if isinstance(node, (N.Const, N.ScalarArg)):
+            return "scalar"
+        if isinstance(node, N.Index):
+            return tuple(ax == node.axis for ax in range(self.ndim))
+        if isinstance(node, N.Load):
+            if _static_identity(node.indices, self.ndim):
+                return tuple(True for _ in range(self.ndim))
+            # Gather: result = broadcast of the (non-scalar) index shapes.
+            return self._broadcast(*(self.shape(ix) for ix in node.indices))
+        if isinstance(node, (N.BinOp, N.Compare, N.BoolOp)):
+            return self._broadcast(self.shape(node.lhs), self.shape(node.rhs))
+        if isinstance(node, (N.UnOp, N.Not, N.Cast)):
+            return self.shape(node.operand)
+        if isinstance(node, N.Select):
+            return self._broadcast(
+                self.shape(node.cond),
+                self.shape(node.if_true),
+                self.shape(node.if_false),
+            )
+        return None
+
+    def is_full_f8(self, node: N.Node) -> bool:
+        """True when the node provably evaluates to a float64 array of
+        exactly the launch-domain shape — the ``out=`` certificate."""
+        shape = self.shape(node)
+        return (
+            self.dtype(node) == "f8"
+            and isinstance(shape, tuple)
+            and all(shape)
+        )
+
+
+def _static_identity(indices: tuple, ndim: int) -> bool:
+    if len(indices) != ndim:
+        return False
+    return all(
+        isinstance(ix, N.Index) and ix.axis == ax
+        for ax, ix in enumerate(indices)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+class _Lowering:
+    def __init__(self, trace: N.Trace, args: Sequence[Any]):
+        self.trace = trace
+        self.ndim = trace.ndim
+        self.infer = _Inference(trace.ndim, args)
+        self.args = args
+        self.lines: list[str] = []
+        self.emitted: dict[int, str] = {}
+        self.deps: dict[int, frozenset[int]] = {}
+        self.used_axes: set[int] = set()
+        self.used_scalars: set[int] = set()
+        self.used_arrays: set[int] = set()
+        self.n_out = 0  # arena-buffer writes emitted (introspection)
+        self._tmp_n = 0
+        self._counts = self._use_counts(trace)
+
+    @staticmethod
+    def _use_counts(trace: N.Trace) -> dict[int, int]:
+        """How many times the evaluator would be asked for each node: once
+        per root slot plus once per parent reference in the shared DAG."""
+        counts: dict[int, int] = {}
+        seen: set[int] = set()
+        stack: list[N.Node] = []
+        for root in trace.expressions():
+            counts[id(root)] = counts.get(id(root), 0) + 1
+            stack.append(root)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            for child in node.children:
+                counts[id(child)] = counts.get(id(child), 0) + 1
+                stack.append(child)
+        return counts
+
+    def _tmp(self) -> str:
+        self._tmp_n += 1
+        return f"t{self._tmp_n}"
+
+    def _deps_of(self, *children: N.Node) -> frozenset[int]:
+        out: frozenset[int] = frozenset()
+        for c in children:
+            d = self.deps.get(id(c))
+            if d:
+                out |= d
+        return out
+
+    def _invalidate(self, array_pos: int) -> None:
+        dead = [
+            nid for nid, dp in self.deps.items() if array_pos in dp
+        ]
+        for nid in dead:
+            self.emitted.pop(nid, None)
+            self.deps.pop(nid, None)
+
+    # -- expressions -----------------------------------------------------
+    def emit(self, node: N.Node) -> str:
+        if isinstance(node, N.Const):
+            v = node.value
+            if isinstance(v, float) and not math.isfinite(v):
+                if math.isnan(v):
+                    return "_np.nan"
+                return "_np.inf" if v > 0 else "(-_np.inf)"
+            if isinstance(v, (bool, int, float)):
+                return repr(v)
+            raise CodegenError(f"non-literal constant {type(v).__name__}")
+        if isinstance(node, N.Index):
+            if node.axis >= self.ndim:
+                raise CodegenError(
+                    f"index axis {node.axis} out of range for "
+                    f"{self.ndim}-D domain"
+                )
+            self.used_axes.add(node.axis)
+            return f"_g{node.axis}"
+        if isinstance(node, N.ScalarArg):
+            self.used_scalars.add(node.pos)
+            return f"_s{node.pos}"
+        nid = id(node)
+        if nid in self.emitted:
+            return self.emitted[nid]
+        rhs, deps = self._emit_inner(node)
+        var = self._tmp()
+        self.lines.append(f"{var} = {rhs}")
+        self.emitted[nid] = var
+        if deps:
+            self.deps[nid] = deps
+        return var
+
+    def _maybe_out(self, node: N.Node) -> str:
+        """``, out=_take(_shape)`` when the result is provably a float64
+        full-domain array — the arena-backed allocation elision."""
+        if self.infer.is_full_f8(node):
+            self.n_out += 1
+            return ", out=_take(_shape)"
+        return ""
+
+    def _array_ref(self, pos: int) -> str:
+        self.used_arrays.add(pos)
+        return f"_a{pos}"
+
+    def _emit_inner(self, node: N.Node) -> tuple[str, frozenset[int]]:
+        if isinstance(node, N.Load):
+            arr = self._array_ref(node.array.pos)
+            if _static_identity(node.indices, self.ndim):
+                return f"_load_ident({arr}, _dom)", frozenset(
+                    {node.array.pos}
+                )
+            idx = ", ".join(self.emit(ix) for ix in node.indices)
+            deps = self._deps_of(*node.indices) | {node.array.pos}
+            return f"_gather({arr}, ({idx},))", deps
+        if isinstance(node, N.BinOp):
+            a = self.emit(node.lhs)
+            b = self.emit(node.rhs)
+            deps = self._deps_of(node.lhs, node.rhs)
+            return f"_b_{node.op}({a}, {b}{self._maybe_out(node)})", deps
+        if isinstance(node, N.UnOp):
+            v = self.emit(node.operand)
+            deps = self._deps_of(node.operand)
+            return f"_u_{node.op}({v}{self._maybe_out(node)})", deps
+        if isinstance(node, N.Compare):
+            a = self.emit(node.lhs)
+            b = self.emit(node.rhs)
+            return f"_c_{node.op}({a}, {b})", self._deps_of(
+                node.lhs, node.rhs
+            )
+        if isinstance(node, N.BoolOp):
+            a = self.emit(node.lhs)
+            b = self.emit(node.rhs)
+            return f"_l_{node.op}({a}, {b})", self._deps_of(
+                node.lhs, node.rhs
+            )
+        if isinstance(node, N.Not):
+            v = self.emit(node.operand)
+            return f"_l_not({v})", self._deps_of(node.operand)
+        if isinstance(node, N.Select):
+            c = self.emit(node.cond)
+            t = self.emit(node.if_true)
+            f = self.emit(node.if_false)
+            return f"_where({c}, {t}, {f})", self._deps_of(
+                node.cond, node.if_true, node.if_false
+            )
+        if isinstance(node, N.Cast):
+            v = self.emit(node.operand)
+            target = "_np.int64" if node.kind == "int" else "_np.float64"
+            return f"_np.asarray({v}).astype({target})", self._deps_of(
+                node.operand
+            )
+        raise CodegenError(f"unknown IR node {type(node).__name__}")
+
+    # -- effects -----------------------------------------------------------
+    def _fusable(self, store: N.Store) -> bool:
+        """Can the store's value ufunc write the destination directly?
+        Requires: single-use BinOp/UnOp value, provably float64 over the
+        full domain, float64 destination — so ``out=`` stores the same
+        bits slice assignment would."""
+        value = store.value
+        if not isinstance(value, (N.BinOp, N.UnOp)):
+            return False
+        if self._counts.get(id(value), 0) != 1 or id(value) in self.emitted:
+            return False
+        if not self.infer.is_full_f8(value):
+            return False
+        dest = self.args[store.array.pos]
+        return isinstance(dest, np.ndarray) and dest.dtype == np.float64
+
+    def emit_store(self, store: N.Store) -> None:
+        pos = store.array.pos
+        arr = self._array_ref(pos)
+        identity = _static_identity(store.indices, self.ndim)
+
+        if store.condition is None and identity:
+            if self._fusable(store):
+                value = store.value
+                if isinstance(value, N.BinOp):
+                    a = self.emit(value.lhs)
+                    b = self.emit(value.rhs)
+                    call = f"_b_{value.op}({a}, {b}"
+                else:
+                    v = self.emit(value.operand)
+                    call = f"_u_{value.op}({v}"
+                self.lines += [
+                    f"_d = _ident_view({arr}, _dom)",
+                    "if _d is not None:",
+                    f"    {call}, out=_d)",
+                    "else:",
+                    f"    _store_ident({arr}, _dom, {call}))",
+                ]
+            else:
+                val = self.emit(store.value)
+                self.lines.append(f"_store_ident({arr}, _dom, {val})")
+            self._invalidate(pos)
+            return
+
+        # Evaluation order matches the vectorizer: value, then mask, then
+        # (for non-identity stores) the scatter indices.
+        val = self.emit(store.value)
+        mask = (
+            self.emit(store.condition)
+            if store.condition is not None
+            else "None"
+        )
+        if identity:
+            self.lines.append(
+                f"_store_guarded_ident({arr}, _dom, {val}, {mask}, {pos})"
+            )
+        else:
+            idx = ", ".join(self.emit(ix) for ix in store.indices)
+            self.lines.append(
+                f"_store_general({arr}, _dom, ({idx},), {val}, {mask}, {pos})"
+            )
+        self._invalidate(pos)
+
+    # -- assembly -----------------------------------------------------------
+    def lower(self) -> tuple[str, bool]:
+        for store in self.trace.stores:
+            self.emit_store(store)
+        has_result = self.trace.result is not None
+        if has_result:
+            self.lines.append(f"return {self.emit(self.trace.result)}")
+
+        body = ["def _kernel(args, _dom, _take):"]
+        body.append(f"    if len(_dom.ranges) != {self.ndim}:")
+        body.append(
+            "        raise _KernelExecutionError("
+            f"'kernel was generated for a {self.ndim}-D domain, got '"
+            " + str(len(_dom.ranges)) + '-D')"
+        )
+        body.append("    _shape = _dom.shape")
+        for ax in sorted(self.used_axes):
+            body.append(f"    _g{ax} = _dom.grids[{ax}]")
+        for pos in sorted(self.used_arrays):
+            body.append(f"    _a{pos} = _chk_array(args, {pos})")
+        for pos in sorted(self.used_scalars):
+            body.append(f"    _s{pos} = args[{pos}]")
+        body += [f"    {line}" for line in self.lines]
+        return "\n".join(body) + "\n", has_result
+
+
+def _program_globals() -> dict:
+    g = {
+        "_np": np,
+        "_gather": _gather,
+        "_load_ident": _load_ident,
+        "_store_ident": _store_ident,
+        "_ident_view": _ident_view,
+        "_store_guarded_ident": _store_guarded_ident,
+        "_store_general": _store_general,
+        "_chk_array": _chk_array,
+        "_where": np.where,
+        "_l_not": np.logical_not,
+        "_KernelExecutionError": KernelExecutionError,
+    }
+    for op, fn in _BIN_FUNCS.items():
+        g[f"_b_{op}"] = fn
+    for op, fn in _UN_FUNCS.items():
+        g[f"_u_{op}"] = fn
+    for op, fn in _CMP_FUNCS.items():
+        g[f"_c_{op}"] = fn
+    for op, fn in _BOOL_FUNCS.items():
+        g[f"_l_{op}"] = fn
+    return g
+
+
+_REDUCE_IDENTITY = {"add": 0.0, "min": float(np.inf), "max": float(-np.inf)}
+
+
+class CodegenProgram:
+    """A trace lowered to an executable straight-line NumPy program.
+
+    ``source`` is the generated Python (dumpable via
+    :func:`repro.ir.inspect.inspect_kernel`); ``run_for``/``run_reduce``
+    mirror the vectorizer entry points, with an optional
+    :class:`~repro.ir.arena.ScratchArena` supplying the ``out=``
+    temporaries (the context arena in staged dispatch, a process default
+    otherwise).
+    """
+
+    __slots__ = ("source", "ndim", "has_result", "n_out_buffers", "_fn")
+
+    def __init__(
+        self, source: str, ndim: int, has_result: bool, n_out_buffers: int
+    ):
+        self.source = source
+        self.ndim = ndim
+        self.has_result = has_result
+        self.n_out_buffers = n_out_buffers
+        namespace = _program_globals()
+        code = compile(source, "<pyacc-codegen>", "exec")
+        exec(code, namespace)
+        self._fn = namespace["_kernel"]
+
+    def run_for(
+        self,
+        domain: IndexDomain,
+        args: Sequence[Any],
+        arena: Optional[ScratchArena] = None,
+    ) -> None:
+        frame = _resolve_arena(arena).frame()
+        try:
+            self._fn(args, domain, frame.take)
+        finally:
+            frame.release()
+
+    def run_reduce(
+        self,
+        domain: IndexDomain,
+        args: Sequence[Any],
+        op: str = "add",
+        arena: Optional[ScratchArena] = None,
+    ) -> float:
+        if not self.has_result:
+            raise KernelExecutionError(
+                "parallel_reduce kernel did not return a value on any path"
+            )
+        if domain.size == 0:
+            try:
+                return _REDUCE_IDENTITY[op]
+            except KeyError:
+                raise KernelExecutionError(
+                    f"unsupported reduction op {op!r}"
+                ) from None
+        # The fold reads ``values`` (possibly an arena buffer) — the frame
+        # is released only after the fold so no concurrent launch can
+        # recycle the buffer mid-reduction.
+        frame = _resolve_arena(arena).frame()
+        try:
+            values = self._fn(args, domain, frame.take)
+            values = np.broadcast_to(
+                np.asarray(values, dtype=np.float64), domain.shape
+            )
+            if op == "add":
+                return float(np.sum(values))
+            if op == "min":
+                return float(np.min(values))
+            if op == "max":
+                return float(np.max(values))
+            raise KernelExecutionError(f"unsupported reduction op {op!r}")
+        finally:
+            frame.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CodegenProgram ndim={self.ndim} "
+            f"out_buffers={self.n_out_buffers}>"
+        )
+
+
+def lower_trace(trace: N.Trace, args: Sequence[Any]) -> CodegenProgram:
+    """Lower an optimized trace to a :class:`CodegenProgram`.
+
+    ``args`` are the trace-time arguments — their dtypes (already part of
+    the kernel-cache key) drive the ``out=`` certification.  Raises
+    :class:`CodegenError` when the trace uses a construct the generator
+    does not support; the compile ladder then stays on the IR walk.
+    """
+    lowering = _Lowering(trace, args)
+    try:
+        source, has_result = lowering.lower()
+        return CodegenProgram(
+            source, trace.ndim, has_result, lowering.n_out
+        )
+    except CodegenError:
+        raise
+    except Exception as exc:  # defensive: never break compilation
+        raise CodegenError(f"lowering failed: {exc}") from exc

@@ -29,8 +29,16 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from ..core.exceptions import ConcretizationRequired, TraceError, TraceFallback
+from ..core.exceptions import (
+    ConcretizationRequired,
+    PreferencesError,
+    TraceError,
+    TraceFallback,
+)
+from ..core.preferences import EXECUTOR_MODES, resolve_executor_mode
 from . import nodes as N
+from .arena import ScratchArena
+from .codegen import CodegenError, CodegenProgram, lower_trace
 from .interpreter import interpret_for, interpret_reduce
 from .optimize import optimize_trace
 from .stats import TraceStats, analyze
@@ -43,6 +51,8 @@ __all__ = [
     "compile_kernel",
     "clear_cache",
     "cache_info",
+    "executor_mode",
+    "set_executor_mode",
 ]
 
 
@@ -59,7 +69,8 @@ class CompiledKernel:
     ndim:
         Launch-domain rank.
     mode:
-        ``"vector"``, ``"vector-specialized"`` or ``"interpreter"``.
+        ``"codegen"``, ``"codegen-specialized"``, ``"vector"``,
+        ``"vector-specialized"`` or ``"interpreter"``.
     trace:
         The IR trace (``None`` in interpreter mode).
     stats:
@@ -67,7 +78,9 @@ class CompiledKernel:
         placeholder with ``n_paths = 0``).
     fallback_reason:
         Why the ladder descended, for diagnostics (``None`` for plain
-        vector mode).
+        codegen/vector mode).
+    codegen:
+        The generated straight-line NumPy program (codegen modes only).
     """
 
     fn: Callable
@@ -76,6 +89,7 @@ class CompiledKernel:
     trace: Optional[N.Trace]
     stats: TraceStats
     fallback_reason: Optional[str] = None
+    codegen: Optional[CodegenProgram] = None
 
     @property
     def is_reduction(self) -> bool:
@@ -83,17 +97,35 @@ class CompiledKernel:
             return self.trace.is_reduction
         return True  # interpreter kernels are checked at run time
 
-    def run_for(self, domain: IndexDomain, args: Sequence[Any]) -> None:
-        """Execute as a ``parallel_for`` body over ``domain``."""
-        if self.trace is not None:
+    def run_for(
+        self,
+        domain: IndexDomain,
+        args: Sequence[Any],
+        arena: Optional[ScratchArena] = None,
+    ) -> None:
+        """Execute as a ``parallel_for`` body over ``domain``.
+
+        ``arena`` supplies scratch buffers to the generated program
+        (ignored by the IR-walk and interpreter tiers); ``None`` uses the
+        process-default arena.
+        """
+        if self.codegen is not None:
+            self.codegen.run_for(domain, args, arena)
+        elif self.trace is not None:
             execute_trace(self.trace, domain, args)
         else:
             interpret_for(self.fn, domain, args)
 
     def run_reduce(
-        self, domain: IndexDomain, args: Sequence[Any], op: str = "add"
+        self,
+        domain: IndexDomain,
+        args: Sequence[Any],
+        op: str = "add",
+        arena: Optional[ScratchArena] = None,
     ) -> float:
         """Execute as a ``parallel_reduce`` body over ``domain``."""
+        if self.codegen is not None:
+            return self.codegen.run_reduce(domain, args, op, arena)
         if self.trace is not None:
             return reduce_trace(self.trace, domain, args, op)
         return interpret_reduce(self.fn, domain, args, op)
@@ -151,16 +183,27 @@ class KernelCache:
     misses: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def lookup(self, key: tuple) -> Optional[CompiledKernel]:
+    def lookup(
+        self, key: tuple, *, count_miss: bool = False
+    ) -> Optional[CompiledKernel]:
+        """Fetch a compiled kernel; a hit always counts.
+
+        A miss is counted only when ``count_miss`` is set — the compile
+        driver sets it on the *final* ladder rung, so one full cache-miss
+        walk counts exactly one miss, and a compile that subsequently
+        raises (e.g. ``TraceError`` for a valueless reduce kernel) is
+        still counted instead of silently inflating the hit rate.
+        """
         with self._lock:
             ck = self.entries.get(key)
             if ck is not None:
                 self.hits += 1
+            elif count_miss:
+                self.misses += 1
             return ck
 
     def store(self, key: tuple, ck: CompiledKernel) -> None:
         with self._lock:
-            self.misses += 1
             self.entries[key] = ck
 
     def clear(self) -> None:
@@ -211,6 +254,47 @@ def _analyze_or_placeholder(trace: Optional[N.Trace]) -> TraceStats:
     return analyze(trace)
 
 
+# ---------------------------------------------------------------------------
+# Executor selection (the PYACC_EXECUTOR ablation axis)
+# ---------------------------------------------------------------------------
+
+_executor_override: Optional[str] = None
+_executor_resolved: Optional[str] = None
+
+
+def executor_mode() -> str:
+    """The active executor strategy: ``codegen``/``vector``/``interpreter``.
+
+    Resolved once from ``PYACC_EXECUTOR`` / the preferences file (see
+    :func:`repro.core.preferences.resolve_executor_mode`) and cached —
+    compile_kernel consults this on every call, so the resolution must
+    not touch the filesystem per launch.
+    """
+    global _executor_resolved
+    if _executor_override is not None:
+        return _executor_override
+    if _executor_resolved is None:
+        _executor_resolved = resolve_executor_mode()
+    return _executor_resolved
+
+
+def set_executor_mode(mode: Optional[str]) -> None:
+    """Override the executor strategy process-wide (ablation/tests).
+
+    ``None`` drops the override *and* the cached resolution, so the next
+    compile re-reads ``PYACC_EXECUTOR``/preferences.  Note the kernel
+    cache keys on the executor, so switching recompiles rather than
+    reusing kernels built for another strategy.
+    """
+    global _executor_override, _executor_resolved
+    if mode is not None and mode not in EXECUTOR_MODES:
+        raise PreferencesError(
+            f"executor mode must be one of {EXECUTOR_MODES}, got {mode!r}"
+        )
+    _executor_override = mode
+    _executor_resolved = None
+
+
 def compile_kernel(
     fn: Callable,
     ndim: int,
@@ -219,6 +303,7 @@ def compile_kernel(
     reduce: bool = False,
     max_paths: Optional[int] = None,
     cache: Optional[KernelCache] = None,
+    executor: Optional[str] = None,
 ) -> CompiledKernel:
     """Compile (or fetch from cache) a kernel for the given call site.
 
@@ -226,11 +311,19 @@ def compile_kernel(
     ladder requires it, shapes/values) enter the cache key.  ``cache``
     selects the :class:`KernelCache` to consult — ``None`` (the default)
     uses the process-global cache; execution contexts may scope a private
-    one (see :mod:`repro.core.context`).
+    one (see :mod:`repro.core.context`).  ``executor`` pins the execution
+    strategy for this call (``codegen``/``vector``/``interpreter``);
+    ``None`` uses :func:`executor_mode`.
     """
     if cache is None:
         cache = _CACHE
-    base_key = (fn, ndim, bool(reduce), _type_signature(args))
+    if executor is None:
+        executor = executor_mode()
+    elif executor not in EXECUTOR_MODES:
+        raise PreferencesError(
+            f"executor mode must be one of {EXECUTOR_MODES}, got {executor!r}"
+        )
+    base_key = (fn, ndim, bool(reduce), executor, _type_signature(args))
 
     # 1. Generic (type-specialized) entry.
     ck = cache.lookup(base_key)
@@ -241,13 +334,14 @@ def compile_kernel(
     ck = cache.lookup(shape_key)
     if ck is not None:
         return ck
-    # 3. Value-specialized entry (kernel needed concrete scalars).
+    # 3. Value-specialized entry (kernel needed concrete scalars).  This
+    # is the final rung: a miss here is *the* cache miss for this call.
     value_key = (
         base_key
         + ("shape", _shape_signature(args))
         + ("values", _value_signature(args))
     )
-    ck = cache.lookup(value_key)
+    ck = cache.lookup(value_key, count_miss=True)
     if ck is not None:
         return ck
 
@@ -255,27 +349,32 @@ def compile_kernel(
     trace: Optional[N.Trace] = None
     mode = "vector"
     reason: Optional[str] = None
-    try:
-        trace = trace_kernel(fn, ndim, args, **kwargs)
-    except ConcretizationRequired as exc:
-        reason = str(exc)
+    if executor == "interpreter":
+        # Forced scalar execution (ablation baseline): skip tracing.
+        mode = "interpreter"
+        reason = "executor=interpreter (forced scalar execution)"
+    else:
         try:
-            trace = trace_kernel(
-                fn, ndim, args, concretize_scalars=True, **kwargs
-            )
-            mode = "vector-specialized"
-        except TraceError as exc2:
-            reason = f"{reason}; then: {exc2}"
+            trace = trace_kernel(fn, ndim, args, **kwargs)
+        except ConcretizationRequired as exc:
+            reason = str(exc)
+            try:
+                trace = trace_kernel(
+                    fn, ndim, args, concretize_scalars=True, **kwargs
+                )
+                mode = "vector-specialized"
+            except TraceError as exc2:
+                reason = f"{reason}; then: {exc2}"
+                trace = None
+                mode = "interpreter"
+        except TraceFallback as exc:
+            reason = str(exc)
             trace = None
             mode = "interpreter"
-    except TraceFallback as exc:
-        reason = str(exc)
-        trace = None
-        mode = "interpreter"
-    except TraceError as exc:
-        reason = str(exc)
-        trace = None
-        mode = "interpreter"
+        except TraceError as exc:
+            reason = str(exc)
+            trace = None
+            mode = "interpreter"
 
     if trace is not None and reduce and trace.result is None:
         raise TraceError(
@@ -303,6 +402,21 @@ def compile_kernel(
             implicit_return_paths=0,
         )
 
+    codegen: Optional[CodegenProgram] = None
+    if executor == "codegen" and trace is not None:
+        # Top rung: lower the optimized trace to straight-line NumPy
+        # source.  A lowering failure is not an error — the IR walk runs
+        # the same trace, just slower.
+        try:
+            codegen = lower_trace(trace, args)
+            mode = "codegen" if mode == "vector" else "codegen-specialized"
+        except CodegenError as exc:
+            reason = (
+                f"{reason}; codegen declined: {exc}"
+                if reason
+                else f"codegen declined: {exc}"
+            )
+
     ck = CompiledKernel(
         fn=fn,
         ndim=ndim,
@@ -310,16 +424,17 @@ def compile_kernel(
         trace=trace,
         stats=_analyze_or_placeholder(trace),
         fallback_reason=reason,
+        codegen=codegen,
     )
 
-    if mode == "vector" and trace is not None and not trace.shape_dependent:
+    specialized = mode in ("vector-specialized", "codegen-specialized")
+    if trace is not None and not specialized and not trace.shape_dependent:
         cache.store(base_key, ck)
-    elif mode == "vector" and trace is not None:
+    elif trace is not None and not specialized:
         cache.store(shape_key, ck)
-    elif mode == "vector-specialized":
-        cache.store(value_key, ck)
     else:
-        # Interpreter fallback: cache under the value key so a different
-        # scalar value (e.g. a different loop bound) recompiles.
+        # Value-specialized traces and interpreter fallbacks: cache under
+        # the value key so a different scalar value (e.g. a different
+        # loop bound) recompiles.
         cache.store(value_key, ck)
     return ck

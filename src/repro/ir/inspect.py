@@ -13,9 +13,12 @@ class on each modeled architecture.  The moral equivalent of Julia's
 ...     x[i] += alpha * y[i]
 >>> report = inspect_kernel(axpy, 1, [2.5, np.ones(4), np.ones(4)])
 >>> report.mode
-'vector'
+'codegen'
 >>> report.stats.loads
 2.0
+
+The generated straight-line NumPy program (the codegen tier's artifact)
+is on ``report.source`` — print it to see exactly what a launch runs.
 """
 
 from __future__ import annotations
@@ -37,7 +40,9 @@ class KernelReport:
 
     name: str
     ndim: int
-    mode: str  # "vector" | "vector-specialized" | "interpreter"
+    #: "codegen" | "codegen-specialized" | "vector" |
+    #: "vector-specialized" | "interpreter"
+    mode: str
     n_paths: int
     stats: TraceStats
     ir: str  # formatted trace, "" in interpreter mode
@@ -46,6 +51,8 @@ class KernelReport:
     kernel_class: str  # perf class at this ndim ("n/a" for interpreter)
     #: Verifier findings (populated when concrete dims were given).
     diagnostics: tuple = ()
+    #: Generated Python/NumPy source ("" unless the codegen tier was hit).
+    source: str = ""
 
     def explain(self) -> str:
         """Human-readable multi-line summary."""
@@ -59,8 +66,11 @@ class KernelReport:
                 "and int()/float() on traced values prevent tracing"
             )
             return "\n".join(lines)
-        tier = "vectorized trace"
-        if self.mode == "vector-specialized":
+        if self.mode.startswith("codegen"):
+            tier = "generated NumPy program"
+        else:
+            tier = "vectorized trace"
+        if self.mode.endswith("-specialized"):
             tier += f" (value-specialized on {self.specialized_on})"
         lines.append(f"  tier: {tier}")
         lines.append(
@@ -79,6 +89,9 @@ class KernelReport:
             lines += [f"    {d}" for d in self.diagnostics]
         lines.append("  IR:")
         lines += [f"    {line}" for line in self.ir.splitlines()]
+        if self.source:
+            lines.append("  generated source:")
+            lines += [f"    {line}" for line in self.source.splitlines()]
         return "\n".join(lines)
 
 
@@ -153,4 +166,5 @@ def inspect_kernel(
         specialized_on=specialized,
         kernel_class=kernel_class,
         diagnostics=diagnostics,
+        source=ck.codegen.source if ck.codegen is not None else "",
     )

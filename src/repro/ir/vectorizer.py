@@ -31,6 +31,7 @@ Key behaviours
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Sequence
 
 import numpy as np
@@ -54,7 +55,7 @@ class IndexDomain:
     broadcast-ready index arrays; ``shape`` is the dense shape of the box.
     """
 
-    __slots__ = ("ranges", "grids", "shape")
+    __slots__ = ("ranges", "grids", "shape", "zero_based")
 
     def __init__(self, ranges: Sequence[tuple[int, int]]):
         if not 1 <= len(ranges) <= 3:
@@ -69,15 +70,26 @@ class IndexDomain:
         grids = []
         for ax, (lo, hi) in enumerate(self.ranges):
             idx = np.arange(lo, hi, dtype=np.intp)
+            # Grids are shared (notably by the `full` cache) — freeze them
+            # so no executor can scribble on another launch's index arrays.
+            idx.setflags(write=False)
             shape = [1] * nd
             shape[ax] = hi - lo
             grids.append(idx.reshape(shape))
         self.grids = tuple(grids)
         self.shape = tuple(hi - lo for lo, hi in self.ranges)
+        self.zero_based = all(lo == 0 for lo, _ in self.ranges)
 
     @classmethod
     def full(cls, dims: Sequence[int]) -> "IndexDomain":
-        return cls([(0, d) for d in dims])
+        """The whole launch domain ``(0, d)`` per axis.
+
+        Full domains recur on every launch of the same problem size, so
+        the instance (and its ``arange`` grids) is cached per ``dims``;
+        :class:`IndexDomain` is immutable and the grids are frozen, so
+        sharing one instance across launches and threads is safe.
+        """
+        return _full_domain(tuple(int(d) for d in dims))
 
     @property
     def ndim(self) -> int:
@@ -93,10 +105,15 @@ class IndexDomain:
     def is_full_identity(self, arr_shape: tuple[int, ...]) -> bool:
         """True when this domain covers ``arr_shape`` exactly (axis by
         axis), enabling the whole-array fast path."""
-        return (
-            len(arr_shape) == self.ndim
-            and all(lo == 0 and hi == s for (lo, hi), s in zip(self.ranges, arr_shape))
-        )
+        # Hot path of every executor — a zero-based box covers the array
+        # exactly iff the dense shapes match (one tuple comparison).
+        return self.zero_based and arr_shape == self.shape
+
+
+@lru_cache(maxsize=64)
+def _full_domain(dims: tuple[int, ...]) -> IndexDomain:
+    """Memoized full-domain construction (see :meth:`IndexDomain.full`)."""
+    return IndexDomain([(0, d) for d in dims])
 
 
 _BIN_FUNCS = {

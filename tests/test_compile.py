@@ -24,11 +24,31 @@ def dot(i, x, y):
 
 
 class TestLadder:
-    def test_plain_kernel_compiles_to_vector(self):
+    def test_plain_kernel_compiles_to_codegen(self):
         ck = compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        assert ck.mode == "codegen"
+        assert ck.trace is not None
+        assert ck.codegen is not None
+        assert ck.fallback_reason is None
+
+    def test_vector_executor_skips_codegen(self):
+        ck = compile_kernel(
+            axpy, 1, [2.0, np.ones(4), np.ones(4)], executor="vector"
+        )
         assert ck.mode == "vector"
         assert ck.trace is not None
+        assert ck.codegen is None
         assert ck.fallback_reason is None
+
+    def test_interpreter_executor_skips_tracing(self):
+        ck = compile_kernel(
+            axpy, 1, [2.0, np.ones(4), np.ones(4)], executor="interpreter"
+        )
+        assert ck.mode == "interpreter"
+        assert ck.trace is None
+        x = np.zeros(4)
+        ck.run_for(IndexDomain.full((4,)), [2.0, x, np.ones(4)])
+        assert np.allclose(x, 2.0)
 
     def test_loop_bound_kernel_value_specializes(self):
         def k(i, x, m):
@@ -38,7 +58,7 @@ class TestLadder:
             x[i] = s
 
         ck = compile_kernel(k, 1, [np.ones(4), 3])
-        assert ck.mode == "vector-specialized"
+        assert ck.mode == "codegen-specialized"
         assert ck.trace.const_args == {1: 3}
         assert ck.fallback_reason is not None
 
@@ -85,7 +105,7 @@ class TestCacheKeys:
         ck2 = compile_kernel(axpy, 1, [3.0, np.zeros(100), np.zeros(100)])
         after = cache_info()
         assert after["hits"] == before["hits"] + 1
-        assert ck2.mode == "vector"
+        assert ck2.mode == "codegen"
 
     def test_different_rank_misses(self):
         def k2(i, j, x):
@@ -155,6 +175,27 @@ class TestCacheKeys:
         before = cache_info()["hits"]
         compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
         assert cache_info()["hits"] == before + 1
+
+    def test_failed_compile_counts_as_miss(self):
+        # A lookup that walks the whole ladder and then fails to compile
+        # still experienced a full cache miss; stats must reflect it.
+        def k(i, x):
+            x[i] = 1.0
+
+        with pytest.raises(TraceError):
+            compile_kernel(k, 1, [np.ones(3)], reduce=True)
+        info = cache_info()
+        assert info["misses"] == 1
+        assert info["size"] == 0
+
+    def test_executor_part_of_key(self):
+        compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        compile_kernel(
+            axpy, 1, [2.0, np.ones(4), np.ones(4)], executor="vector"
+        )
+        info = cache_info()
+        assert info["size"] == 2
+        assert info["misses"] == 2
 
     def test_clear_cache_resets(self):
         compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])

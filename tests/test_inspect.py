@@ -25,7 +25,7 @@ def axpy(i, alpha, x, y):
 class TestReportContents:
     def test_vector_kernel(self):
         rep = inspect_kernel(axpy, 1, [2.5, np.ones(4), np.ones(4)])
-        assert rep.mode == "vector"
+        assert rep.mode == "codegen"
         assert rep.name == "axpy"
         assert rep.n_paths == 1
         assert rep.kernel_class == "stream"
@@ -55,9 +55,21 @@ class TestReportContents:
             x[i] = s
 
         rep = inspect_kernel(k, 1, [np.ones(4), 3])
-        assert rep.mode == "vector-specialized"
+        assert rep.mode == "codegen-specialized"
         assert rep.specialized_on == {1: 3}
         assert "specialized" in rep.explain()
+
+    def test_generated_source_in_report(self):
+        rep = inspect_kernel(axpy, 1, [2.5, np.ones(4), np.ones(4)])
+        assert "def _kernel" in rep.source
+        assert "generated source:" in rep.explain()
+        # the vector executor carries no generated program
+        from repro.ir.compile import compile_kernel
+
+        ck = compile_kernel(
+            axpy, 1, [2.5, np.ones(4), np.ones(4)], executor="vector"
+        )
+        assert ck.codegen is None
 
     def test_interpreter_kernel_reports_reason(self):
         def k(i, x, m):
