@@ -42,7 +42,23 @@ from .core import (
     zeros,
 )
 from .backends import available_backends, register_backend
-from .core.exceptions import KernelVerificationError
+from .core.exceptions import (
+    CheckpointError,
+    DeviceError,
+    KernelVerificationError,
+    LaunchTimeoutError,
+    PermanentDeviceError,
+    TransientDeviceError,
+)
+from .faults import (
+    FaultPlan,
+    InjectedFault,
+    LaunchPolicy,
+    global_fault_stats,
+    set_fault_plan,
+    set_launch_policy,
+)
+from .checkpoint import SolverCheckpoint
 from .ir import (
     Diagnostic,
     KernelCache,
@@ -63,13 +79,22 @@ __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "CheckpointError",
+    "DeviceError",
     "Diagnostic",
     "ExecutionContext",
+    "FaultPlan",
+    "InjectedFault",
     "KernelCache",
     "KernelVerificationError",
     "KernelVerificationWarning",
     "LaunchHandle",
     "LaunchPlan",
+    "LaunchPolicy",
+    "LaunchTimeoutError",
+    "PermanentDeviceError",
+    "SolverCheckpoint",
+    "TransientDeviceError",
     "active_backend",
     "array",
     "available_backends",
@@ -77,8 +102,11 @@ __all__ = [
     "clear_cache",
     "current_context",
     "executor_mode",
+    "global_fault_stats",
     "inspect_kernel",
     "set_executor_mode",
+    "set_fault_plan",
+    "set_launch_policy",
     "is_backend_array",
     "launch",
     "math",

@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from ..core import array, parallel_for, parallel_reduce, to_host
+from ..core.exceptions import DeviceError
 from .blas import axpy_kernel_1d, dot_kernel_1d
 
 __all__ = [
@@ -133,6 +134,7 @@ def cg_solve_operator(
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
     x0: Optional[np.ndarray] = None,
+    checkpoint=None,
 ) -> CGResult:
     """CG on an abstract SPD operator, built from the portable constructs.
 
@@ -140,6 +142,13 @@ def cg_solve_operator(
     backend (``dp``/``ds`` are backend arrays) using portable constructs —
     this is how the HPCCG 27-point and MiniFE FE operators plug in while
     the vector algebra stays shared.  Convergence: ``‖r‖₂ ≤ tol·‖b‖₂``.
+
+    ``checkpoint`` (a :class:`repro.checkpoint.SolverCheckpoint`) enables
+    periodic snapshots of the CG recurrence state; if a device fault
+    escapes the launch policy's retry/failover mid-iteration, the solver
+    rolls back to the last snapshot and resumes instead of losing the
+    whole run.  CG's recurrence is self-contained in ``(x, r, p, rr)``,
+    so a restored solve converges to the same answer.
     """
     n = len(b)
     max_iter = max_iter if max_iter is not None else 10 * n
@@ -167,20 +176,41 @@ def cg_solve_operator(
 
     converged = False
     it = 0
-    for it in range(1, max_iter + 1):
-        apply_matvec(dp, ds)  # s = A p
-        ps = parallel_reduce(n, dot_kernel_1d, dp, ds)
-        alpha = rr / ps
-        parallel_for(n, axpy_kernel_1d, alpha, dx, dp)    # x += alpha p
-        parallel_for(n, axpy_kernel_1d, -alpha, dr, ds)   # r -= alpha s
-        rr_new = parallel_reduce(n, dot_kernel_1d, dr, dr)
+    i = 1
+    while i <= max_iter:
+        try:
+            apply_matvec(dp, ds)  # s = A p
+            ps = parallel_reduce(n, dot_kernel_1d, dp, ds)
+            alpha = rr / ps
+            parallel_for(n, axpy_kernel_1d, alpha, dx, dp)    # x += alpha p
+            parallel_for(n, axpy_kernel_1d, -alpha, dr, ds)   # r -= alpha s
+            rr_new = parallel_reduce(n, dot_kernel_1d, dr, dr)
+            done = float(np.sqrt(rr_new)) <= threshold
+            if not done:
+                beta = rr_new / rr
+                parallel_for(n, xpby_kernel, beta, dr, dp)    # p = r + beta p
+        except DeviceError:
+            # A fault escaped the launch policy (retry exhausted, or no
+            # failover rung left).  Roll back to the last snapshot: the
+            # iteration state may be half-updated, the snapshot is not.
+            if checkpoint is None or not checkpoint.has_snapshot:
+                raise
+            snap = checkpoint.restore()
+            dx, dr, dp = array(snap["x"]), array(snap["r"]), array(snap["p"])
+            ds = array(np.zeros(n))
+            rr = float(snap["rr"])
+            norms = list(snap["norms"])
+            i = checkpoint.iteration + 1
+            continue
+        it = i
         norms.append(float(np.sqrt(rr_new)))
-        if norms[-1] <= threshold:
+        rr = rr_new
+        if done:
             converged = True
             break
-        beta = rr_new / rr
-        parallel_for(n, xpby_kernel, beta, dr, dp)        # p = r + beta p
-        rr = rr_new
+        if checkpoint is not None and checkpoint.due(i):
+            checkpoint.save(i, x=dx, r=dr, p=dp, rr=rr, norms=list(norms))
+        i += 1
 
     return CGResult(
         x=to_host(dx), iterations=it, converged=converged, residual_norms=norms

@@ -211,8 +211,16 @@ def hpccg_solve(
     *,
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
+    checkpoint=None,
 ) -> CGResult:
-    """Unpreconditioned CG on an ELL operator via the portable constructs."""
+    """Unpreconditioned CG on an ELL operator via the portable constructs.
+
+    ``checkpoint`` (a :class:`repro.checkpoint.SolverCheckpoint`) enables
+    periodic snapshot/restart of the CG state — see
+    :func:`repro.apps.cg.cg_solve_operator`.  The operator data
+    (``cols``/``vals``) is read-only during the solve, so only the
+    recurrence vectors are snapshotted.
+    """
     dcols = array(a.cols)
     dvals = array(a.vals)
     n = a.n
@@ -220,4 +228,6 @@ def hpccg_solve(
     def apply_matvec(dp, ds):
         parallel_for(n, matvec_ell_kernel, dcols, dvals, dp, ds)
 
-    return cg_solve_operator(apply_matvec, b, tol=tol, max_iter=max_iter)
+    return cg_solve_operator(
+        apply_matvec, b, tol=tol, max_iter=max_iter, checkpoint=checkpoint
+    )

@@ -266,40 +266,68 @@ class LBM:
         self.dcx = array(CX)
         self.dcy = array(CY)
 
-    def step(self, steps: int = 1) -> None:
+    def step(self, steps: int = 1, *, checkpoint=None) -> None:
         """Advance ``steps`` time steps (one fused ``parallel_for`` each,
-        then rotate the f1/f2 buffers, as HARVEY's loop does)."""
-        for _ in range(steps):
-            if self.dsolid is None:
-                parallel_for(
-                    (self.n, self.n),
-                    lbm_kernel,
-                    self.df,
-                    self.df1,
-                    self.df2,
-                    self.tau,
-                    self.dw,
-                    self.dcx,
-                    self.dcy,
-                    self.n,
-                )
-            else:
-                parallel_for(
-                    (self.n, self.n),
-                    lbm_obstacle_kernel,
-                    self.df,
-                    self.df1,
-                    self.df2,
-                    self.tau,
-                    self.dw,
-                    self.dcx,
-                    self.dcy,
-                    self.dsolid,
-                    self.dopp,
-                    self.n,
-                )
+        then rotate the f1/f2 buffers, as HARVEY's loop does).
+
+        ``checkpoint`` (a :class:`repro.checkpoint.SolverCheckpoint`)
+        snapshots the three distribution buffers every ``interval``
+        steps; if a device fault escapes the launch policy's
+        retry/failover mid-run, the simulation rolls back to the last
+        snapshot and replays from there instead of losing the run.
+        """
+        from ..core.exceptions import DeviceError
+
+        target = self.steps_taken + steps
+        while self.steps_taken < target:
+            try:
+                if self.dsolid is None:
+                    parallel_for(
+                        (self.n, self.n),
+                        lbm_kernel,
+                        self.df,
+                        self.df1,
+                        self.df2,
+                        self.tau,
+                        self.dw,
+                        self.dcx,
+                        self.dcy,
+                        self.n,
+                    )
+                else:
+                    parallel_for(
+                        (self.n, self.n),
+                        lbm_obstacle_kernel,
+                        self.df,
+                        self.df1,
+                        self.df2,
+                        self.tau,
+                        self.dw,
+                        self.dcx,
+                        self.dcy,
+                        self.dsolid,
+                        self.dopp,
+                        self.n,
+                    )
+            except DeviceError:
+                if checkpoint is None or not checkpoint.has_snapshot:
+                    raise
+                snap = checkpoint.restore()
+                self.df = array(snap["f"])
+                self.df1 = array(snap["f1"])
+                self.df2 = array(snap["f2"])
+                self.steps_taken = int(snap["steps_taken"])
+                continue
             self.df1, self.df2 = self.df2, self.df1
             self.steps_taken += 1
+            if checkpoint is not None and checkpoint.due(self.steps_taken):
+                checkpoint.save(
+                    self.steps_taken,
+                    f=self.df,
+                    f1=self.df1,
+                    f2=self.df2,
+                    steps_taken=self.steps_taken,
+                )
 
     # -- diagnostics --------------------------------------------------------
     def distribution(self) -> np.ndarray:

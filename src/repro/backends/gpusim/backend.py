@@ -46,7 +46,20 @@ class GpuSimBackend(Backend):
 
     # -- memory -----------------------------------------------------------
     def array(self, data: Any) -> DeviceArray:
-        out = self.device.to_device(np.asarray(data))
+        from ... import faults as _faults
+
+        fplan = _faults.active_plan()
+        if fplan is None:  # fast path: injection off
+            out = self.device.to_device(np.asarray(data))
+        else:
+            # to_device probes before any allocation/charge, so a retried
+            # transfer never double-counts.
+            out = _faults.retry_transients(
+                lambda: self.device.to_device(np.asarray(data)),
+                policy=_faults.launch_policy(),
+                site="gpusim.to_device",
+                device_id=self.device.name,
+            )
         self._sync_counters()
         return out
 
@@ -78,19 +91,55 @@ class GpuSimBackend(Backend):
         )
 
     def execute(self, plan: LaunchPlan) -> Optional[float]:
+        from ... import faults as _faults
+
         kernel, args = plan.kernel, plan.resolved_args
         (domain,) = plan.schedule.domains
         lanes = int(np.prod(plan.dims))
         dev = self.device
+        fplan = _faults.active_plan()
         if not plan.is_reduce:
-            kernel.run_for(domain, args, plan.arena)
+
+            def body():
+                # Probe fires before the kernel runs and before any clock
+                # charge: a retried launch is side-effect clean and the
+                # accounting matches the fault-free run exactly.
+                if fplan is not None:
+                    fplan.check("gpusim.launch", device_id=dev.name)
+                kernel.run_for(domain, args, plan.arena)
+
+            if fplan is None:  # fast path: injection off
+                body()
+            else:
+                _faults.retry_transients(
+                    body,
+                    policy=plan.policy or _faults.DEFAULT_POLICY,
+                    site="gpusim.launch",
+                    plan=plan,
+                    device_id=dev.name,
+                )
             dev._charge_kernel(
                 kernel, lanes, plan.ndim, getattr(kernel.fn, "__name__", "kernel")
             )
             self.accounting.n_kernel_launches += 1
             self._sync_counters()
             return None
-        result = kernel.run_reduce(domain, args, plan.op, plan.arena)
+
+        def body_reduce():
+            if fplan is not None:
+                fplan.check("gpusim.launch", device_id=dev.name)
+            return kernel.run_reduce(domain, args, plan.op, plan.arena)
+
+        if fplan is None:  # fast path: injection off
+            result = body_reduce()
+        else:
+            result = _faults.retry_transients(
+                body_reduce,
+                policy=plan.policy or _faults.DEFAULT_POLICY,
+                site="gpusim.launch",
+                plan=plan,
+                device_id=dev.name,
+            )
         cost = dev.model.reduce_cost(kernel.stats, lanes, plan.ndim)
         mult = self._overhead.reduce_bw_mult
         # The Intel ≈35% DOT overhead is a bandwidth-efficiency loss of the

@@ -50,13 +50,28 @@ class Device:
         self.profile = get_profile(profile_name)
         if not self.profile.is_gpu:
             raise DeviceError(
-                f"profile {profile_name!r} is a CPU profile; Device simulates GPUs"
+                f"profile {profile_name!r} is a CPU profile; Device simulates GPUs",
+                device_id=name,
+                operation="init",
             )
         self.name = name or self.profile.name
         self.model = PerfModel(self.profile)
         self.clock = SimClock(record_events=record_events)
         self.memory = MemorySpace(capacity_bytes)
         self.accounting = Accounting()
+
+    def _fault_probe(self, site: str) -> None:
+        """Fault-injection seam for native device operations.
+
+        Sites probe at operation entry — before any allocation, copy, or
+        clock charge — so an injected fault leaves the device state
+        untouched and the operation can be retried verbatim.
+        """
+        from ... import faults
+
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.check(site, device_id=self.name)
 
     # ------------------------------------------------------------------
     # memory component
@@ -72,6 +87,7 @@ class Device:
 
     def to_device(self, host: np.ndarray) -> DeviceArray:
         """Allocate + H2D copy (``CuArray(x)`` and friends)."""
+        self._fault_probe("gpusim.to_device")
         host = np.asarray(host)
         data = np.array(host, copy=True)
         self._charge_alloc(data.nbytes, "to_device")
@@ -151,7 +167,9 @@ class Device:
         s = src.storage(self)
         if d.shape != s.shape:
             raise DeviceError(
-                f"copyto shape mismatch: {d.shape} vs {s.shape}"
+                f"copyto shape mismatch: {d.shape} vs {s.shape}",
+                device_id=self.name,
+                operation="copyto",
             )
         np.copyto(d, s)
         self.clock.advance(
@@ -171,7 +189,9 @@ class Device:
             elif isinstance(a, np.ndarray):
                 raise DeviceError(
                     "host ndarray passed to a device kernel; wrap it with "
-                    "to_device()/JACC array first"
+                    "to_device()/JACC array first",
+                    device_id=self.name,
+                    operation="resolve_args",
                 )
             else:
                 out.append(a)
@@ -203,6 +223,7 @@ class Device:
         the domain (a too-small grid is the classic off-by-one launch bug
         and is rejected, where real hardware would silently skip lanes).
         """
+        self._fault_probe("gpusim.device_launch")
         if isinstance(dims, (int, np.integer)):
             dims = (int(dims),)
         dims = tuple(int(d) for d in dims)
@@ -261,7 +282,11 @@ class Device:
         elif op == "max":
             partials = np.maximum.reduceat(values, boundaries)
         else:
-            raise DeviceError(f"unsupported reduction op {op!r}")
+            raise DeviceError(
+                f"unsupported reduction op {op!r}",
+                device_id=self.name,
+                operation="map_block_partials",
+            )
         self._charge_kernel(
             kernel, lanes, len(dims), getattr(fn, "__name__", "reduce") + "_partials"
         )
@@ -272,6 +297,7 @@ class Device:
 
     def fold_partials(self, partials: DeviceArray, op: str = "add") -> DeviceArray:
         """Second reduction kernel: fold the partials to one element."""
+        self._fault_probe("gpusim.fold")
         data = partials.storage(self)
         if op == "add":
             value = float(np.sum(data))
@@ -280,7 +306,11 @@ class Device:
         elif op == "max":
             value = float(np.max(data))
         else:
-            raise DeviceError(f"unsupported reduction op {op!r}")
+            raise DeviceError(
+                f"unsupported reduction op {op!r}",
+                device_id=self.name,
+                operation="fold_partials",
+            )
         self.accounting.n_kernel_launches += 1
         self.clock.advance(
             self.profile.launch_latency
@@ -297,7 +327,9 @@ class Device:
         data = one.storage(self)
         if data.size != 1:
             raise DeviceError(
-                f"scalar_to_host expects a 1-element array, got shape {data.shape}"
+                f"scalar_to_host expects a 1-element array, got shape {data.shape}",
+                device_id=self.name,
+                operation="scalar_to_host",
             )
         self.accounting.n_d2h += 1
         self.accounting.bytes_d2h += data.nbytes

@@ -81,11 +81,34 @@ class DeviceArray:
         kernel, which on real hardware is a crash.
         """
         if not self._valid:
-            raise DeviceError("use of a freed device array")
+            raise DeviceError(
+                "use of a freed device array",
+                device_id=self._device.name,
+                operation="storage",
+            )
         if for_device is not self._device:
             raise DeviceError(
                 f"device array of {self._device.name!r} used on device "
-                f"{for_device.name!r}; copy through the host first"
+                f"{for_device.name!r}; copy through the host first",
+                device_id=for_device.name,
+                operation="storage",
+            )
+        return self._data
+
+    def __pyacc_raw_storage__(self) -> np.ndarray:
+        """Raw storage without the device-identity check.
+
+        Used by the failover ladder only: when a device fails permanently
+        and the plan demotes to a CPU backend, that backend adopts the
+        buffer directly (the simulator's device storage is host memory —
+        the managed-memory analogue on real hardware).  Freed arrays
+        still raise.
+        """
+        if not self._valid:
+            raise DeviceError(
+                "use of a freed device array",
+                device_id=self._device.name,
+                operation="storage",
             )
         return self._data
 
@@ -170,7 +193,8 @@ class MemorySpace:
         if self.capacity is not None and self.in_use + nbytes > self.capacity:
             raise MemoryError_(
                 f"simulated device out of memory: requested {nbytes} B with "
-                f"{self.capacity - self.in_use} B free of {self.capacity} B"
+                f"{self.capacity - self.in_use} B free of {self.capacity} B",
+                operation="allocate",
             )
         self.in_use += nbytes
         self.peak = max(self.peak, self.in_use)

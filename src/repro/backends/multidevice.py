@@ -34,9 +34,9 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from ..core.backend import Backend
+from ..core.exceptions import PermanentDeviceError
 from ..core.launch import cpu_chunks, weighted_chunks
 from ..core.plan import LaunchPlan, LaunchSchedule
-from ..ir.compile import CompiledKernel
 from ..ir.vectorizer import IndexDomain
 from .gpusim.device import Device
 
@@ -57,6 +57,10 @@ class MultiDeviceBackend(Backend):
             raise ValueError("MultiDeviceBackend needs at least one device")
         self.devices = list(devices)
         self.name = name
+        #: Names of devices that failed permanently; they are excluded
+        #: from every subsequent schedule (sticky across launches, like a
+        #: GPU that fell off the bus stays off the bus).
+        self._failed: set = set()
 
     @classmethod
     def with_devices(
@@ -88,91 +92,180 @@ class MultiDeviceBackend(Backend):
     def is_heterogeneous(self) -> bool:
         return len({d.profile.name for d in self.devices}) > 1
 
-    def _weights(self) -> list[float]:
+    def alive_devices(self) -> list[Device]:
+        """The devices still in the dispatch set (permanent failures are
+        excluded, stickily)."""
+        return [d for d in self.devices if d.name not in self._failed]
+
+    @property
+    def failed_devices(self) -> tuple[str, ...]:
+        return tuple(sorted(self._failed))
+
+    def _weights(self, devices: Sequence[Device]) -> list[float]:
         """Per-device throughput weights: achieved streaming bandwidth."""
-        return [d.profile.eff_bw["stream"] for d in self.devices]
+        return [d.profile.eff_bw["stream"] for d in devices]
 
     # -- memory ----------------------------------------------------------
     def array(self, data: Any) -> np.ndarray:
         host = np.array(data, copy=True)
-        # Each device pays the H2D transfer of its shard of the array.
-        chunks = cpu_chunks(host.shape or (1,), len(self.devices))
-        per_elem = host.nbytes / max(1, host.size)
+        # Each (surviving) device pays the H2D transfer of its shard.
+        devices = self.alive_devices() or self.devices
+        chunks = cpu_chunks(host.shape or (1,), len(devices))
         lead = host.shape[0] if host.ndim else 1
         row_bytes = host.nbytes / max(1, lead)
-        for dev, (lo, hi) in zip(self.devices, chunks):
+        for dev, (lo, hi) in zip(devices, chunks):
             dev.accounting.n_h2d += 1
             nbytes = int((hi - lo) * row_bytes)
             dev.accounting.bytes_h2d += nbytes
             dev.clock.advance(
                 dev.model.transfer_cost(nbytes), kind="h2d", label="shard"
             )
-        del per_elem
         return host
 
     def to_host(self, arr: Any) -> np.ndarray:
-        return np.asarray(arr)
+        raw = getattr(arr, "__pyacc_raw_storage__", None)
+        return raw() if raw is not None else np.asarray(arr)
 
     def unwrap(self, arr: Any) -> np.ndarray:
-        return np.asarray(arr)
+        raw = getattr(arr, "__pyacc_raw_storage__", None)
+        return raw() if raw is not None else np.asarray(arr)
 
     # -- compute -----------------------------------------------------------
-    def _chunk_domains(self, dims: tuple[int, ...]) -> list[IndexDomain]:
-        if self.is_heterogeneous:
-            chunks = weighted_chunks(dims, self._weights())
-        else:
-            chunks = cpu_chunks(dims, len(self.devices))
-            # cpu_chunks may return fewer chunks than devices on tiny
-            # domains; pad with empty ranges so zip stays aligned.
-            while len(chunks) < len(self.devices):
-                end = chunks[-1][1] if chunks else 0
-                chunks.append((end, end))
-        tail = [(0, d) for d in dims[1:]]
-        return [IndexDomain([(lo, hi)] + tail) for lo, hi in chunks]
+    def _split(
+        self, dims: tuple[int, ...], devices: Sequence[Device], lo: int = 0
+    ) -> list[IndexDomain]:
+        """Split rows ``[lo, dims[0])`` into one chunk per device.
 
-    def _charge(self, kernel: CompiledKernel, domains, dims) -> None:
-        start = max(dev.clock.now for dev in self.devices)
-        ends = []
-        for dev, dom in zip(self.devices, domains):
-            cost = dev.model.for_cost(kernel.stats, dom.size, len(dims)).total
-            dev.clock.advance(cost, kind="kernel", label="multi_chunk")
-            dev.accounting.n_kernel_launches += 1
-            ends.append(start + cost)
-        self.accounting.sim_time += (
-            max(ends) - start if ends else 0.0
-        ) + _COORDINATION_LATENCY
+        Bandwidth-weighted on a heterogeneous set, balanced otherwise;
+        padded with empty ranges so chunks align with ``devices``.
+        """
+        span = (dims[0] - lo,) + tuple(dims[1:])
+        hetero = len({d.profile.name for d in devices}) > 1
+        if hetero:
+            chunks = weighted_chunks(span, self._weights(devices))
+        else:
+            chunks = cpu_chunks(span, len(devices))
+        while len(chunks) < len(devices):
+            end = chunks[-1][1] if chunks else 0
+            chunks.append((end, end))
+        tail = [(0, d) for d in dims[1:]]
+        return [
+            IndexDomain([(lo + c_lo, lo + c_hi)] + tail) for c_lo, c_hi in chunks
+        ]
 
     def schedule(self, plan: LaunchPlan) -> LaunchSchedule:
-        """Record the per-device split: bandwidth-weighted chunks on a
-        heterogeneous node, balanced chunks otherwise."""
+        """Record the per-device split over the *surviving* devices:
+        bandwidth-weighted chunks on a heterogeneous node, balanced
+        chunks otherwise."""
+        devices = self.alive_devices()
+        if not devices:
+            # Every device is gone; record a full-domain schedule so the
+            # dispatch-level failover ladder can re-plan on a fallback.
+            return LaunchSchedule(domains=(plan.full_domain(),), inline=True)
         return LaunchSchedule(
-            domains=tuple(self._chunk_domains(plan.dims)), inline=True
+            domains=tuple(self._split(plan.dims, devices)), inline=True
         )
 
     def execute(self, plan: LaunchPlan) -> Optional[float]:
+        from .. import faults as _faults
+
+        devices = self.alive_devices()
+        if not devices:
+            raise PermanentDeviceError(
+                f"all devices of backend {self.name!r} have failed "
+                f"({', '.join(sorted(self._failed))})",
+                operation="multidevice.chunk",
+            )
         kernel, args, op = plan.kernel, plan.resolved_args, plan.op
-        domains = plan.schedule.domains
-        if not plan.is_reduce:
-            for dom in domains:
+        fplan = _faults.active_plan()
+        policy = plan.policy or _faults.DEFAULT_POLICY
+        launches_per_chunk = 2 if plan.is_reduce else 1
+        label = "multi_reduce" if plan.is_reduce else "multi_chunk"
+        # The work list pairs each surviving device with its scheduled
+        # chunk (contiguous, ascending on the leading axis).  A permanent
+        # chunk failure rebalances the unprocessed rows over the
+        # survivors and the loop continues — mid-plan failover.
+        work = list(zip(devices, plan.schedule.domains))
+        elapsed: dict = {}  # device name -> summed chunk cost this launch
+        partials = []
+        idx = 0
+        while idx < len(work):
+            dev, dom = work[idx]
+
+            def body(dev=dev, dom=dom):
+                # Probe before the chunk's kernel runs: a retried or
+                # redistributed chunk never double-applies stores.
+                if fplan is not None and dom.size > 0:
+                    fplan.check("multidevice.chunk", device_id=dev.name)
+                if plan.is_reduce:
+                    return kernel.run_reduce(dom, args, op, plan.arena)
                 kernel.run_for(dom, args, plan.arena)
-            self.accounting.n_kernel_launches += len(domains)
-            self._charge(kernel, domains, plan.dims)
-            return None
-        partials = [
-            kernel.run_reduce(dom, args, op, plan.arena) for dom in domains
-        ]
-        self.accounting.n_kernel_launches += 2 * len(domains)
-        # Per-device reduction cost + per-device scalar readback.
-        start = max(dev.clock.now for dev in self.devices)
-        ends = []
-        for dev, dom in zip(self.devices, domains):
-            cost = dev.model.reduce_cost(kernel.stats, dom.size, plan.ndim).total
-            dev.clock.advance(cost, kind="kernel", label="multi_reduce")
-            dev.accounting.n_kernel_launches += 2
-            ends.append(start + cost)
+                return None
+
+            try:
+                if fplan is None:
+                    partial = body()
+                else:
+                    partial = _faults.retry_transients(
+                        body,
+                        policy=policy,
+                        site="multidevice.chunk",
+                        plan=plan,
+                        device_id=dev.name,
+                    )
+            except PermanentDeviceError as exc:
+                self._failed.add(dev.name)
+                survivors = [
+                    d for d in devices if d.name not in self._failed
+                ]
+                _faults.record_event(
+                    _faults.FaultEvent(
+                        site="multidevice.chunk",
+                        kind="permanent",
+                        action="failover",
+                        device_id=dev.name,
+                        kernel=getattr(plan.fn, "__name__", None),
+                        detail=(
+                            f"device {dev.name!r} lost; rows "
+                            f"[{dom.ranges[0][0]}, {plan.dims[0]}) rebalanced "
+                            f"over {len(survivors)} survivor(s)"
+                        ),
+                    ),
+                    plan,
+                )
+                if not survivors:
+                    raise PermanentDeviceError(
+                        f"all devices of backend {self.name!r} have failed "
+                        f"({', '.join(sorted(self._failed))})",
+                        device_id=exc.device_id,
+                        operation="multidevice.chunk",
+                    ) from exc
+                # Unprocessed work = this chunk onward (chunks ascend).
+                lo = dom.ranges[0][0]
+                new_domains = self._split(plan.dims, survivors, lo=lo)
+                work = work[:idx] + list(zip(survivors, new_domains))
+                continue  # re-enter at idx with the rebalanced work list
+            # Charge the device only after its chunk succeeded, so the
+            # modeled clock matches the fault-free run under retries.
+            if plan.is_reduce:
+                partials.append(partial)
+                cost = dev.model.reduce_cost(
+                    kernel.stats, dom.size, plan.ndim
+                ).total
+            else:
+                cost = dev.model.for_cost(kernel.stats, dom.size, plan.ndim).total
+            dev.clock.advance(cost, kind="kernel", label=label)
+            dev.accounting.n_kernel_launches += launches_per_chunk
+            elapsed[dev.name] = elapsed.get(dev.name, 0.0) + cost
+            self.accounting.n_kernel_launches += launches_per_chunk
+            idx += 1
+        # The construct completes when the slowest device finishes its
+        # chunks, plus one host-side coordination latency.
         self.accounting.sim_time += (
-            max(ends) - start if ends else 0.0
+            max(elapsed.values()) if elapsed else 0.0
         ) + _COORDINATION_LATENCY
+        if not plan.is_reduce:
+            return None
         if op == "add":
             return float(sum(partials))
         if op == "min":

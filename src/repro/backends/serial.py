@@ -37,20 +37,39 @@ class SerialBackend(Backend):
         return np.array(data, copy=True)
 
     def to_host(self, arr: Any) -> np.ndarray:
-        return np.asarray(arr)
+        # Device-array handles survive a failover from a GPU backend; the
+        # simulator's device storage is host memory, so adopt it directly.
+        raw = getattr(arr, "__pyacc_raw_storage__", None)
+        return raw() if raw is not None else np.asarray(arr)
 
     def unwrap(self, arr: Any) -> np.ndarray:
-        return np.asarray(arr)
+        raw = getattr(arr, "__pyacc_raw_storage__", None)
+        return raw() if raw is not None else np.asarray(arr)
 
     def execute(self, plan: LaunchPlan) -> Optional[float]:
+        from .. import faults as _faults
+
         self.accounting.n_kernel_launches += 1
         (domain,) = plan.schedule.domains
-        if plan.is_reduce:
-            return plan.kernel.run_reduce(
-                domain, plan.resolved_args, plan.op, plan.arena
-            )
-        plan.kernel.run_for(domain, plan.resolved_args, plan.arena)
-        return None
+
+        def body():
+            if plan.is_reduce:
+                return plan.kernel.run_reduce(
+                    domain, plan.resolved_args, plan.op, plan.arena
+                )
+            plan.kernel.run_for(domain, plan.resolved_args, plan.arena)
+            return None
+
+        if _faults.active_plan() is None:  # fast path: injection off
+            return body()
+        # The serial rung still retries transients injected below it
+        # (arena-frame allocation faults fire before any kernel store).
+        return _faults.retry_transients(
+            body,
+            policy=plan.policy or _faults.DEFAULT_POLICY,
+            site="arena.frame",
+            plan=plan,
+        )
 
 
 class InterpreterBackend(SerialBackend):

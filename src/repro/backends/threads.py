@@ -39,6 +39,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..core.backend import Backend
+from ..core.exceptions import PermanentDeviceError
 from ..core.launch import cpu_chunks
 from ..core.plan import LaunchPlan, LaunchSchedule
 from ..ir.vectorizer import IndexDomain
@@ -92,10 +93,14 @@ class ThreadsBackend(Backend):
         return np.array(data, copy=True)
 
     def to_host(self, arr: Any) -> np.ndarray:
-        return np.asarray(arr)
+        # Device-array handles survive a failover from a GPU backend; the
+        # simulator's device storage is host memory, so adopt it directly.
+        raw = getattr(arr, "__pyacc_raw_storage__", None)
+        return raw() if raw is not None else np.asarray(arr)
 
     def unwrap(self, arr: Any) -> np.ndarray:
-        return np.asarray(arr)
+        raw = getattr(arr, "__pyacc_raw_storage__", None)
+        return raw() if raw is not None else np.asarray(arr)
 
     # -- pool -------------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -137,6 +142,8 @@ class ThreadsBackend(Backend):
         return LaunchSchedule(domains=tuple(self._domains(dims)), inline=False)
 
     def execute(self, plan: LaunchPlan) -> Optional[float]:
+        from .. import faults as _faults
+
         self.accounting.n_kernel_launches += 1
         kernel, args, op = plan.kernel, plan.resolved_args, plan.op
         lanes = int(np.prod(plan.dims))
@@ -147,31 +154,86 @@ class ThreadsBackend(Backend):
         )
         self.accounting.sim_time += cost.total
         arena = plan.arena
+        fplan = _faults.active_plan()
         if plan.schedule.inline:
             (domain,) = plan.schedule.domains
-            if plan.is_reduce:
-                return kernel.run_reduce(domain, args, op, arena)
-            kernel.run_for(domain, args, arena)
-            return None
+            if fplan is None:  # fast path: injection off, no retry wrapper
+                if plan.is_reduce:
+                    return kernel.run_reduce(domain, args, op, arena)
+                kernel.run_for(domain, args, arena)
+                return None
+            policy = plan.policy or _faults.DEFAULT_POLICY
+
+            def body():
+                # Probe *before* the kernel runs: a retried chunk never
+                # double-applies stores.
+                fplan.check("threads.chunk")
+                if plan.is_reduce:
+                    return kernel.run_reduce(domain, args, op, arena)
+                kernel.run_for(domain, args, arena)
+                return None
+
+            return _faults.retry_transients(
+                body, policy=policy, site="threads.chunk", plan=plan
+            )
         pool = self._ensure_pool()
+        domains = plan.schedule.domains
+        policy = plan.policy or _faults.DEFAULT_POLICY
+        # Fault decisions for pool chunks use ordinals reserved here in
+        # the submitting thread: worker scheduling order is
+        # nondeterministic, the schedule must not be.  (The plan is also
+        # passed in explicitly — contextvars do not cross pool threads.)
+        base = fplan.next_ordinal("threads.chunk", len(domains)) if fplan else 0
+
+        def run_chunk(i: int, dom: IndexDomain):
+            def body():
+                if fplan is not None:
+                    fplan.check("threads.chunk", ordinal=base + i)
+                if plan.is_reduce:
+                    return kernel.run_reduce(dom, args, op, arena)
+                kernel.run_for(dom, args, arena)
+                return None
+
+            if fplan is None:
+                return body()
+            return _faults.retry_transients(
+                body, policy=policy, site="threads.chunk", plan=plan
+            )
+
         # Each chunk opens its own arena *frame*: workers draw from the
         # shared per-context pool under its lock, but an in-flight buffer
         # belongs to exactly one frame, so chunks never alias scratch
         # memory (the verifier's V101/V102 facts already guarantee the
         # kernel effects themselves are chunk-independent).
-        if not plan.is_reduce:
-            futures = [
-                pool.submit(kernel.run_for, dom, args, arena)
-                for dom in plan.schedule.domains
-            ]
-            for fut in futures:
-                fut.result()  # join + re-raise worker errors (Threads.@sync)
-            return None
         futures = [
-            pool.submit(kernel.run_reduce, dom, args, op, arena)
-            for dom in plan.schedule.domains
+            pool.submit(run_chunk, i, dom) for i, dom in enumerate(domains)
         ]
-        partials = [fut.result() for fut in futures]
+        partials = []
+        for i, fut in enumerate(futures):
+            try:
+                partials.append(fut.result())  # join + re-raise (Threads.@sync)
+            except PermanentDeviceError as exc:
+                # One worker's lane is gone for good: run its chunk in the
+                # calling thread (the serial rung of the ladder, scoped to
+                # this chunk) so the launch still completes synchronously.
+                _faults.record_event(
+                    _faults.FaultEvent(
+                        site="threads.chunk",
+                        kind="permanent",
+                        action="failover",
+                        device_id=exc.device_id,
+                        kernel=getattr(plan.fn, "__name__", None),
+                        detail=f"chunk {i} re-run inline after permanent fault",
+                    ),
+                    plan,
+                )
+                if plan.is_reduce:
+                    partials.append(kernel.run_reduce(domains[i], args, op, arena))
+                else:
+                    kernel.run_for(domains[i], args, arena)
+                    partials.append(None)
+        if not plan.is_reduce:
+            return None
         if op == "add":
             return float(sum(partials))
         if op == "min":

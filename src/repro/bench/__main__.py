@@ -137,6 +137,7 @@ def main(argv=None) -> int:
         print("all within 2x band" if ok else "SOME RATIOS OUTSIDE 2x BAND")
 
     if args.json:
+        from ..faults import global_fault_stats
         from ..ir.arena import global_stats
         from ..ir.diagnostics import counters
 
@@ -152,6 +153,9 @@ def main(argv=None) -> int:
         # Scratch-arena activity (all executors, process-wide): buffer
         # churn avoided by the codegen tier's pooled temporaries.
         doc["arena"] = global_stats()
+        # Fault/retry/failover counters: zero on a healthy run, nonzero
+        # when PYACC_FAULTS (or an installed FaultPlan) was active.
+        doc["faults"] = global_fault_stats()
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
         print(f"wrote {args.json}")

@@ -1,0 +1,143 @@
+"""In-memory checkpoint/restore for iterative solvers.
+
+A :class:`SolverCheckpoint` periodically snapshots a solver's working
+state (host copies of the arrays plus any scalars) so a mid-solve device
+failure can roll back to the last checkpoint instead of restarting the
+whole run.  The apps wire it in behind a ``checkpoint=`` keyword:
+
+>>> import repro
+>>> from repro.apps.hpccg import hpccg_problem, hpccg_solve
+>>> a, b = hpccg_problem(8, 8, 8)
+>>> ck = repro.SolverCheckpoint(interval=5)
+>>> res = hpccg_solve(a, b, checkpoint=ck)  # doctest: +SKIP
+
+Snapshots are deep host copies — restore hands back *fresh* copies each
+time, so a failed retry after restore cannot corrupt the snapshot.  The
+restore budget (``max_restores``) bounds how long a solver can thrash on
+a persistently faulty node before the original error surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .core.exceptions import CheckpointError
+
+__all__ = ["SolverCheckpoint"]
+
+
+def _snapshot_value(value):
+    if isinstance(value, np.ndarray):
+        return np.array(value, copy=True)
+    raw = getattr(value, "__pyacc_raw_storage__", None)
+    if raw is not None:
+        return np.array(raw(), copy=True)
+    if isinstance(value, (list, tuple)):
+        return type(value)(_snapshot_value(v) for v in value)
+    return value
+
+
+def _restore_value(value):
+    if isinstance(value, np.ndarray):
+        return np.array(value, copy=True)
+    if isinstance(value, (list, tuple)):
+        return type(value)(_restore_value(v) for v in value)
+    return value
+
+
+class SolverCheckpoint:
+    """Periodic in-memory snapshot/restore of solver state.
+
+    Parameters
+    ----------
+    interval:
+        Snapshot every ``interval`` iterations (``due(it)`` is true when
+        ``it`` is a positive multiple of it).
+    max_restores:
+        How many times :meth:`restore` may be called before it raises
+        :class:`~repro.core.exceptions.CheckpointError` — the brake on a
+        solver ping-ponging against a persistently failing device.
+
+    State is passed as keyword arguments to :meth:`save`; device arrays
+    (anything exposing ``__pyacc_raw_storage__``) and ndarrays are
+    deep-copied to host memory, scalars are kept as-is.
+    """
+
+    def __init__(self, interval: int = 10, max_restores: int = 8):
+        if interval < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {interval}")
+        if max_restores < 0:
+            raise ValueError(f"max_restores must be >= 0, got {max_restores}")
+        self.interval = int(interval)
+        self.max_restores = int(max_restores)
+        self._snapshot: Optional[dict] = None
+        self._iteration: Optional[int] = None
+        self.saves = 0
+        self.restores = 0
+
+    # -- querying ---------------------------------------------------------
+    @property
+    def has_snapshot(self) -> bool:
+        return self._snapshot is not None
+
+    @property
+    def iteration(self) -> Optional[int]:
+        """The iteration of the last snapshot (``None`` before any)."""
+        return self._iteration
+
+    def due(self, iteration: int) -> bool:
+        """Whether a snapshot is due at this iteration."""
+        return iteration > 0 and iteration % self.interval == 0
+
+    # -- snapshot / restore ----------------------------------------------
+    def save(self, iteration: int, **state) -> None:
+        """Snapshot ``state`` (deep host copies) at ``iteration``."""
+        self._snapshot = {k: _snapshot_value(v) for k, v in state.items()}
+        self._iteration = int(iteration)
+        self.saves += 1
+        from . import faults
+
+        faults.record_checkpoint_save()
+
+    def restore(self) -> dict:
+        """Return fresh copies of the last snapshot's state.
+
+        Raises :class:`CheckpointError` with no snapshot, or once the
+        restore budget is spent.
+        """
+        if self._snapshot is None:
+            raise CheckpointError("no checkpoint snapshot to restore")
+        if self.restores >= self.max_restores:
+            raise CheckpointError(
+                f"checkpoint restore budget exhausted "
+                f"({self.max_restores} restores)"
+            )
+        self.restores += 1
+        from . import faults
+
+        faults.record_event(
+            faults.FaultEvent(
+                site="checkpoint",
+                kind="checkpoint",
+                action="restore",
+                attempt=self.restores,
+                detail=f"rolled back to iteration {self._iteration}",
+            )
+        )
+        return {k: _restore_value(v) for k, v in self._snapshot.items()}
+
+    def stats(self) -> dict:
+        return {
+            "saves": self.saves,
+            "restores": self.restores,
+            "interval": self.interval,
+            "last_iteration": self._iteration,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SolverCheckpoint interval={self.interval} saves={self.saves} "
+            f"restores={self.restores} at_iteration={self._iteration}>"
+        )

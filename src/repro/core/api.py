@@ -110,10 +110,12 @@ def synchronize() -> None:
 
 def _resolve(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
     """Stage 1: bind the context's backend and map user args to kernel
-    args (backend arrays → raw storage)."""
+    args (backend arrays → raw storage), and attach the context's
+    fault-handling policy."""
     plan.backend = ctx.backend()
     plan.resolved_args = plan.backend.resolve_args(plan.args)
     plan.arena = ctx.arena
+    plan.policy = ctx.launch_policy
     return plan
 
 
@@ -150,7 +152,10 @@ def _schedule(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
 
 def _execute(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
     """Stage 4: account the dispatch, fire hooks, and hand the plan to
-    the backend's narrowed ``execute`` entry point."""
+    the backend's narrowed ``execute`` entry point (with the launch
+    policy's permanent-failure failover ladder around it)."""
+    from .. import faults
+
     backend = plan.backend
     if plan.is_reduce:
         backend.accounting.n_reduce += 1
@@ -159,8 +164,9 @@ def _execute(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
     plan.sim_time_before = backend.accounting.sim_time
     ctx.fire_launch(plan)
     backend.account_portable_dispatch(plan.construct, plan.dims)
-    plan.result = backend.execute(plan)
-    plan.sim_time_after = backend.accounting.sim_time
+    plan.result = faults.execute_plan(plan, ctx)
+    # Failover may have demoted plan.backend; read the clock that ran.
+    plan.sim_time_after = plan.backend.accounting.sim_time
     ctx.fire_complete(plan)
     return plan
 

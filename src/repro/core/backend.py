@@ -197,7 +197,11 @@ class Backend(ABC):
         # temporaries exactly like staged dispatch.
         from .context import current_context
 
-        plan.arena = current_context().arena
+        ctx = current_context()
+        plan.arena = ctx.arena
+        # Native launches honour the same transient-retry contract as
+        # staged dispatch (the in-backend retry loop reads plan.policy).
+        plan.policy = ctx.launch_policy
         plan.schedule = self.schedule(plan)
         return plan
 

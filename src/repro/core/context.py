@@ -40,9 +40,10 @@ from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Union
 
 from ..ir.arena import ScratchArena
-from .exceptions import BackendError
+from .exceptions import BackendError, LaunchTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..faults import FaultEvent, FaultPlan, LaunchPolicy
     from ..ir.compile import KernelCache
     from .backend import Backend
     from .plan import LaunchHandle, LaunchPlan
@@ -84,6 +85,17 @@ class ExecutionContext:
         self._lock = threading.Lock()
         self._pending: deque["LaunchHandle"] = deque()
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: Fault-injection plan (see :mod:`repro.faults`).  ``None`` until
+        #: first resolution; the sentinel distinguishes "not yet resolved
+        #: from env/prefs" from "resolved to no injection".
+        self._fault_plan: Optional["FaultPlan"] = None
+        self._fault_plan_resolved = False
+        self._fault_lock = threading.Lock()
+        #: Fault-handling contract applied to launches in this context.
+        self._launch_policy: Optional["LaunchPolicy"] = None
+        #: Fault-handling activity observed in this context (retries,
+        #: failovers, watchdog timeouts, checkpoint restores).
+        self.fault_events: list["FaultEvent"] = []
 
     # -- backend resolution -------------------------------------------------
     def backend(self) -> "Backend":
@@ -106,6 +118,58 @@ class ExecutionContext:
         """Drop this context's backend; the next use re-resolves
         preferences.  Other contexts are unaffected."""
         self._backend = None
+
+    # -- fault injection + launch policy --------------------------------------
+    @property
+    def fault_plan(self) -> Optional["FaultPlan"]:
+        """This context's fault-injection plan (``None`` = no injection).
+
+        Resolved lazily on first access from ``PYACC_FAULTS`` / the
+        ``faults`` preferences key; :meth:`set_fault_plan` overrides.
+        """
+        with self._fault_lock:
+            if not self._fault_plan_resolved:
+                from ..faults import resolve_fault_plan
+
+                self._fault_plan = resolve_fault_plan()
+                self._fault_plan_resolved = True
+                self.arena._fault_plan = self._fault_plan
+            return self._fault_plan
+
+    def set_fault_plan(self, plan) -> None:
+        """Install (or clear, with ``None``) this context's fault plan."""
+        with self._fault_lock:
+            self._fault_plan = plan
+            self._fault_plan_resolved = True
+            # The arena keeps its own reference: frame opens happen on
+            # worker threads where contextvars don't resolve this context.
+            self.arena._fault_plan = plan
+
+    @property
+    def launch_policy(self) -> "LaunchPolicy":
+        """The fault-handling contract applied to this context's launches."""
+        if self._launch_policy is None:
+            from ..faults import DEFAULT_POLICY
+
+            return DEFAULT_POLICY
+        return self._launch_policy
+
+    @launch_policy.setter
+    def launch_policy(self, policy: Optional["LaunchPolicy"]) -> None:
+        self._launch_policy = policy
+
+    def fault_stats(self) -> dict:
+        """Summary of fault-handling activity seen by this context."""
+        events = list(self.fault_events)
+        by_action: dict = {}
+        for ev in events:
+            by_action[ev.action] = by_action.get(ev.action, 0) + 1
+        plan = self._fault_plan
+        return {
+            "events": len(events),
+            "by_action": by_action,
+            "plan": plan.stats() if plan is not None else None,
+        }
 
     # -- dispatch-event hooks ------------------------------------------------
     def on_launch(
@@ -180,8 +244,15 @@ class ExecutionContext:
 
         All pending launches are waited even if one fails; the first
         error is re-raised afterwards (matching how a device ``sync``
-        surfaces asynchronous kernel failures).
+        surfaces asynchronous kernel failures).  Errors carry the
+        failing plan's label (``plan_label``/``plan_repr``).  When the
+        launch policy sets a ``watchdog``, a handle that does not finish
+        within that many wall-clock seconds raises
+        :class:`~repro.core.exceptions.LaunchTimeoutError`.
         """
+        import concurrent.futures as _futures
+
+        watchdog = self.launch_policy.watchdog
         first_error: Optional[BaseException] = None
         while True:
             with self._lock:
@@ -189,7 +260,28 @@ class ExecutionContext:
                     break
                 handle = self._pending.popleft()
             try:
-                handle.wait()
+                handle.wait(watchdog)
+            except _futures.TimeoutError:
+                plan = handle.plan
+                timeout_exc = LaunchTimeoutError(
+                    getattr(plan.fn, "__name__", repr(plan.fn)),
+                    repr(plan),
+                    watchdog,
+                )
+                from ..faults import FaultEvent, record_event
+
+                record_event(
+                    FaultEvent(
+                        site="queue",
+                        kind="timeout",
+                        action="watchdog",
+                        kernel=getattr(plan.fn, "__name__", None),
+                        detail=f"exceeded {watchdog:g}s watchdog",
+                    ),
+                    plan,
+                )
+                if first_error is None:
+                    first_error = timeout_exc
             except BaseException as exc:  # re-raised after the drain
                 if first_error is None:
                     first_error = exc

@@ -124,7 +124,83 @@ class LaunchConfigError(PyACCError):
 
 
 class DeviceError(PyACCError):
-    """A simulated-device operation failed (bad handle, wrong device...)."""
+    """A simulated-device operation failed (bad handle, wrong device...).
+
+    Carries structured fields so runtime policy (retry, failover) and
+    observability can act on *what* failed instead of parsing messages:
+
+    - ``device_id`` — the device the operation ran on (``None`` when the
+      failure is not device-specific);
+    - ``operation`` — the seam that failed (``"to_device"``,
+      ``"launch"``, ``"multidevice.chunk"``, ...);
+    - ``transient`` — whether retrying the same operation can succeed
+      (the retry policy only ever retries transient failures).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        device_id=None,
+        operation=None,
+        transient: bool = False,
+    ):
+        self.device_id = device_id
+        self.operation = operation
+        self.transient = transient
+        if not message:
+            where = operation or "device operation"
+            dev = f" on device {device_id!r}" if device_id else ""
+            message = f"{where} failed{dev}"
+        super().__init__(message)
+
+
+class TransientDeviceError(DeviceError):
+    """A device failure that may succeed on retry (ECC blip, transfer
+    timeout, allocator pressure).  The launch policy retries these with
+    capped exponential backoff."""
+
+    def __init__(self, message: str = "", *, device_id=None, operation=None):
+        super().__init__(
+            message, device_id=device_id, operation=operation, transient=True
+        )
+
+
+class PermanentDeviceError(DeviceError):
+    """A device failure that will not go away (device fell off the bus).
+
+    The launch policy responds by *failover*: the failed device is
+    removed from the dispatch set and the plan re-executes on the next
+    rung of the ladder (surviving devices → single device → threads →
+    serial)."""
+
+    def __init__(self, message: str = "", *, device_id=None, operation=None):
+        super().__init__(
+            message, device_id=device_id, operation=operation, transient=False
+        )
+
+
+class LaunchTimeoutError(PyACCError):
+    """An asynchronous launch exceeded its policy's wall-clock watchdog.
+
+    Raised by :func:`repro.synchronize` when a ``sync=False`` handle does
+    not complete within ``LaunchPolicy.watchdog`` seconds.  Carries the
+    kernel label and plan repr so the hung launch is identifiable.
+    """
+
+    def __init__(self, kernel: str, plan_repr: str, timeout: float):
+        self.kernel = kernel
+        self.plan_repr = plan_repr
+        self.timeout = timeout
+        super().__init__(
+            f"launch of kernel {kernel!r} did not complete within the "
+            f"{timeout:g}s watchdog ({plan_repr})"
+        )
+
+
+class CheckpointError(PyACCError):
+    """Checkpoint/restore misuse (restore with no snapshot, budget
+    exhausted)."""
 
 
 class MemoryError_(DeviceError):

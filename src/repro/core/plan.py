@@ -23,7 +23,7 @@ user-facing half — the return value of ``repro.launch(..., sync=False)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..ir.vectorizer import IndexDomain
@@ -32,11 +32,12 @@ from .launch import LaunchConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from concurrent.futures import Future
 
+    from ..faults import FaultEvent, LaunchPolicy
     from ..ir.arena import ScratchArena
     from ..ir.compile import CompiledKernel
     from .backend import Backend
 
-__all__ = ["LaunchPlan", "LaunchSchedule", "LaunchHandle"]
+__all__ = ["LaunchPlan", "LaunchSchedule", "LaunchHandle", "label_exception"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,10 @@ class LaunchPlan:
     # -- filled by the resolve stage --------------------------------------
     backend: Optional["Backend"] = None
     resolved_args: Optional[list] = None
+    #: The fault-handling contract for this launch (retry/failover/
+    #: watchdog); resolved from the execution context.  ``None`` means
+    #: the default policy.
+    policy: Optional["LaunchPolicy"] = None
     #: The execution context's scratch-buffer arena; backends hand it to
     #: ``CompiledKernel.run_for``/``run_reduce`` so generated kernels
     #: draw ``out=`` temporaries from a per-context pool.
@@ -108,10 +113,20 @@ class LaunchPlan:
     sim_time_after: Optional[float] = None
     #: The reduce value (``None`` for for-plans).
     result: Any = None
+    #: Fault-handling activity observed while executing this plan
+    #: (retries, failovers, watchdog timeouts) — see
+    #: :class:`repro.faults.FaultEvent`.
+    fault_events: list = field(default_factory=list)
 
     @property
     def is_reduce(self) -> bool:
         return self.construct == "reduce"
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity of this launch (kernel + shape)."""
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"{name}[{self.construct} dims={self.dims}]"
 
     @property
     def ndim(self) -> int:
@@ -146,6 +161,28 @@ class LaunchPlan:
         )
 
 
+def label_exception(exc: BaseException, plan: LaunchPlan) -> BaseException:
+    """Attach a plan's identity to an exception escaping its launch.
+
+    Asynchronous failures surface at ``synchronize()``, far from the
+    ``launch`` call that queued them — without a label the traceback
+    points at the drain loop, not the kernel.  Sets ``plan_label`` /
+    ``plan_repr`` attributes (stable, testable) and adds a traceback
+    note on Python 3.11+.  Labels only once: a failover re-raise keeps
+    the original attribution.
+    """
+    if getattr(exc, "plan_label", None) is None:
+        try:
+            exc.plan_label = plan.label
+            exc.plan_repr = repr(plan)
+        except AttributeError:  # exceptions with __slots__: skip labeling
+            return exc
+        add_note = getattr(exc, "add_note", None)
+        if add_note is not None:  # Python 3.11+
+            add_note(f"while executing {plan.label} ({plan!r})")
+    return exc
+
+
 class LaunchHandle:
     """Handle to a launched construct (``repro.launch``).
 
@@ -161,14 +198,32 @@ class LaunchHandle:
         self.plan = plan
         self._future = future
 
+    @property
+    def label(self) -> str:
+        """The underlying plan's human-readable identity."""
+        return self.plan.label
+
+    @property
+    def fault_events(self) -> list:
+        """Fault-handling activity recorded for this launch."""
+        return self.plan.fault_events
+
     def done(self) -> bool:
         """True once the launch has completed (always true for sync)."""
         return self._future is None or self._future.done()
 
     def wait(self, timeout: Optional[float] = None) -> "LaunchHandle":
-        """Block until the launch completes; re-raises kernel errors."""
+        """Block until the launch completes; re-raises kernel errors.
+
+        Errors from the queued execution carry the plan label
+        (``plan_label``/``plan_repr`` attributes, see
+        :func:`label_exception`).
+        """
         if self._future is not None:
-            self._future.result(timeout)
+            try:
+                self._future.result(timeout)
+            except BaseException as exc:
+                raise label_exception(exc, self.plan)
         return self
 
     def result(self, timeout: Optional[float] = None) -> Any:

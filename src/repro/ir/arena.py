@@ -126,9 +126,22 @@ class ScratchArena:
         self._reused = 0
         self._bytes_allocated = 0
         self._bytes_saved = 0
+        #: Fault-injection hook (see :mod:`repro.faults`): the owning
+        #: execution context sets this when a plan is installed, so
+        #: frame opens can inject allocation failures even from worker
+        #: threads (where contextvars do not resolve the context).  The
+        #: attribute check is the entire fast-path cost when off.
+        self._fault_plan = None
 
     def frame(self) -> ArenaFrame:
-        """Open a frame for one launch / worker chunk."""
+        """Open a frame for one launch / worker chunk.
+
+        Fault seam ``arena.frame``: fires before any buffer is drawn, so
+        an injected allocation failure leaves the pool untouched and the
+        launch can be retried cleanly.
+        """
+        if self._fault_plan is not None:
+            self._fault_plan.check("arena.frame")
         return ArenaFrame(self)
 
     # -- pool mechanics (called by frames) ---------------------------------
