@@ -59,6 +59,19 @@ from .faults import (
     set_launch_policy,
 )
 from .checkpoint import SolverCheckpoint
+from .graph import (
+    GraphCapture,
+    GraphError,
+    GraphRegion,
+    InstantiatedGraph,
+    LaunchGraph,
+    ScalarSlot,
+    graph_mode,
+    graph_stats,
+    graphs_enabled,
+    reset_graph_stats,
+    set_graph_mode,
+)
 from .ir import (
     Diagnostic,
     KernelCache,
@@ -84,7 +97,12 @@ __all__ = [
     "Diagnostic",
     "ExecutionContext",
     "FaultPlan",
+    "GraphCapture",
+    "GraphError",
+    "GraphRegion",
     "InjectedFault",
+    "InstantiatedGraph",
+    "LaunchGraph",
     "KernelCache",
     "KernelVerificationError",
     "KernelVerificationWarning",
@@ -93,6 +111,7 @@ __all__ = [
     "LaunchPolicy",
     "LaunchTimeoutError",
     "PermanentDeviceError",
+    "ScalarSlot",
     "SolverCheckpoint",
     "TransientDeviceError",
     "active_backend",
@@ -103,7 +122,12 @@ __all__ = [
     "current_context",
     "executor_mode",
     "global_fault_stats",
+    "graph_mode",
+    "graph_stats",
+    "graphs_enabled",
     "inspect_kernel",
+    "reset_graph_stats",
+    "set_graph_mode",
     "set_executor_mode",
     "set_fault_plan",
     "set_launch_policy",

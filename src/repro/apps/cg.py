@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core import array, parallel_for, parallel_reduce, to_host
 from ..core.exceptions import DeviceError
+from ..graph import GraphRegion
 from .blas import axpy_kernel_1d, dot_kernel_1d
 
 __all__ = [
@@ -174,21 +175,47 @@ def cg_solve_operator(
     if norms[0] <= threshold:
         return CGResult(x=to_host(dx), iterations=0, converged=True, residual_norms=norms)
 
+    # Launch-graph regions for the three launch runs of the iteration
+    # body (host scalar recurrences — alpha, beta, the convergence test —
+    # split the body into segments; see docs/API.md "Launch graphs &
+    # fusion").  First iteration captures, the rest replay; a checkpoint
+    # restore rebinds the device arrays, landing on a fresh region key
+    # and recapturing.  PYACC_GRAPH=off turns all three into plain calls.
+    region_matvec_dot = GraphRegion("cg.matvec_dot")
+    region_update = GraphRegion("cg.update")
+    region_direction = GraphRegion("cg.direction")
+
     converged = False
     it = 0
     i = 1
     while i <= max_iter:
         try:
-            apply_matvec(dp, ds)  # s = A p
-            ps = parallel_reduce(n, dot_kernel_1d, dp, ds)
+
+            def _matvec_dot():
+                apply_matvec(dp, ds)  # s = A p
+                return parallel_reduce(n, dot_kernel_1d, dp, ds)
+
+            def _update(alpha, neg_alpha):
+                parallel_for(n, axpy_kernel_1d, alpha, dx, dp)
+                parallel_for(n, axpy_kernel_1d, neg_alpha, dr, ds)
+                return parallel_reduce(n, dot_kernel_1d, dr, dr)
+
+            def _direction(beta):
+                parallel_for(n, xpby_kernel, beta, dr, dp)  # p = r + beta p
+
+            ps = region_matvec_dot.run((id(dp), id(ds)), _matvec_dot)
             alpha = rr / ps
-            parallel_for(n, axpy_kernel_1d, alpha, dx, dp)    # x += alpha p
-            parallel_for(n, axpy_kernel_1d, -alpha, dr, ds)   # r -= alpha s
-            rr_new = parallel_reduce(n, dot_kernel_1d, dr, dr)
+            # x += alpha p ; r -= alpha s ; rr_new = r.r
+            rr_new = region_update.run(
+                (id(dx), id(dp), id(dr), id(ds)),
+                _update,
+                alpha=alpha,
+                neg_alpha=-alpha,
+            )
             done = float(np.sqrt(rr_new)) <= threshold
             if not done:
                 beta = rr_new / rr
-                parallel_for(n, xpby_kernel, beta, dr, dp)    # p = r + beta p
+                region_direction.run((id(dr), id(dp)), _direction, beta=beta)
         except DeviceError:
             # A fault escaped the launch policy (retry exhausted, or no
             # failover rung left).  Roll back to the last snapshot: the

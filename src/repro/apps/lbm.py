@@ -35,6 +35,7 @@ import numpy as np
 from ..backends.gpusim.vendor import VendorAPI
 from ..backends.threads import ThreadsBackend
 from ..core import array, parallel_for, to_host
+from ..graph import GraphRegion
 from ..ir.compile import compile_kernel
 from ..lint import lint_probe
 from ..math import where
@@ -265,6 +266,10 @@ class LBM:
         self.dw = array(WEIGHTS)
         self.dcx = array(CX)
         self.dcy = array(CY)
+        # Capture point for the step launch (see repro.graph): the
+        # f1/f2 rotation alternates between two array-identity keys, so
+        # the region holds one captured graph per swap parity.
+        self._step_region = GraphRegion("lbm.step")
 
     def step(self, steps: int = 1, *, checkpoint=None) -> None:
         """Advance ``steps`` time steps (one fused ``parallel_for`` each,
@@ -281,34 +286,40 @@ class LBM:
         target = self.steps_taken + steps
         while self.steps_taken < target:
             try:
-                if self.dsolid is None:
-                    parallel_for(
-                        (self.n, self.n),
-                        lbm_kernel,
-                        self.df,
-                        self.df1,
-                        self.df2,
-                        self.tau,
-                        self.dw,
-                        self.dcx,
-                        self.dcy,
-                        self.n,
-                    )
-                else:
-                    parallel_for(
-                        (self.n, self.n),
-                        lbm_obstacle_kernel,
-                        self.df,
-                        self.df1,
-                        self.df2,
-                        self.tau,
-                        self.dw,
-                        self.dcx,
-                        self.dcy,
-                        self.dsolid,
-                        self.dopp,
-                        self.n,
-                    )
+
+                def _step_body():
+                    if self.dsolid is None:
+                        parallel_for(
+                            (self.n, self.n),
+                            lbm_kernel,
+                            self.df,
+                            self.df1,
+                            self.df2,
+                            self.tau,
+                            self.dw,
+                            self.dcx,
+                            self.dcy,
+                            self.n,
+                        )
+                    else:
+                        parallel_for(
+                            (self.n, self.n),
+                            lbm_obstacle_kernel,
+                            self.df,
+                            self.df1,
+                            self.df2,
+                            self.tau,
+                            self.dw,
+                            self.dcx,
+                            self.dcy,
+                            self.dsolid,
+                            self.dopp,
+                            self.n,
+                        )
+
+                self._step_region.run(
+                    (id(self.df), id(self.df1), id(self.df2)), _step_body
+                )
             except DeviceError:
                 if checkpoint is None or not checkpoint.has_snapshot:
                     raise

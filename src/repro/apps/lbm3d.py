@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import array, parallel_for, to_host
+from ..graph import GraphRegion
 from ..lint import lint_probe
 
 __all__ = ["WEIGHTS3D", "CX3D", "CY3D", "CZ3D", "lbm3d_kernel", "equilibrium3d", "LBM3D"]
@@ -141,21 +142,29 @@ class LBM3D:
         self.dcx = array(CX3D)
         self.dcy = array(CY3D)
         self.dcz = array(CZ3D)
+        self._step_region = GraphRegion("lbm3d.step")
 
     def step(self, steps: int = 1) -> None:
         for _ in range(steps):
-            parallel_for(
-                (self.n, self.n, self.n),
-                lbm3d_kernel,
-                self.df,
-                self.df1,
-                self.df2,
-                self.tau,
-                self.dw,
-                self.dcx,
-                self.dcy,
-                self.dcz,
-                self.n,
+
+            def _step_body():
+                parallel_for(
+                    (self.n, self.n, self.n),
+                    lbm3d_kernel,
+                    self.df,
+                    self.df1,
+                    self.df2,
+                    self.tau,
+                    self.dw,
+                    self.dcx,
+                    self.dcy,
+                    self.dcz,
+                    self.n,
+                )
+
+            # One captured graph per f1/f2 swap parity (see repro.graph).
+            self._step_region.run(
+                (id(self.df), id(self.df1), id(self.df2)), _step_body
             )
             self.df1, self.df2 = self.df2, self.df1
             self.steps_taken += 1

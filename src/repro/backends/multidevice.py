@@ -153,6 +153,12 @@ class MultiDeviceBackend(Backend):
             IndexDomain([(lo + c_lo, lo + c_hi)] + tail) for c_lo, c_hi in chunks
         ]
 
+    def schedule_epoch(self) -> int:
+        """Bumps whenever a device drops from the dispatch set, so
+        recorded schedules (captured launch graphs) detect that their
+        per-device split no longer matches the surviving devices."""
+        return len(self._failed)
+
     def schedule(self, plan: LaunchPlan) -> LaunchSchedule:
         """Record the per-device split over the *surviving* devices:
         bandwidth-weighted chunks on a heterogeneous node, balanced

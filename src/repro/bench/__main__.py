@@ -156,6 +156,10 @@ def main(argv=None) -> int:
         # Fault/retry/failover counters: zero on a healthy run, nonzero
         # when PYACC_FAULTS (or an installed FaultPlan) was active.
         doc["faults"] = global_fault_stats()
+        # Launch-graph capture/replay/fusion counters (repro.graph).
+        from ..graph import graph_stats
+
+        doc["graph"] = graph_stats()
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
         print(f"wrote {args.json}")

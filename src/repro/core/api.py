@@ -29,6 +29,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Union
 
+import numpy as np
+
+from ..ir import writes
 from ..ir.compile import compile_kernel
 from ..ir.verify import active_verify_mode, verify_launch
 from .backend import Backend, normalize_dims
@@ -167,6 +170,23 @@ def _execute(plan: LaunchPlan, ctx: ExecutionContext) -> LaunchPlan:
     plan.result = faults.execute_plan(plan, ctx)
     # Failover may have demoted plan.backend; read the clock that ran.
     plan.sim_time_after = plan.backend.accounting.sim_time
+    # Version the arrays this launch stored to, so instantiated graphs
+    # that hoisted loads from "const" arrays can detect writers they
+    # could not see at instantiation (see repro.ir.writes).
+    written = plan.written_ids
+    if written is None:
+        kernel = plan.kernel
+        trace = kernel.trace if kernel is not None else None
+        if trace is not None:
+            written = tuple(
+                id(plan.resolved_args[st.array.pos]) for st in trace.stores
+            )
+        else:
+            written = tuple(
+                id(a) for a in plan.resolved_args if isinstance(a, np.ndarray)
+            )
+        plan.written_ids = written
+    writes.note_writes(written)
     ctx.fire_complete(plan)
     return plan
 
@@ -192,8 +212,20 @@ def _dispatch(construct: str, dims, f: Callable, args: tuple, op: str) -> Launch
     ctx = current_context()
     if ctx.pending_launches:
         ctx.drain()
+    cap = ctx.graph_capture
+    slot_map = None
+    if cap is not None:
+        # Relaxed stream capture (see repro.graph): the construct still
+        # executes eagerly through the full pipeline; its staged plan is
+        # recorded afterwards, with ScalarSlot wrappers stripped to
+        # their concrete values first (slots are a graph-level concept —
+        # the tracer and cache keys only ever see real scalars).
+        args, slot_map = cap.strip_slots(args)
     plan, ctx = _stage(construct, dims, f, args, op)
-    return _execute(plan, ctx)
+    _execute(plan, ctx)
+    if cap is not None:
+        cap.record(plan, slot_map)
+    return plan
 
 
 def _validate_op(op: str) -> None:

@@ -136,6 +136,18 @@ class Backend(ABC):
         """
         return LaunchSchedule(domains=(IndexDomain.full(plan.dims),))
 
+    def schedule_epoch(self) -> int:
+        """Monotonic staleness counter for recorded schedules.
+
+        A :class:`LaunchSchedule` computed by :meth:`schedule` stays
+        valid while this value is unchanged.  Backends whose chunking
+        decisions can shift between launches (the multi-device backend
+        drops failed devices from its dispatch set) bump it; captured
+        launch graphs compare epochs before replaying and re-schedule
+        their recorded plans on a mismatch.
+        """
+        return 0
+
     @abstractmethod
     def execute(self, plan: LaunchPlan) -> Optional[float]:
         """Execute a fully staged :class:`LaunchPlan`, then synchronize

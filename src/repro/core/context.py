@@ -96,6 +96,10 @@ class ExecutionContext:
         #: Fault-handling activity observed in this context (retries,
         #: failovers, watchdog timeouts, checkpoint restores).
         self.fault_events: list["FaultEvent"] = []
+        #: The active :class:`repro.graph.capture.GraphCapture`, or
+        #: ``None``.  When set, ``_dispatch`` records every staged plan
+        #: it executes (relaxed stream capture — see :mod:`repro.graph`).
+        self.graph_capture = None
 
     # -- backend resolution -------------------------------------------------
     def backend(self) -> "Backend":
@@ -170,6 +174,16 @@ class ExecutionContext:
             "by_action": by_action,
             "plan": plan.stats() if plan is not None else None,
         }
+
+    # -- launch-graph capture -------------------------------------------------
+    def capture(self) -> "Any":
+        """A :class:`repro.graph.capture.GraphCapture` scoped to this
+        context: ``with ctx.capture() as cap:`` records every construct
+        dispatched in the block (which still executes eagerly) for
+        instantiation and replay — see :mod:`repro.graph`."""
+        from ..graph.capture import GraphCapture
+
+        return GraphCapture(self)
 
     # -- dispatch-event hooks ------------------------------------------------
     def on_launch(

@@ -203,5 +203,11 @@ class CheckpointError(PyACCError):
     exhausted)."""
 
 
+class GraphError(PyACCError):
+    """Launch-graph misuse: nested captures, replaying an invalidated
+    instantiation, or binding unknown scalar slots (see
+    :mod:`repro.graph`)."""
+
+
 class MemoryError_(DeviceError):
     """A simulated device ran out of its configured memory capacity."""

@@ -117,6 +117,11 @@ class LaunchPlan:
     #: (retries, failovers, watchdog timeouts) — see
     #: :class:`repro.faults.FaultEvent`.
     fault_events: list = field(default_factory=list)
+    #: Storage ids this plan's kernel stores to, computed lazily by the
+    #: execute stage for write-version tracking (repro.ir.writes) and
+    #: cached here — graph replays reuse the plan, and array identities
+    #: never change across replays (only scalar slots rebind).
+    written_ids: Optional[tuple] = None
 
     @property
     def is_reduce(self) -> bool:

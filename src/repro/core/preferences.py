@@ -31,14 +31,17 @@ from .exceptions import PreferencesError
 __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_EXECUTOR",
+    "DEFAULT_GRAPH_MODE",
     "DEFAULT_VERIFY_MODE",
     "EXECUTOR_MODES",
+    "GRAPH_MODES",
     "VERIFY_MODES",
     "preferences_path",
     "read_preferences",
     "write_preference",
     "resolve_backend_name",
     "resolve_executor_mode",
+    "resolve_graph_mode",
     "resolve_verify_mode",
 ]
 
@@ -59,10 +62,20 @@ EXECUTOR_MODES = ("codegen", "vector", "interpreter")
 #: Default executor: generated code (the fastest steady-state path).
 DEFAULT_EXECUTOR = "codegen"
 
+#: Launch-graph capture modes (see repro.graph): ``on`` lets the
+#: iterative apps capture + replay their launch sequences, ``off``
+#: dispatches every construct through the full staged pipeline.
+GRAPH_MODES = ("on", "off")
+
+#: Default: graphs enabled (the fastest steady-state path; the staged
+#: pipeline stays bit-identical, so opting out is a pure perf knob).
+DEFAULT_GRAPH_MODE = "on"
+
 _ENV_FILE = "PYACC_PREFERENCES"
 _ENV_BACKEND = "PYACC_BACKEND"
 _ENV_VERIFY = "PYACC_VERIFY"
 _ENV_EXECUTOR = "PYACC_EXECUTOR"
+_ENV_GRAPH = "PYACC_GRAPH"
 _TABLE = "repro"
 _FILENAME = "LocalPreferences.toml"
 
@@ -179,5 +192,25 @@ def resolve_executor_mode() -> str:
     if mode not in EXECUTOR_MODES:
         raise PreferencesError(
             f"executor mode must be one of {EXECUTOR_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def resolve_graph_mode() -> str:
+    """Decide the launch-graph mode: env var > file > default.
+
+    The environment variable is ``PYACC_GRAPH``; the preferences key is
+    ``graph`` under ``[repro]``.  Valid values are ``on`` (iterative
+    apps capture their launch sequences once and replay pre-staged
+    graphs, the default) and ``off`` (every construct goes through the
+    full staged dispatch pipeline — the differential-testing baseline).
+    """
+    mode = os.environ.get(_ENV_GRAPH)
+    if not mode:
+        prefs = read_preferences()
+        mode = prefs.get("graph", DEFAULT_GRAPH_MODE)
+    if mode not in GRAPH_MODES:
+        raise PreferencesError(
+            f"graph mode must be one of {GRAPH_MODES}, got {mode!r}"
         )
     return mode

@@ -1,0 +1,137 @@
+"""Launch graphs: capture, fusion, and replay for iterative workloads.
+
+JACC's evaluation workloads repeat one short launch sequence thousands of
+times; the paper's JIT amortizes *compilation* once per kernel, but the
+staged dispatch pipeline still pays plan construction, cache lookups,
+verification and schedule building on every launch.  This package
+amortizes the *orchestration* the same way CUDA Graphs do:
+
+* :class:`~repro.graph.capture.GraphCapture` /
+  ``ExecutionContext.capture()`` record the staged
+  :class:`~repro.core.plan.LaunchPlan`\\ s a code region issues (the
+  region still executes eagerly — relaxed capture);
+* :meth:`~repro.graph.capture.LaunchGraph.instantiate` freezes them:
+  adjacent launches fuse into single codegen programs
+  (:mod:`repro.ir.fuse`), arena pools are pre-sized, and all per-launch
+  decisions are hoisted;
+* :meth:`~repro.graph.capture.InstantiatedGraph.replay` re-executes the
+  sequence with only scalar-slot rebinding, through the same execute
+  stage as normal dispatch (bit-identical results, identical fault
+  accounting).
+
+:class:`~repro.graph.region.GraphRegion` packages the capture-or-replay
+decision for the apps.  The whole subsystem is a pure performance layer:
+``PYACC_GRAPH=off`` (or ``graph = "off"`` in LocalPreferences.toml)
+restores per-launch staged dispatch, and the differential suite holds
+the two modes bit-identical across every backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..core.exceptions import GraphError, PreferencesError
+from ..core.preferences import GRAPH_MODES, resolve_graph_mode
+from .capture import (
+    GraphCapture,
+    GraphNode,
+    InstantiatedGraph,
+    LaunchGraph,
+    ScalarSlot,
+)
+from .region import GraphRegion
+
+__all__ = [
+    "GraphCapture",
+    "GraphError",
+    "GraphNode",
+    "GraphRegion",
+    "InstantiatedGraph",
+    "LaunchGraph",
+    "ScalarSlot",
+    "graph_mode",
+    "set_graph_mode",
+    "graphs_enabled",
+    "graph_stats",
+    "reset_graph_stats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Mode resolution (the PYACC_GRAPH opt-out), mirroring executor_mode
+# ---------------------------------------------------------------------------
+
+_mode_override: Optional[str] = None
+_mode_resolved: Optional[str] = None
+
+
+def graph_mode() -> str:
+    """The active launch-graph mode: ``on`` or ``off``.
+
+    Resolved once from ``PYACC_GRAPH`` / the preferences file (see
+    :func:`repro.core.preferences.resolve_graph_mode`) and cached —
+    every :class:`GraphRegion` run consults this, so resolution must
+    not touch the filesystem per iteration.
+    """
+    global _mode_resolved
+    if _mode_override is not None:
+        return _mode_override
+    if _mode_resolved is None:
+        _mode_resolved = resolve_graph_mode()
+    return _mode_resolved
+
+
+def set_graph_mode(mode: Optional[str]) -> None:
+    """Override the graph mode process-wide (tests / differential runs).
+
+    ``None`` drops the override and the cached resolution so the next
+    check re-reads ``PYACC_GRAPH``/preferences.
+    """
+    global _mode_override, _mode_resolved
+    if mode is not None and mode not in GRAPH_MODES:
+        raise PreferencesError(
+            f"graph mode must be one of {GRAPH_MODES}, got {mode!r}"
+        )
+    _mode_override = mode
+    _mode_resolved = None
+
+
+def graphs_enabled() -> bool:
+    """True when regions may capture and replay launch graphs."""
+    return graph_mode() == "on"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide counters (cache_info()["graph"] / bench --json)
+# ---------------------------------------------------------------------------
+
+_STATS_LOCK = threading.Lock()
+_COUNTS = {
+    "captures": 0,
+    "replays": 0,
+    "nodes_replayed": 0,
+    "fused_pairs": 0,
+    "invalidations": 0,
+    "uncaptureable": 0,
+}
+
+
+def _bump(key: str, n: int = 1) -> None:
+    with _STATS_LOCK:
+        _COUNTS[key] += n
+
+
+def graph_stats() -> dict:
+    """Process-wide launch-graph activity since start (or last reset)."""
+    with _STATS_LOCK:
+        out = dict(_COUNTS)
+    out["mode"] = graph_mode()
+    return out
+
+
+def reset_graph_stats() -> None:
+    """Zero the process-wide counters (tests / bench)."""
+    with _STATS_LOCK:
+        for key in _COUNTS:
+            _COUNTS[key] = 0

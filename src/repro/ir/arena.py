@@ -144,6 +144,44 @@ class ScratchArena:
             self._fault_plan.check("arena.frame")
         return ArenaFrame(self)
 
+    def reserve(self, shapes_dtypes) -> int:
+        """Pre-size the pools for a known launch sequence.
+
+        ``shapes_dtypes`` is an iterable of ``(shape, dtype)`` pairs, one
+        per scratch buffer the sequence may hold *concurrently* —
+        duplicates mean that many buffers of that key.  Pools are topped
+        up so at least that many free buffers exist per key; buffers
+        already pooled are counted toward the requirement.  Returns the
+        number of buffers allocated.
+
+        Instantiated launch graphs (:mod:`repro.graph`) call this so
+        ``replay()`` draws every ``out=`` temporary from a warm pool —
+        zero arena growth on the hot path (asserted in tests).
+        """
+        need: dict[tuple, int] = {}
+        for shape, dtype in shapes_dtypes:
+            key = (tuple(shape), np.dtype(dtype).str)
+            need[key] = need.get(key, 0) + 1
+        created = 0
+        for key, count in need.items():
+            shape, dtype_str = key
+            with self._lock:
+                missing = count - len(self._pools.get(key, ()))
+            for _ in range(missing):
+                buf = np.empty(shape, dtype=np.dtype(dtype_str))
+                with self._lock:
+                    self._pools.setdefault(key, []).append(buf)
+                    self._created += 1
+                    self._bytes_allocated += buf.nbytes
+                _GLOBAL.record(
+                    created=1,
+                    reused=0,
+                    bytes_allocated=buf.nbytes,
+                    bytes_saved=0,
+                )
+                created += 1
+        return created
+
     # -- pool mechanics (called by frames) ---------------------------------
     def _pop(self, key: tuple, shape: tuple, dtype) -> np.ndarray:
         with self._lock:

@@ -47,6 +47,7 @@ correct.
 from __future__ import annotations
 
 import math
+import re
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -58,6 +59,7 @@ from .vectorizer import (
     _as_index_array,
     _BIN_FUNCS,
     _BOOL_FUNCS,
+    _clamp_index,
     _CMP_FUNCS,
     _gather,
     _UN_FUNCS,
@@ -385,6 +387,31 @@ class _Lowering:
         self.n_out = 0  # arena-buffer writes emitted (introspection)
         self._tmp_n = 0
         self._counts = self._use_counts(trace)
+        # Per-line provenance, parallel to ``lines``: ``None`` for effect
+        # lines (stores, control flow), else ``(var, array_deps,
+        # scalar_deps, idx_tokens)`` — what launch-graph instantiation
+        # needs to hoist replay-invariant lines (see lower_trace_hoisted).
+        self.line_meta: list = []
+        self._sdeps: dict[int, frozenset[int]] = {}
+
+    def _node_sdeps(self, node: N.Node) -> frozenset[int]:
+        """Transitive ScalarArg positions under ``node`` (memoized)."""
+        nid = id(node)
+        got = self._sdeps.get(nid)
+        if got is not None:
+            return got
+        if isinstance(node, N.ScalarArg):
+            out = frozenset({node.pos})
+        else:
+            out = frozenset()
+            for child in node.children:
+                out |= self._node_sdeps(child)
+        self._sdeps[nid] = out
+        return out
+
+    def _line(self, text: str, meta=None) -> None:
+        self.lines.append(text)
+        self.line_meta.append(meta)
 
     @staticmethod
     def _use_counts(trace: N.Trace) -> dict[int, int]:
@@ -453,7 +480,19 @@ class _Lowering:
             return self.emitted[nid]
         rhs, deps = self._emit_inner(node)
         var = self._tmp()
+        idx_tokens = None
+        if isinstance(node, N.Load) and not _static_identity(
+            node.indices, self.ndim
+        ):
+            # Children already emitted: these calls only return names.
+            idx_tokens = (
+                node.array.pos,
+                tuple(self.emit(ix) for ix in node.indices),
+            )
         self.lines.append(f"{var} = {rhs}")
+        self.line_meta.append(
+            (var, deps, self._node_sdeps(node), idx_tokens)
+        )
         self.emitted[nid] = var
         if deps:
             self.deps[nid] = deps
@@ -551,16 +590,17 @@ class _Lowering:
                 else:
                     v = self.emit(value.operand)
                     call = f"_u_{value.op}({v}"
-                self.lines += [
+                for text in (
                     f"_d = _ident_view({arr}, _dom)",
                     "if _d is not None:",
                     f"    {call}, out=_d)",
                     "else:",
                     f"    _store_ident({arr}, _dom, {call}))",
-                ]
+                ):
+                    self._line(text)
             else:
                 val = self.emit(store.value)
-                self.lines.append(f"_store_ident({arr}, _dom, {val})")
+                self._line(f"_store_ident({arr}, _dom, {val})")
             self._invalidate(pos)
             return
 
@@ -573,12 +613,12 @@ class _Lowering:
             else "None"
         )
         if identity:
-            self.lines.append(
+            self._line(
                 f"_store_guarded_ident({arr}, _dom, {val}, {mask}, {pos})"
             )
         else:
             idx = ", ".join(self.emit(ix) for ix in store.indices)
-            self.lines.append(
+            self._line(
                 f"_store_general({arr}, _dom, ({idx},), {val}, {mask}, {pos})"
             )
         self._invalidate(pos)
@@ -589,7 +629,7 @@ class _Lowering:
             self.emit_store(store)
         has_result = self.trace.result is not None
         if has_result:
-            self.lines.append(f"return {self.emit(self.trace.result)}")
+            self._line(f"return {self.emit(self.trace.result)}")
 
         body = ["def _kernel(args, _dom, _take):"]
         body.append(f"    if len(_dom.ranges) != {self.ndim}:")
@@ -698,15 +738,15 @@ class CodegenProgram:
         frame = _resolve_arena(arena).frame()
         try:
             values = self._fn(args, domain, frame.take)
-            values = np.broadcast_to(
-                np.asarray(values, dtype=np.float64), domain.shape
-            )
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != domain.shape:
+                values = np.broadcast_to(values, domain.shape)
             if op == "add":
-                return float(np.sum(values))
+                return float(values.sum())
             if op == "min":
-                return float(np.min(values))
+                return float(values.min())
             if op == "max":
-                return float(np.max(values))
+                return float(values.max())
             raise KernelExecutionError(f"unsupported reduction op {op!r}")
         finally:
             frame.release()
@@ -736,3 +776,297 @@ def lower_trace(trace: N.Trace, args: Sequence[Any]) -> CodegenProgram:
         raise
     except Exception as exc:  # defensive: never break compilation
         raise CodegenError(f"lowering failed: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Hoisted programs (launch-graph replay)
+# ---------------------------------------------------------------------------
+
+
+#: Compiled (prologue, kernel) function pairs keyed by source text —
+#: see HoistedProgram.__init__.
+_HOIST_FN_CACHE: dict = {}
+
+
+class HoistedProgram:
+    """A codegen program partitioned for launch-graph replay.
+
+    Launch-graph instantiation (:mod:`repro.graph`) knows which inputs of
+    a frozen node can never change between replays — scalars that are not
+    graph slots, the frozen domain, array shapes — and which arrays are
+    *candidate* consts (written by no node in the graph).  Every
+    generated line whose transitive inputs are replay-invariant — index
+    arithmetic, loads from constant arrays (an ELL matrix's
+    ``cols``/``vals``), gather-index clamps — moves into a *prologue*
+    that runs **once per (instantiation, schedule chunk)**; replays
+    execute only the variant remainder against the cached prologue
+    values.  The CUDA-Graphs analogue is address pre-binding: the graph
+    re-launches with operand addresses (here: index arrays and constant
+    operands) already resolved.
+
+    Candidate consts are only sound while nothing *outside* the graph
+    writes them, so the instantiation snapshots their global
+    write-versions (:mod:`repro.ir.writes`) and re-validates before each
+    replay, demoting arrays that moved (re-lowering without them) or
+    calling :meth:`clear_prologues` to re-bind after a global reset.
+
+    Drop-in for :class:`CodegenProgram` (same ``run_for``/``run_reduce``/
+    ``n_out_buffers`` surface), so frozen plans execute through every
+    backend unchanged.  Prologue values are cached per chunk-domain
+    *object* (the cache pins the domain, so ids cannot recycle); a
+    re-schedule after device loss simply misses and re-binds.
+    """
+
+    __slots__ = (
+        "source",
+        "prologue_source",
+        "ndim",
+        "has_result",
+        "n_out_buffers",
+        "n_hoisted",
+        "_fn",
+        "_pro",
+        "_pre_cache",
+    )
+
+    def __init__(
+        self,
+        prologue_source: str,
+        source: str,
+        ndim: int,
+        has_result: bool,
+        n_out_buffers: int,
+        n_hoisted: int,
+    ):
+        self.prologue_source = prologue_source
+        self.source = source
+        self.ndim = ndim
+        self.has_result = has_result
+        self.n_out_buffers = n_out_buffers
+        self.n_hoisted = n_hoisted
+        # Compiled code depends only on the source pair — share it
+        # across instantiations (graph recaptures re-lower the same
+        # trace to the same text; per-instantiation state lives in
+        # _pre_cache, bound lazily from the actual launch args).
+        cached = _HOIST_FN_CACHE.get((prologue_source, source))
+        if cached is None:
+            namespace = _program_globals()
+            namespace["_clamp_index"] = _clamp_index
+            exec(
+                compile(prologue_source, "<pyacc-hoist-pro>", "exec"),
+                namespace,
+            )
+            exec(compile(source, "<pyacc-hoist>", "exec"), namespace)
+            cached = (namespace["_prologue"], namespace["_kernel"])
+            if len(_HOIST_FN_CACHE) > 256:  # churn guard
+                _HOIST_FN_CACHE.clear()
+            _HOIST_FN_CACHE[(prologue_source, source)] = cached
+        self._pro, self._fn = cached
+        self._pre_cache: dict[int, tuple] = {}
+
+    def clear_prologues(self) -> None:
+        """Drop cached prologue values (const-array snapshot went
+        stale); the next run re-binds them from current contents."""
+        self._pre_cache.clear()
+
+    def _pre_for(self, domain: IndexDomain, args: Sequence[Any]) -> tuple:
+        got = self._pre_cache.get(id(domain))
+        if got is not None and got[0] is domain:
+            return got[1], got[2]
+        pre = self._pro(args, domain)
+        # Pre-bind the scratch buffers too: every ``out=`` in the main
+        # body draws the frozen chunk shape, so replay never touches the
+        # arena (the buffers live exactly as long as this instantiation,
+        # recycled dirty across replays like arena buffers are across
+        # launches).
+        bufs = tuple(
+            np.empty(domain.shape) for _ in range(self.n_out_buffers)
+        )
+        if len(self._pre_cache) > 16:  # re-schedule churn guard
+            self._pre_cache.clear()
+        self._pre_cache[id(domain)] = (domain, pre, bufs)
+        return pre, bufs
+
+    def run_for(
+        self,
+        domain: IndexDomain,
+        args: Sequence[Any],
+        arena: Optional[ScratchArena] = None,
+    ) -> None:
+        pre, bufs = self._pre_for(domain, args)
+        self._fn(args, domain, bufs, pre)
+
+    def run_reduce(
+        self,
+        domain: IndexDomain,
+        args: Sequence[Any],
+        op: str = "add",
+        arena: Optional[ScratchArena] = None,
+    ) -> float:
+        if not self.has_result:
+            raise KernelExecutionError(
+                "parallel_reduce kernel did not return a value on any path"
+            )
+        if domain.size == 0:
+            try:
+                return _REDUCE_IDENTITY[op]
+            except KeyError:
+                raise KernelExecutionError(
+                    f"unsupported reduction op {op!r}"
+                ) from None
+        pre, bufs = self._pre_for(domain, args)
+        values = self._fn(args, domain, bufs, pre)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != domain.shape:
+            values = np.broadcast_to(values, domain.shape)
+        if op == "add":
+            return float(values.sum())
+        if op == "min":
+            return float(values.min())
+        if op == "max":
+            return float(values.max())
+        raise KernelExecutionError(f"unsupported reduction op {op!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HoistedProgram ndim={self.ndim} hoisted={self.n_hoisted} "
+            f"out_buffers={self.n_out_buffers}>"
+        )
+
+
+_OUT_TOKEN = ", out=_take(_shape)"
+_TEMP_RE = re.compile(r"\bt\d+\b")
+
+
+def _token_invariant(
+    token: str, invariant: set, const_scalars: frozenset
+) -> bool:
+    if token.startswith("t"):
+        return token in invariant
+    if token.startswith("_s"):
+        return int(token[2:]) in const_scalars
+    return True  # literal, _g{axis} (domain is frozen per graph node)
+
+
+def lower_trace_hoisted(
+    trace: N.Trace,
+    args: Sequence[Any],
+    const_arrays: frozenset,
+    const_scalars: frozenset,
+) -> Optional[HoistedProgram]:
+    """Partition a trace's generated program for graph replay.
+
+    ``const_arrays``/``const_scalars`` are the argument positions the
+    launch graph proved replay-invariant.  Returns ``None`` when nothing
+    hoists (the plain :class:`CodegenProgram` is already optimal) or the
+    trace does not lower.
+    """
+    lowering = _Lowering(trace, args)
+    try:
+        for store in trace.stores:
+            lowering.emit_store(store)
+        has_result = trace.result is not None
+        if has_result:
+            lowering._line(f"return {lowering.emit(trace.result)}")
+    except CodegenError:
+        return None
+    except Exception:  # pragma: no cover - mirrors lower_trace's guard
+        return None
+
+    invariant: set[str] = set()
+    pro_lines: list[str] = []
+    main_lines: list[str] = []
+    n_pre = 0
+    for line, meta in zip(lowering.lines, lowering.line_meta):
+        if meta is None:
+            main_lines.append(line)
+            continue
+        var, adeps, sdeps, idx_tokens = meta
+        if adeps <= const_arrays and sdeps <= const_scalars:
+            pro_lines.append(line.replace(_OUT_TOKEN, ""))
+            invariant.add(var)
+            continue
+        if (
+            idx_tokens is not None
+            and adeps - {idx_tokens[0]} <= const_arrays
+            and sdeps <= const_scalars
+            and all(
+                _token_invariant(tok, invariant, const_scalars)
+                for tok in idx_tokens[1]
+            )
+        ):
+            # Gather from a *mutable* array through replay-invariant
+            # indices: pre-clamp the index tuple once (the clamp depends
+            # only on the array's shape), leaving a plain fancy-index on
+            # the hot path.
+            n_pre += 1
+            pvar = f"p{n_pre}"
+            arr_pos, tokens = idx_tokens
+            idx = ", ".join(tokens)
+            pro_lines.append(
+                f"{pvar} = _clamp_index(_a{arr_pos}, ({idx},))"
+            )
+            main_lines.append(f"{var} = _a{arr_pos}[{pvar}]")
+            invariant.add(pvar)
+            continue
+        main_lines.append(line)
+
+    if not pro_lines:
+        return None
+
+    main_text = "\n".join(main_lines)
+    exported = sorted(
+        {m.group(0) for m in _TEMP_RE.finditer(main_text)} & invariant
+    ) + sorted(v for v in invariant if v.startswith("p"))
+
+    def headers(indent: str, with_scalars: bool) -> list[str]:
+        out = []
+        for ax in sorted(lowering.used_axes):
+            out.append(f"{indent}_g{ax} = _dom.grids[{ax}]")
+        for pos in sorted(lowering.used_arrays):
+            out.append(f"{indent}_a{pos} = _chk_array(args, {pos})")
+        if with_scalars:
+            for pos in sorted(lowering.used_scalars):
+                out.append(f"{indent}_s{pos} = args[{pos}]")
+        return out
+
+    pro = ["def _prologue(args, _dom):"]
+    pro += headers("    ", True)
+    pro += [f"    {line}" for line in pro_lines]
+    pro.append(f"    return ({', '.join(exported)},)" if exported else
+               "    return ()")
+
+    # Every scratch draw in the main body is ``_take(_shape)`` with the
+    # frozen chunk shape — rewrite the k-th draw to a pre-bound buffer
+    # ``_bk`` so replay bypasses the arena entirely (the instantiation
+    # owns the buffers; see HoistedProgram._pre_for).
+    n_out = main_text.count(_OUT_TOKEN)
+    for k in range(n_out):
+        main_text = main_text.replace(_OUT_TOKEN, f", out=_b{k}", 1)
+
+    body = ["def _kernel(args, _dom, _bufs, _pre):"]
+    body.append(f"    if len(_dom.ranges) != {lowering.ndim}:")
+    body.append(
+        "        raise _KernelExecutionError("
+        f"'kernel was generated for a {lowering.ndim}-D domain, got '"
+        " + str(len(_dom.ranges)) + '-D')"
+    )
+    body.append("    _shape = _dom.shape")
+    body += headers("    ", True)
+    if exported:
+        body.append(f"    ({', '.join(exported)},) = _pre")
+    if n_out:
+        names = ", ".join(f"_b{k}" for k in range(n_out))
+        body.append(f"    ({names},) = _bufs")
+    body += [f"    {line}" for line in main_text.split("\n")]
+    try:
+        return HoistedProgram(
+            "\n".join(pro) + "\n",
+            "\n".join(body) + "\n",
+            trace.ndim,
+            has_result,
+            n_out,
+            len(pro_lines),
+        )
+    except Exception:  # pragma: no cover - defensive; fall back to plain
+        return None

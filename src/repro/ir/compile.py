@@ -38,6 +38,7 @@ from ..core.exceptions import (
 from ..core.preferences import EXECUTOR_MODES, resolve_executor_mode
 from . import nodes as N
 from .arena import ScratchArena
+from . import writes
 from .codegen import CodegenError, CodegenProgram, lower_trace
 from .interpreter import interpret_for, interpret_reduce
 from .optimize import optimize_trace
@@ -133,6 +134,42 @@ class CompiledKernel:
 
 def _scalar_value(a: Any) -> Any:
     return a.item() if isinstance(a, np.generic) else a
+
+
+def _fn_key(fn: Callable) -> Any:
+    """The function component of a kernel cache key.
+
+    Plain (closure-free) kernels key on the function object itself —
+    the cheapest stable identity.  Closures need more care, in both
+    directions:
+
+    * a kernel *factory* returns a fresh function object per call, so
+      identity-keying re-traces a kernel whose captured ``alpha`` merely
+      changed Python identity, not value (signature churn — and graph
+      replay depends on stable keys);
+    * rebinding a closure cell on the *same* function object would
+      silently reuse a trace specialized on the old captured value.
+
+    Both are fixed by keying closures structurally: module + qualname +
+    code object + the captured cell values, with scalar cells normalized
+    to their *values* and everything else (arrays, objects) to identity.
+    """
+    cells = getattr(fn, "__closure__", None)
+    if not cells:
+        return fn
+    parts = []
+    for cell in cells:
+        try:
+            v = cell.cell_contents
+        except ValueError:  # not-yet-filled cell (self-referential defs)
+            parts.append(("empty",))
+            continue
+        v = _scalar_value(v)
+        if isinstance(v, (bool, int, float, complex, str, bytes)) or v is None:
+            parts.append(("val", type(v).__name__, v))
+        else:
+            parts.append(("id", id(v)))
+    return (fn.__module__, fn.__qualname__, fn.__code__, tuple(parts))
 
 
 def _type_signature(args: Sequence[Any]) -> tuple:
@@ -237,15 +274,25 @@ def clear_cache(cache: Optional[KernelCache] = None) -> None:
     :class:`KernelCache` to clear that one instead.
     """
     (cache if cache is not None else _CACHE).clear()
+    if cache is None:
+        # Process-global clear also drops the write-version table;
+        # outstanding graph snapshots see the epoch bump and rebind.
+        writes.reset()
 
 
 def cache_info(cache: Optional[KernelCache] = None) -> dict:
-    """Return cache statistics: size, hits, misses (locked snapshot).
+    """Return cache statistics: size, hits, misses (locked snapshot),
+    plus the process-wide launch-graph counters under ``"graph"``
+    (captures/replays/fused pairs — see :func:`repro.graph.graph_stats`).
 
     Reports on the process-global cache by default; pass a
     context-scoped :class:`KernelCache` to inspect that one instead.
     """
-    return (cache if cache is not None else _CACHE).stats()
+    info = (cache if cache is not None else _CACHE).stats()
+    from ..graph import graph_stats
+
+    info["graph"] = graph_stats()
+    return info
 
 
 def _analyze_or_placeholder(trace: Optional[N.Trace]) -> TraceStats:
@@ -323,7 +370,7 @@ def compile_kernel(
         raise PreferencesError(
             f"executor mode must be one of {EXECUTOR_MODES}, got {executor!r}"
         )
-    base_key = (fn, ndim, bool(reduce), executor, _type_signature(args))
+    base_key = (_fn_key(fn), ndim, bool(reduce), executor, _type_signature(args))
 
     # 1. Generic (type-specialized) entry.
     ck = cache.lookup(base_key)

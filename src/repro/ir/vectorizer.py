@@ -344,6 +344,44 @@ def _as_index_array(ix: np.ndarray) -> np.ndarray:
     return np.trunc(ix).astype(np.intp)
 
 
+# ``np.clip`` burns several microseconds per call in dispatcher layers and
+# dtype-limit probes — pure overhead at the small launch domains iterative
+# solvers live at, where a stencil kernel issues dozens of clamped gathers
+# per launch.  The raw ufunc does the same clamp without the wrapping.
+try:  # numpy >= 2.0
+    from numpy._core.umath import clip as _clip_uf
+except ImportError:  # pragma: no cover - numpy 1.x
+    try:
+        from numpy.core.umath import clip as _clip_uf  # type: ignore
+    except ImportError:
+        _clip_uf = np.clip
+
+
+def _clamp_index(arr: np.ndarray, idx: tuple[Any, ...]) -> tuple:
+    """The clamped integer index tuple ``_gather`` would use.
+
+    Split out so a frozen launch graph can precompute it once per
+    instantiation when the index expressions are replay-invariant (the
+    clamp depends only on the array's *shape*, never its contents).
+    """
+    out_idx = []
+    for ax, ix in enumerate(idx):
+        if not isinstance(ix, np.ndarray) and not np.isscalar(ix):
+            ix = np.asarray(ix)
+        if isinstance(ix, np.ndarray) and ix.ndim:
+            if ix.dtype.kind not in "iu":
+                ix = np.trunc(ix).astype(np.intp)
+            out_idx.append(_clip_uf(ix, 0, arr.shape[ax] - 1))
+        else:
+            ii = int(ix)
+            if ii < 0:
+                ii = 0
+            elif ii >= arr.shape[ax]:
+                ii = arr.shape[ax] - 1
+            out_idx.append(ii)
+    return tuple(out_idx)
+
+
 def _gather(arr: np.ndarray, idx: tuple[Any, ...]) -> np.ndarray:
     """Gather ``arr[idx...]`` with out-of-bounds lanes clamped.
 
@@ -353,19 +391,7 @@ def _gather(arr: np.ndarray, idx: tuple[Any, ...]) -> np.ndarray:
     defined; guarded stores ensure clamped values are never consumed on a
     taken path.
     """
-    out_idx = []
-    for ax, ix in enumerate(idx):
-        if np.isscalar(ix) or getattr(ix, "ndim", 0) == 0:
-            ii = int(ix)
-            if ii < 0:
-                ii = 0
-            elif ii >= arr.shape[ax]:
-                ii = arr.shape[ax] - 1
-            out_idx.append(ii)
-        else:
-            ix = _as_index_array(np.asarray(ix))
-            out_idx.append(np.clip(ix, 0, arr.shape[ax] - 1))
-    return arr[tuple(out_idx)]
+    return arr[_clamp_index(arr, idx)]
 
 
 def execute_trace(

@@ -302,6 +302,29 @@ def lint_kernel(name: str, fn, rank: int, arg_params: list) -> list[Diagnostic]:
             )
             continue
         trace = optimize_trace(trace)
+        if trace.shape_dependent or trace.const_args:
+            # Capture-unsafe for launch graphs (repro.graph): a replay
+            # that rebinds a scalar slot baked into such a trace must
+            # recompile (value-specialized), and shape-dependent traces
+            # re-key per shape — both defeat the point of graph replay.
+            detail = []
+            if trace.shape_dependent:
+                detail.append("trace depends on array shapes")
+            if trace.const_args:
+                positions = ", ".join(str(p) for p in sorted(trace.const_args))
+                detail.append(f"value-specialized on scalar arg(s) {positions}")
+            diags.append(
+                Diagnostic(
+                    rule="V501",
+                    severity="info",
+                    kernel=name,
+                    message=(
+                        "kernel is capture-unsafe for launch-graph replay "
+                        f"({'; '.join(detail)}); replays that change these "
+                        "inputs recompile instead of rebinding"
+                    ),
+                )
+            )
         shapes = {
             pos: a.shape
             for pos, a in enumerate(spec["args"])

@@ -100,12 +100,47 @@ class TestLintPaths:
             """,
         )
         report = lint_paths([str(path)])
+        # The shape-dependent loop bound makes the kernel capture-unsafe
+        # for launch-graph replay — V501 reports that, info-only.
         assert report["totals"] == {
             "kernels": 1,
             "errors": 0,
             "warnings": 0,
-            "infos": 0,
+            "infos": 1,
         }
+        rules = [
+            d["rule"]
+            for f in report["files"]
+            for k in f["kernels"]
+            for d in k["diagnostics"]
+        ]
+        assert rules == ["V501"]
+
+    def test_value_specialized_kernel_flagged_capture_unsafe(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """
+            import numpy as np
+            from repro.lint import lint_probe
+
+            @lint_probe(dims=8, args=lambda: [np.zeros(8), np.zeros(8), 3])
+            def powsum_kernel(i, x, out, m):
+                acc = 0.0
+                for _ in range(m):
+                    acc += x[i]
+                out[i] = acc
+            """,
+        )
+        report = lint_paths([str(path)])
+        infos = [
+            d
+            for f in report["files"]
+            for k in f["kernels"]
+            for d in k["diagnostics"]
+            if d["rule"] == "V501"
+        ]
+        assert len(infos) == 1
+        assert "value-specialized" in infos[0]["message"]
 
     def test_untraceable_kernel_is_info_only(self, tmp_path):
         path = write_module(
