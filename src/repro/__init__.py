@@ -69,8 +69,10 @@ from .graph import (
     graph_mode,
     graph_stats,
     graphs_enabled,
+    passes_mode,
     reset_graph_stats,
     set_graph_mode,
+    set_passes_mode,
 )
 from .ir import (
     Diagnostic,
@@ -126,9 +128,11 @@ __all__ = [
     "graph_stats",
     "graphs_enabled",
     "inspect_kernel",
+    "passes_mode",
     "reset_graph_stats",
     "set_graph_mode",
     "set_executor_mode",
+    "set_passes_mode",
     "set_fault_plan",
     "set_launch_policy",
     "is_backend_array",

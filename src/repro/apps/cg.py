@@ -196,9 +196,16 @@ def cg_solve_operator(
                 return parallel_reduce(n, dot_kernel_1d, dp, ds)
 
             def _update(alpha, neg_alpha):
-                parallel_for(n, axpy_kernel_1d, alpha, dx, dp)
+                # The r-update must precede the r·r dot, but the x-update
+                # is independent of both.  Issuing it *after* the dot
+                # exercises the graph pipeline's global (non-adjacent)
+                # fusion: the x-axpy hops back over the reduce to merge
+                # with the r-axpy, which adjacent-only peephole fusion
+                # cannot do.
                 parallel_for(n, axpy_kernel_1d, neg_alpha, dr, ds)
-                return parallel_reduce(n, dot_kernel_1d, dr, dr)
+                rr_new = parallel_reduce(n, dot_kernel_1d, dr, dr)
+                parallel_for(n, axpy_kernel_1d, alpha, dx, dp)
+                return rr_new
 
             def _direction(beta):
                 parallel_for(n, xpby_kernel, beta, dr, dp)  # p = r + beta p

@@ -32,9 +32,12 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_EXECUTOR",
     "DEFAULT_GRAPH_MODE",
+    "DEFAULT_PASSES_MODE",
     "DEFAULT_VERIFY_MODE",
     "EXECUTOR_MODES",
     "GRAPH_MODES",
+    "PASS_NAMES",
+    "PASSES_PRESETS",
     "VERIFY_MODES",
     "preferences_path",
     "read_preferences",
@@ -42,6 +45,7 @@ __all__ = [
     "resolve_backend_name",
     "resolve_executor_mode",
     "resolve_graph_mode",
+    "resolve_passes_mode",
     "resolve_verify_mode",
 ]
 
@@ -67,15 +71,27 @@ DEFAULT_EXECUTOR = "codegen"
 #: dispatches every construct through the full staged pipeline.
 GRAPH_MODES = ("on", "off")
 
+#: Optimization passes the graph pipeline can run at instantiate time
+#: (see repro.ir.program), in pipeline order.
+PASS_NAMES = ("fuse", "dse", "sink", "schedule")
+
+#: Preset values for the passes knob besides explicit comma lists.
+PASSES_PRESETS = ("all", "none", "peephole")
+
 #: Default: graphs enabled (the fastest steady-state path; the staged
 #: pipeline stays bit-identical, so opting out is a pure perf knob).
 DEFAULT_GRAPH_MODE = "on"
+
+#: Default: the full pass pipeline (bit-identical by construction; every
+#: unsafe program declines per pass and degrades to unoptimized replay).
+DEFAULT_PASSES_MODE = "all"
 
 _ENV_FILE = "PYACC_PREFERENCES"
 _ENV_BACKEND = "PYACC_BACKEND"
 _ENV_VERIFY = "PYACC_VERIFY"
 _ENV_EXECUTOR = "PYACC_EXECUTOR"
 _ENV_GRAPH = "PYACC_GRAPH"
+_ENV_PASSES = "PYACC_PASSES"
 _TABLE = "repro"
 _FILENAME = "LocalPreferences.toml"
 
@@ -214,3 +230,32 @@ def resolve_graph_mode() -> str:
             f"graph mode must be one of {GRAPH_MODES}, got {mode!r}"
         )
     return mode
+
+
+def resolve_passes_mode() -> str:
+    """Decide the graph pass-pipeline mode: env var > file > default.
+
+    The environment variable is ``PYACC_PASSES``; the preferences key is
+    ``passes`` under ``[repro]``.  Valid values:
+
+    * ``all`` (default) — the full program-level pipeline (global fusion,
+      dead-store elimination, allocation sinking, perfmodel scheduler);
+    * ``peephole`` — PR-5-style adjacent-pair fusion only (the
+      differential baseline for the program passes);
+    * ``none`` — no optimization at instantiate time;
+    * a comma-separated subset of pass names from :data:`PASS_NAMES`,
+      e.g. ``fuse,dse``.
+    """
+    mode = os.environ.get(_ENV_PASSES)
+    if not mode:
+        prefs = read_preferences()
+        mode = prefs.get("passes", DEFAULT_PASSES_MODE)
+    if mode in PASSES_PRESETS:
+        return mode
+    parts = tuple(p.strip() for p in mode.split(",") if p.strip())
+    if parts and all(p in PASS_NAMES for p in parts):
+        return ",".join(parts)
+    raise PreferencesError(
+        f"passes mode must be one of {PASSES_PRESETS} or a comma-separated "
+        f"subset of {PASS_NAMES}, got {mode!r}"
+    )

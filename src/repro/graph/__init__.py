@@ -32,7 +32,13 @@ import threading
 from typing import Optional
 
 from ..core.exceptions import GraphError, PreferencesError
-from ..core.preferences import GRAPH_MODES, resolve_graph_mode
+from ..core.preferences import (
+    GRAPH_MODES,
+    PASS_NAMES,
+    PASSES_PRESETS,
+    resolve_graph_mode,
+    resolve_passes_mode,
+)
 from .capture import (
     GraphCapture,
     GraphNode,
@@ -55,6 +61,9 @@ __all__ = [
     "graphs_enabled",
     "graph_stats",
     "reset_graph_stats",
+    "passes_mode",
+    "set_passes_mode",
+    "enabled_passes",
 ]
 
 
@@ -103,6 +112,65 @@ def graphs_enabled() -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Pass-pipeline mode (the PYACC_PASSES opt-out), same shape as graph_mode
+# ---------------------------------------------------------------------------
+
+_passes_override: Optional[str] = None
+_passes_resolved: Optional[str] = None
+
+
+def passes_mode() -> str:
+    """The active instantiate-time pass-pipeline mode.
+
+    ``all`` | ``none`` | ``peephole`` | a comma list of pass names
+    (see :data:`repro.core.preferences.PASS_NAMES`).  Resolved once from
+    ``PYACC_PASSES`` / the preferences ``passes`` key and cached.
+    """
+    global _passes_resolved
+    if _passes_override is not None:
+        return _passes_override
+    if _passes_resolved is None:
+        _passes_resolved = resolve_passes_mode()
+    return _passes_resolved
+
+
+def set_passes_mode(mode: Optional[str]) -> None:
+    """Override the pass-pipeline mode process-wide (tests / bench).
+
+    ``None`` drops the override so the next check re-reads
+    ``PYACC_PASSES``/preferences.  Takes effect at the next
+    ``instantiate()`` — already-instantiated graphs keep their pipeline.
+    """
+    global _passes_override, _passes_resolved
+    if mode is not None and mode not in PASSES_PRESETS:
+        parts = tuple(p.strip() for p in mode.split(",") if p.strip())
+        if not parts or any(p not in PASS_NAMES for p in parts):
+            raise PreferencesError(
+                f"passes mode must be one of {PASSES_PRESETS} or a "
+                f"comma-separated subset of {PASS_NAMES}, got {mode!r}"
+            )
+        mode = ",".join(parts)
+    _passes_override = mode
+    _passes_resolved = None
+
+
+def enabled_passes(mode: Optional[str] = None) -> tuple:
+    """Decode a passes mode into ``(frozenset_of_passes, peephole)``.
+
+    ``peephole`` restricts the fusion pass to adjacent pairs (the PR-5
+    baseline the bench gate compares against).
+    """
+    m = passes_mode() if mode is None else mode
+    if m == "all":
+        return frozenset(PASS_NAMES), False
+    if m == "none":
+        return frozenset(), False
+    if m == "peephole":
+        return frozenset(("fuse",)), True
+    return frozenset(p.strip() for p in m.split(",") if p.strip()), False
+
+
+# ---------------------------------------------------------------------------
 # Process-wide counters (cache_info()["graph"] / bench --json)
 # ---------------------------------------------------------------------------
 
@@ -122,16 +190,71 @@ def _bump(key: str, n: int = 1) -> None:
         _COUNTS[key] += n
 
 
+def _fresh_pass_counts() -> dict:
+    return {
+        name: {"applied": 0, "declined": {}, "demoted": 0}
+        for name in PASS_NAMES
+    }
+
+
+_PASS_COUNTS = _fresh_pass_counts()
+#: Non-adjacent fusions (merges the PR-5 adjacent peephole could not do).
+_NONADJACENT_KEY = "nonadjacent"
+_PASS_COUNTS["fuse"][_NONADJACENT_KEY] = 0
+
+
+def _record_pass(
+    name: str,
+    *,
+    applied: int = 0,
+    declined: Optional[str] = None,
+    demoted: int = 0,
+    nonadjacent: int = 0,
+) -> None:
+    """Account one pass decision (applied / declined-with-reason / demoted).
+
+    This is the fix for PR 5's silent declines: every decision the
+    pipeline takes — including the ``CodegenError`` and fault-plan drops
+    that used to vanish — lands in ``graph_stats()["passes"]``.
+    """
+    with _STATS_LOCK:
+        entry = _PASS_COUNTS[name]
+        entry["applied"] += applied
+        entry["demoted"] += demoted
+        if nonadjacent:
+            entry[_NONADJACENT_KEY] = entry.get(_NONADJACENT_KEY, 0) + nonadjacent
+        if declined is not None:
+            reasons = entry["declined"]
+            reasons[declined] = reasons.get(declined, 0) + 1
+
+
 def graph_stats() -> dict:
-    """Process-wide launch-graph activity since start (or last reset)."""
+    """Process-wide launch-graph activity since start (or last reset).
+
+    Besides the capture/replay counters, ``"passes"`` holds per-pass
+    applied/declined/demoted counts (declines keyed by reason — the
+    decline taxonomy is documented in docs/API.md) and ``"passes_mode"``
+    the pipeline configuration they ran under.
+    """
     with _STATS_LOCK:
         out = dict(_COUNTS)
+        out["passes"] = {
+            name: {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in entry.items()
+            }
+            for name, entry in _PASS_COUNTS.items()
+        }
     out["mode"] = graph_mode()
+    out["passes_mode"] = passes_mode()
     return out
 
 
 def reset_graph_stats() -> None:
     """Zero the process-wide counters (tests / bench)."""
+    global _PASS_COUNTS
     with _STATS_LOCK:
         for key in _COUNTS:
             _COUNTS[key] = 0
+        _PASS_COUNTS = _fresh_pass_counts()
+        _PASS_COUNTS["fuse"][_NONADJACENT_KEY] = 0

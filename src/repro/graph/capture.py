@@ -103,9 +103,12 @@ class GraphNode:
     (filled at instantiation) lists the positions whose value the
     compiled kernel *baked in* (value-specialized traces, interpreter
     fallbacks): rebinding one of those forces a recompile on replay.
+    ``disabled`` marks a node the pass pipeline eliminated entirely
+    (dead-store elimination left it effect-free): replay skips it, and
+    pass demotion re-enables it.
     """
 
-    __slots__ = ("plan", "slot_map", "const_slots", "hoist")
+    __slots__ = ("plan", "slot_map", "const_slots", "hoist", "disabled")
 
     def __init__(self, plan: LaunchPlan, slot_map: Optional[dict] = None):
         self.plan = plan
@@ -114,6 +117,7 @@ class GraphNode:
         # _HoistState when the node's program was re-lowered with
         # const-array assumptions that need per-replay validation.
         self.hoist: Optional[_HoistState] = None
+        self.disabled = False
 
     def bake_const_slots(self) -> None:
         kernel = self.plan.kernel
@@ -263,51 +267,45 @@ class LaunchGraph:
     ) -> "InstantiatedGraph":
         """Freeze the recording into a replayable program.
 
-        Runs the cross-launch fusion pass (``fuse=False`` under an
-        active fault plan so replayed launch counts — and therefore
-        fault-injection ordinals — match uncaptured dispatch), pre-sizes
-        the context arena for every scratch buffer replay will draw, and
-        records the backend's schedule epoch for staleness detection.
+        Builds the dataflow :class:`~repro.ir.program.Program` over the
+        recorded plans and runs the instantiate-time pass pipeline
+        (global fusion, DSE, allocation sinking, perfmodel scheduling —
+        see :mod:`repro.ir.program`).  ``fuse=False`` forces the
+        pipeline off (used under an active fault plan so replayed launch
+        counts — and therefore fault-injection ordinals — match
+        uncaptured dispatch).  Then pre-sizes the context arena for
+        every scratch buffer replay will draw and records the backend's
+        schedule epoch for staleness detection.
         """
         import dataclasses
 
         from ..ir.codegen import lower_trace_hoisted
-        from ..ir.fuse import fuse_plans
-        from . import _bump
+        from ..ir.program import Program, run_passes
+        from . import _bump, _record_pass, enabled_passes
 
         nodes = [GraphNode(n.plan, n.slot_map) for n in self.nodes]
         for node in nodes:
             node.bake_const_slots()
+        # Every slot the recording mentions stays part of the replay
+        # signature even if a pass disables its node — computed *before*
+        # the pipeline so DSE cannot change the user-facing contract.
+        slot_names = frozenset(
+            name for node in nodes for name in node.slot_map.values()
+        )
 
-        # index_map: recorded node index → post-fusion node index, so the
-        # return convention (matched against the recording) survives the
-        # pass.  A reduce absorbed into a fused node maps to that node —
-        # the fused plan's result IS the inlined reduction's value.
-        fused_pairs = 0
-        index_map = list(range(len(nodes)))
-        if fuse:
-            out: list[GraphNode] = []
-            for i, node in enumerate(nodes):
-                if (
-                    out
-                    and not out[-1].const_slots
-                    and not node.const_slots
-                ):
-                    merged = fuse_plans(out[-1].plan, node.plan)
-                    if merged is not None:
-                        fused_plan, pos_map = merged
-                        prev = out.pop()
-                        combined = GraphNode(fused_plan)
-                        combined.slot_map = dict(prev.slot_map)
-                        for p, slot in node.slot_map.items():
-                            combined.slot_map[pos_map[p]] = slot
-                        out.append(combined)
-                        index_map[i] = len(out) - 1
-                        fused_pairs += 1
-                        continue
-                out.append(node)
-                index_map[i] = len(out) - 1
-            nodes = out
+        enabled, peephole = enabled_passes(None if fuse else "none")
+        program = Program(self.name, nodes)
+        if enabled:
+            run_passes(program, ctx, enabled, peephole, _record_pass)
+        nodes = [pn.gnode for pn in program.nodes]
+        fused_pairs = program.fused_pairs
+
+        # index_map: recorded node index → post-pipeline node index, so
+        # the return convention (matched against the recording) survives
+        # fusion and reordering.  A reduce absorbed into a fused node
+        # maps to that node — the fused plan's result IS the inlined
+        # reduction's value.
+        index_map = program.index_map()
         kind = return_convention[0]
         if kind == "single":
             return_convention = (kind, index_map[return_convention[1]])
@@ -329,6 +327,8 @@ class LaunchGraph:
         # moved (see _replay / _rehoist).
         written: set[int] = set()
         for node in nodes:
+            if node.disabled:
+                continue
             kernel = node.plan.kernel
             trace = kernel.trace if kernel is not None else None
             rargs = node.plan.resolved_args
@@ -343,7 +343,8 @@ class LaunchGraph:
         for node in nodes:
             kernel = node.plan.kernel
             if (
-                kernel is None
+                node.disabled
+                or kernel is None
                 or kernel.codegen is None
                 or kernel.trace is None
                 or node.const_slots  # recompile path would discard it
@@ -387,7 +388,7 @@ class LaunchGraph:
         need: dict[tuple, int] = {}
         for node in nodes:
             kernel = node.plan.kernel
-            if kernel is None or kernel.codegen is None:
+            if node.disabled or kernel is None or kernel.codegen is None:
                 continue
             per_node: dict[tuple, int] = {}
             for dom in node.plan.schedule.domains:
@@ -407,8 +408,15 @@ class LaunchGraph:
         if fused_pairs:
             _bump("fused_pairs", fused_pairs)
         inst = InstantiatedGraph(
-            self.name, ctx, nodes, return_convention, fused_pairs
+            self.name,
+            ctx,
+            nodes,
+            return_convention,
+            fused_pairs,
+            program=program,
+            slot_names=slot_names,
         )
+        inst.register_guards()
         return inst
 
 
@@ -431,6 +439,8 @@ class InstantiatedGraph:
         nodes: list[GraphNode],
         return_convention: tuple,
         fused_pairs: int,
+        program=None,
+        slot_names: Optional[frozenset] = None,
     ):
         self.name = name
         self.ctx = ctx
@@ -441,13 +451,92 @@ class InstantiatedGraph:
         self.epoch = self.backend.schedule_epoch()
         self.valid = True
         self.replays = 0
-        self.slot_names = frozenset(
-            name for node in nodes for name in node.slot_map.values()
+        #: The dataflow program this instantiation was optimized through
+        #: (None for directly constructed instantiations in tests).
+        self.program = program
+        #: Set by an external-access guard: the next replay restores the
+        #: pre-pass plans before running (degrade to today's behavior).
+        self._passes_dirty = False
+        self.slot_names = (
+            slot_names
+            if slot_names is not None
+            else frozenset(
+                name for node in nodes for name in node.slot_map.values()
+            )
         )
 
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
+
+    @property
+    def n_active_nodes(self) -> int:
+        """Nodes replay actually executes (disabled nodes excluded)."""
+        return sum(1 for node in self.nodes if not node.disabled)
+
+    def register_guards(self) -> None:
+        """Install the external-access guards the pass pipeline requested.
+
+        ``dse`` guards mark the instantiation dirty — the next replay
+        restores the unoptimized plans.  ``sink`` guards must act
+        *immediately* (the external toucher is about to observe the real
+        storage): materialize the leased buffer back into the real array
+        if a replay has run, swap the arguments back, and mark dirty so
+        bookkeeping resets.
+        """
+        prog = self.program
+        if prog is None:
+            return
+        for ids, kind, rec in prog.pending_guards:
+            if kind == "sink":
+                writes.guard_ids(ids, self, self._make_sink_demoter(rec))
+            else:
+                writes.guard_ids(ids, self, self._mark_passes_dirty)
+        prog.pending_guards = []
+
+    def _mark_passes_dirty(self) -> None:
+        from . import _record_pass
+
+        if not self._passes_dirty:
+            self._passes_dirty = True
+            _record_pass("dse", demoted=1)
+
+    def _make_sink_demoter(self, rec):
+        def _demote() -> None:
+            from . import _record_pass
+
+            if not rec.active:
+                return
+            rec.active = False
+            if self.replays > 0:
+                # Replays wrote the leased buffer; the real storage is
+                # stale.  Before a first replay the real array still
+                # holds the (correct) eager-capture values.
+                np.copyto(rec.real, rec.buf)
+            for plan, pos in rec.swaps:
+                plan.resolved_args[pos] = rec.real
+                plan.written_ids = None
+                plan.read_ids = None
+            _record_pass("sink", demoted=1)
+
+        return _demote
+
+    def _demote_passes(self) -> None:
+        """Restore every pass-mutated node to its pre-pipeline state."""
+        self._passes_dirty = False
+        writes.unguard(self)
+        prog = self.program
+        if prog is None:
+            return
+        for rec in prog.sink_records:
+            if rec.active:
+                rec.active = False
+                if self.replays > 0:
+                    np.copyto(rec.real, rec.buf)
+        for pn in prog.nodes:
+            if pn.saved is not None or pn.gnode.disabled:
+                pn.restore()
+                pn.gnode.hoist = None
 
     def invalidate(self) -> None:
         """Mark this instantiation dead (backend demoted, arrays
@@ -555,14 +644,27 @@ class InstantiatedGraph:
 
     # -- the hot path -------------------------------------------------------
     def _replay(self, slots: dict):
+        if self._passes_dirty:
+            # An external access tripped a pass guard between replays:
+            # degrade to the unoptimized capture before running.
+            self._demote_passes()
+        ctx = self.ctx
+        with writes.suppress_guards(self):
+            return self._replay_guarded(slots, ctx)
+
+    def _replay_guarded(self, slots: dict, ctx):
         from ..core.api import _execute
         from ..ir.compile import compile_kernel
         from . import _bump
 
-        ctx = self.ctx
         results: list[Any] = []
         demoted = None
         for node in self.nodes:
+            if node.disabled:
+                # Eliminated by dead-store elimination; keep the result
+                # slot so the return convention's indices stay aligned.
+                results.append(None)
+                continue
             plan = node.plan
             epoch = self.backend.schedule_epoch()
             if epoch != self.epoch:
@@ -624,7 +726,7 @@ class InstantiatedGraph:
 
         self.replays += 1
         _bump("replays")
-        _bump("nodes_replayed", len(self.nodes))
+        _bump("nodes_replayed", self.n_active_nodes)
         if demoted is not None:
             self.invalidate()
 

@@ -52,7 +52,7 @@ from .compile import CompiledKernel
 from .optimize import optimize_trace
 from .stats import analyze
 
-__all__ = ["fuse_plans", "fusable"]
+__all__ = ["fuse_plans", "fusable", "fuse_decline_reason"]
 
 
 # ---------------------------------------------------------------------------
@@ -101,36 +101,51 @@ def _shared_arrays(
     return pairs
 
 
-def fusable(a: LaunchPlan, b: LaunchPlan) -> bool:
-    """Static go/no-go for fusing plan ``b`` into plan ``a``.
+def fuse_decline_reason(a: LaunchPlan, b: LaunchPlan) -> Optional[str]:
+    """Why plan ``b`` cannot fuse into plan ``a`` — ``None`` if it can.
 
-    Checks everything except the final lowering (which
-    :func:`fuse_plans` still guards): adjacency is the caller's
-    responsibility — ``a`` must immediately precede ``b`` in the
-    captured sequence.
+    The static half of the fusion legality check (the final lowering can
+    still decline with ``"lowering"``, which :func:`fuse_plans` reports
+    by returning ``None``).  Ordering safety — whether ``b`` may *move*
+    next to ``a`` — is the caller's responsibility (the program pass
+    checks def-use conflicts; the old peephole used adjacency).
+
+    Reasons: ``"reduce-producer"``, ``"dims"``, ``"backend"``,
+    ``"no-kernel"``, ``"tier"``, ``"no-trace"``, ``"non-element-local"``.
     """
     if a.construct != "for":
-        return False  # a trailing reduce terminates a fusion chain
-    if a.dims != b.dims or a.backend is not b.backend:
-        return False
+        return "reduce-producer"  # a reduce terminates a fusion chain
+    if a.dims != b.dims:
+        return "dims"
+    if a.backend is not b.backend:
+        return "backend"
     ka, kb = a.kernel, b.kernel
     if ka is None or kb is None:
-        return False
+        return "no-kernel"
     if not (ka.mode.startswith("codegen") or ka.mode == "codegen-fused"):
-        return False
+        return "tier"
     if not (kb.mode.startswith("codegen") or kb.mode == "codegen-fused"):
-        return False
+        return "tier"
     if ka.trace is None or kb.trace is None or ka.codegen is None:
-        return False
+        return "no-trace"
     a_writes = _written_positions(ka.trace)
     b_writes = _written_positions(kb.trace)
     for ap, bp in _shared_arrays(a.resolved_args, b.resolved_args):
         if ap in a_writes or bp in b_writes:
             if not _identity_only(ka.trace, ap):
-                return False
+                return "non-element-local"
             if not _identity_only(kb.trace, bp):
-                return False
-    return True
+                return "non-element-local"
+    return None
+
+
+def fusable(a: LaunchPlan, b: LaunchPlan) -> bool:
+    """Static go/no-go for fusing plan ``b`` into plan ``a``.
+
+    Checks everything except the final lowering (which
+    :func:`fuse_plans` still guards).
+    """
+    return fuse_decline_reason(a, b) is None
 
 
 # ---------------------------------------------------------------------------

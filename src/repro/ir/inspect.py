@@ -19,6 +19,14 @@ class on each modeled architecture.  The moral equivalent of Julia's
 
 The generated straight-line NumPy program (the codegen tier's artifact)
 is on ``report.source`` — print it to see exactly what a launch runs.
+
+Run as a module for the *program-level* view (the dataflow IR the graph
+pass pipeline optimizes, see :mod:`repro.ir.program`)::
+
+    python -m repro.ir.inspect --program [--passes all|peephole|none|...]
+
+captures a CG-style iteration body, prints its dataflow graph before
+any pass runs, then the optimized program with the per-pass trail.
 """
 
 from __future__ import annotations
@@ -168,3 +176,89 @@ def inspect_kernel(
         diagnostics=diagnostics,
         source=ck.codegen.source if ck.codegen is not None else "",
     )
+
+
+# ---------------------------------------------------------------------------
+# CLI: the program-level view
+# ---------------------------------------------------------------------------
+
+
+def _demo_program_describe(mode: str) -> str:
+    """Capture the CG update body and return the program dump.
+
+    The body is the reordered ``cg_solve_operator`` update segment —
+    r-axpy, r·r dot, x-axpy — chosen because it distinguishes the fusion
+    strategies: the trailing x-axpy can only merge with the r-axpy by
+    hopping backwards over the reduce, which adjacent-only peephole
+    fusion cannot do.
+    """
+    import numpy as np
+
+    import repro
+    from ..apps.blas import axpy_kernel_1d, dot_kernel_1d
+    from ..core import current_context, parallel_for, parallel_reduce
+    from ..graph import ScalarSlot
+
+    n = 4096
+    repro.set_backend("threads")
+    repro.set_graph_mode("on")
+    repro.set_passes_mode(mode)
+    try:
+        ctx = current_context()
+        dx = repro.array(np.zeros(n))
+        dr = repro.array(np.ones(n))
+        dp = repro.array(np.full(n, 0.5))
+        ds = repro.array(np.full(n, 0.25))
+        with ctx.capture() as cap:
+            parallel_for(
+                n, axpy_kernel_1d, ScalarSlot("neg_alpha", -0.5), dr, ds
+            )
+            parallel_reduce(n, dot_kernel_1d, dr, dr)
+            parallel_for(n, axpy_kernel_1d, ScalarSlot("alpha", 0.5), dx, dp)
+        inst = cap.graph("cg.update").instantiate(ctx)
+        return inst.program.describe()
+    finally:
+        repro.set_passes_mode(None)
+        repro.set_graph_mode(None)
+        repro.set_backend("serial")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ir.inspect",
+        description=(
+            "Dump the dataflow program IR the graph pass pipeline "
+            "optimizes (library use: repro.inspect_kernel)."
+        ),
+    )
+    parser.add_argument(
+        "--program",
+        action="store_true",
+        help="capture a CG iteration body and dump its dataflow program "
+        "before and after the pass pipeline",
+    )
+    parser.add_argument(
+        "--passes",
+        default="all",
+        metavar="MODE",
+        help="pass mode for the optimized dump: all | peephole | none | "
+        "comma-list of fuse,dse,sink,schedule (default: all)",
+    )
+    ns = parser.parse_args(argv)
+    if not ns.program:
+        parser.error(
+            "nothing to do: pass --program "
+            "(kernel-level inspection is the repro.inspect_kernel API)"
+        )
+    print("=== dataflow program (before passes) ===")
+    print(_demo_program_describe("none"))
+    print()
+    print(f"=== optimized program (passes={ns.passes}) ===")
+    print(_demo_program_describe(ns.passes))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

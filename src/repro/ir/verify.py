@@ -689,33 +689,23 @@ class _Verifier:
             )
 
     def check_lint(self) -> None:
-        # V401: dead stores.
+        # V401: dead stores — shared analysis with the graph pipeline's
+        # DSE pass (repro.ir.deadstore), which fixed this rule's false
+        # positives on guarded stores whose guard an intervening store
+        # could flip.
+        from .deadstore import trace_dead_stores
+
         stores = self.trace.stores
-        for i, sa in enumerate(stores):
-            for sb in stores[i + 1:]:
-                if sb.array.pos != sa.array.pos:
-                    continue
-                if len(sa.indices) != len(sb.indices):
-                    continue
-                if not all(
-                    _struct_eq(x, y) for x, y in zip(sa.indices, sb.indices)
-                ):
-                    continue
-                if sb.condition is not None and not _struct_eq(
-                    sa.condition, sb.condition
-                ):
-                    continue
-                if self._array_read_between(sa, i, stores.index(sb)):
-                    continue
-                self._emit(
-                    "V401",
-                    f"store arg{sa.array.pos}"
-                    f"[{', '.join(N.format_node(ix) for ix in sa.indices)}] "
-                    "is overwritten by a later store to the same element "
-                    "before any read",
-                    f"store #{i}",
-                )
-                break
+        for i, _killer in trace_dead_stores(self.trace):
+            sa = stores[i]
+            self._emit(
+                "V401",
+                f"store arg{sa.array.pos}"
+                f"[{', '.join(N.format_node(ix) for ix in sa.indices)}] "
+                "is overwritten by a later store to the same element "
+                "before any read",
+                f"store #{i}",
+            )
         # V402: unused array arguments.
         used = set()
         for root in self.trace.expressions():
@@ -742,24 +732,6 @@ class _Verifier:
                 N.format_node(cmp),
             )
 
-    def _array_read_between(self, sa: N.Store, ia: int, ib: int) -> bool:
-        """Any load of ``sa``'s array in stores ``ia+1..ib`` (their
-        indices, guards and values) or in the result expression?"""
-        pos = sa.array.pos
-        roots: list[N.Node] = []
-        for st in self.trace.stores[ia + 1: ib + 1]:
-            roots.extend(st.indices)
-            roots.append(st.value)
-            if st.condition is not None:
-                roots.append(st.condition)
-        if self.trace.result is not None:
-            roots.append(self.trace.result)
-        for root in roots:
-            for node in N.walk(root):
-                if isinstance(node, N.Load) and node.array.pos == pos:
-                    return True
-        return False
-
     def run(self) -> list[Diagnostic]:
         self.collect()
         self.check_races()
@@ -769,34 +741,6 @@ class _Verifier:
         order = {"error": 0, "warning": 1, "info": 2}
         self.diagnostics.sort(key=lambda d: (order[d.severity], d.rule))
         return self.diagnostics
-
-
-def _struct_eq(a: Optional[N.Node], b: Optional[N.Node]) -> bool:
-    """Structural equality of two expressions (guards/indices)."""
-    if a is b:
-        return True
-    if a is None or b is None:
-        return False
-    if type(a) is not type(b):
-        return False
-    if isinstance(a, N.Const):
-        return type(a.value) is type(b.value) and a.value == b.value
-    if isinstance(a, N.Index):
-        return a.axis == b.axis
-    if isinstance(a, N.ScalarArg):
-        return a.pos == b.pos
-    if isinstance(a, N.ArrayArg):
-        return a.pos == b.pos and a.ndim == b.ndim
-    if isinstance(a, N.Load):
-        return a.array.pos == b.array.pos and all(
-            _struct_eq(x, y) for x, y in zip(a.indices, b.indices)
-        )
-    op_a = getattr(a, "op", None)
-    kind_a = getattr(a, "kind", None)
-    if op_a != getattr(b, "op", None) or kind_a != getattr(b, "kind", None):
-        return False
-    ca, cb = a.children, b.children
-    return len(ca) == len(cb) and all(_struct_eq(x, y) for x, y in zip(ca, cb))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,81 @@
+"""Schedule selection: pick a worker split from the roofline model.
+
+The threads backend's historical chunking rule is a fixed heuristic —
+one chunk per worker once the domain passes ``min_parallel_size``, else
+inline.  The graph pass pipeline (:mod:`repro.ir.program`) replaces that
+with a modeled decision per fused node: given the node's static work
+profile (:class:`~repro.ir.stats.TraceStats`) and lane count, charge
+each candidate split ``w`` with
+
+    t(w) = w * CHUNK_OVERHEAD + max(T_mem / min(w, BW_SAT), T_cmp / w)
+
+— per-chunk submission overhead grows linearly in ``w``, the compute
+term scales with every worker, but the memory term stops scaling once
+``BW_SAT`` workers saturate the socket's bandwidth roof (the same
+saturation shape as the paper's CPU scaling plots, where memory-bound
+kernels flatline well before the core count).  The argmin is the chosen
+split; ``w == 1`` means run inline.
+
+Everything here is deterministic: same stats + lanes + profile → same
+choice, which the scheduler-determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.stats import TraceStats
+from .model import PerfModel
+
+__all__ = ["ScheduleChoice", "choose_workers", "CHUNK_OVERHEAD", "BW_SATURATION_WORKERS"]
+
+#: Modeled seconds of pool-submission + synchronization cost per chunk.
+CHUNK_OVERHEAD = 40e-6
+
+#: Workers needed to reach a CPU socket's effective-bandwidth roof; more
+#: workers than this do not speed up the memory term.
+BW_SATURATION_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class ScheduleChoice:
+    """The modeled worker-split decision for one launch."""
+
+    workers: int  #: chosen split; 1 → run inline, no pool
+    predicted: float  #: modeled seconds at the chosen split
+    #: ``(workers, modeled_seconds)`` for every candidate, in worker
+    #: order — exposed so tests and ``repro.ir.inspect`` can audit the
+    #: argmin.
+    candidates: tuple = ()
+
+
+def choose_workers(
+    model: PerfModel,
+    stats: TraceStats,
+    lanes: int,
+    ndim: int,
+    max_workers: int,
+) -> ScheduleChoice:
+    """Pick the worker split minimizing the modeled launch time.
+
+    Deterministic; ties resolve to the smallest split (fewer chunks,
+    less overhead variance).
+    """
+    cost = model.for_cost(stats, lanes, ndim)
+    t_mem = cost.bandwidth
+    t_cmp = cost.compute
+    candidates = []
+    best_w = 1
+    best_t = None
+    for w in range(1, max(1, max_workers) + 1):
+        overhead = (w - 1) * CHUNK_OVERHEAD  # inline (w=1) pays no pool cost
+        t = overhead + max(
+            t_mem / min(w, BW_SATURATION_WORKERS), t_cmp / w
+        )
+        candidates.append((w, t))
+        if best_t is None or t < best_t:
+            best_t = t
+            best_w = w
+    return ScheduleChoice(
+        workers=best_w, predicted=best_t or 0.0, candidates=tuple(candidates)
+    )
