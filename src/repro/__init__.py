@@ -49,6 +49,7 @@ from .core.exceptions import (
     LaunchTimeoutError,
     PermanentDeviceError,
     TransientDeviceError,
+    TranslationValidationError,
 )
 from .faults import (
     FaultPlan,
@@ -83,10 +84,13 @@ from .ir import (
     executor_mode,
     inspect_kernel,
     set_executor_mode,
+    set_validate_mode,
     set_verify_mode,
     suppress,
+    validate_mode,
     verify_kernel,
     verify_mode,
+    verify_reduce_op,
 )
 from . import math
 
@@ -116,6 +120,7 @@ __all__ = [
     "ScalarSlot",
     "SolverCheckpoint",
     "TransientDeviceError",
+    "TranslationValidationError",
     "active_backend",
     "array",
     "available_backends",
@@ -135,6 +140,7 @@ __all__ = [
     "set_passes_mode",
     "set_fault_plan",
     "set_launch_policy",
+    "set_validate_mode",
     "is_backend_array",
     "launch",
     "math",
@@ -149,7 +155,9 @@ __all__ = [
     "synchronize",
     "to_host",
     "use_backend",
+    "validate_mode",
     "verify_kernel",
     "verify_mode",
+    "verify_reduce_op",
     "zeros",
 ]

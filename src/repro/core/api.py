@@ -343,7 +343,44 @@ def launch(
     if sync:
         return LaunchHandle(_dispatch(construct, dims, f, args, op=op))
     plan, ctx = _stage(construct, dims, f, args, op=op)
+    _check_async_hazards(plan, ctx)
     future = ctx.submit(lambda: _execute(plan, ctx))
     handle = LaunchHandle(plan, future)
     ctx.enqueue(handle)
     return handle
+
+
+def _check_async_hazards(plan: LaunchPlan, ctx: ExecutionContext) -> None:
+    """V601: flag a ``sync=False`` launch racing an unsynchronized one.
+
+    Launches on one context's stream execute in submission order, so a
+    data dependence between pending launches is *correct* — but it means
+    the new launch cannot overlap the stream, which is the only reason
+    to pass ``sync=False``.  The diagnostic catches the pattern where a
+    user assumed two async launches run concurrently while they in fact
+    serialize on a RAW/WAW dependence (or would race on a multi-stream
+    backend).  Enforcement follows the kernel-verifier mode: ``warn``
+    emits :class:`~repro.ir.diagnostics.KernelVerificationWarning`,
+    ``error`` raises, ``off`` skips the analysis entirely.
+    """
+    mode = active_verify_mode()
+    if mode == "off":
+        return
+    pending = ctx.pending_handles()
+    if not pending:
+        return
+    from ..ir.effects import async_hazards
+
+    diags = async_hazards(plan, [h.plan for h in pending])
+    if not diags:
+        return
+    if mode == "error":
+        from .exceptions import KernelVerificationError
+
+        raise KernelVerificationError(plan.label, diags)
+    import warnings
+
+    from ..ir.diagnostics import KernelVerificationWarning
+
+    for d in diags:
+        warnings.warn(str(d), KernelVerificationWarning, stacklevel=3)

@@ -253,6 +253,17 @@ class ExecutionContext:
         with self._lock:
             return len(self._pending)
 
+    def pending_handles(self) -> list:
+        """Snapshot of in-flight asynchronous launches (not yet done).
+
+        Used by the V601 cross-launch race check in
+        :func:`repro.core.api.launch`: a new ``sync=False`` launch whose
+        reads/writes overlap a still-pending handle's writes is a
+        RAW/WAW race against the launch stream.
+        """
+        with self._lock:
+            return [h for h in self._pending if not h.done()]
+
     def drain(self) -> None:
         """Wait for every queued asynchronous launch.
 

@@ -105,6 +105,27 @@ class KernelVerificationError(PyACCError):
         super().__init__("\n".join(lines))
 
 
+class TranslationValidationError(PyACCError):
+    """The translation validator rejected an applied program rewrite.
+
+    Raised under ``validate=error`` when a fusion/DSE/sinking rewrite
+    the pass pipeline applied cannot be independently re-derived from
+    the memory-effects summaries, or when a program-level analysis
+    finds an error-severity hazard (V603).  Carries the structured
+    diagnostics (see :class:`repro.ir.diagnostics.Diagnostic`).
+    """
+
+    def __init__(self, program: str, diagnostics=()):
+        self.program = program
+        self.diagnostics = tuple(diagnostics)
+        lines = [
+            f"program {program!r} failed translation validation "
+            f"({len(self.diagnostics)} finding(s))"
+        ]
+        lines.extend(f"  {d}" for d in self.diagnostics)
+        super().__init__("\n".join(lines))
+
+
 class KernelExecutionError(PyACCError):
     """Executing a compiled kernel failed."""
 

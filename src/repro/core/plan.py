@@ -132,6 +132,11 @@ class LaunchPlan:
     #: (guards for sunk/DSE-optimized graph state) and the program IR's
     #: def-use edges.
     read_ids: Optional[tuple] = None
+    #: Memory-effects summary (:class:`repro.ir.effects.EffectsSummary`)
+    #: computed lazily by :func:`repro.ir.effects.plan_effects` — affine
+    #: read/write regions per array, the foundation for the translation
+    #: validator and the cross-launch hazard diagnostics (V6xx).
+    effects: Any = None
 
     @property
     def is_reduce(self) -> bool:

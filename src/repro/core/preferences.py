@@ -33,11 +33,13 @@ __all__ = [
     "DEFAULT_EXECUTOR",
     "DEFAULT_GRAPH_MODE",
     "DEFAULT_PASSES_MODE",
+    "DEFAULT_VALIDATE_MODE",
     "DEFAULT_VERIFY_MODE",
     "EXECUTOR_MODES",
     "GRAPH_MODES",
     "PASS_NAMES",
     "PASSES_PRESETS",
+    "VALIDATE_MODES",
     "VERIFY_MODES",
     "preferences_path",
     "read_preferences",
@@ -46,6 +48,7 @@ __all__ = [
     "resolve_executor_mode",
     "resolve_graph_mode",
     "resolve_passes_mode",
+    "resolve_validate_mode",
     "resolve_verify_mode",
 ]
 
@@ -57,6 +60,14 @@ VERIFY_MODES = ("off", "warn", "error")
 
 #: Default verifier enforcement: report findings, never block a launch.
 DEFAULT_VERIFY_MODE = "warn"
+
+#: Enforcement modes of the translation validator (repro.ir.validate).
+VALIDATE_MODES = ("off", "warn", "error")
+
+#: Default validator enforcement: a rewrite the validator cannot confirm
+#: is undone (the program degrades to unoptimized replay) with a
+#: warning; ``error`` raises instead, ``off`` skips the re-derivation.
+DEFAULT_VALIDATE_MODE = "warn"
 
 #: Executor strategies for traced kernels (see repro.ir.compile):
 #: ``codegen`` lowers the trace to straight-line NumPy source once,
@@ -92,6 +103,7 @@ _ENV_VERIFY = "PYACC_VERIFY"
 _ENV_EXECUTOR = "PYACC_EXECUTOR"
 _ENV_GRAPH = "PYACC_GRAPH"
 _ENV_PASSES = "PYACC_PASSES"
+_ENV_VALIDATE = "PYACC_VALIDATE"
 _TABLE = "repro"
 _FILENAME = "LocalPreferences.toml"
 
@@ -187,6 +199,27 @@ def resolve_verify_mode() -> str:
     if mode not in VERIFY_MODES:
         raise PreferencesError(
             f"verify mode must be one of {VERIFY_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def resolve_validate_mode() -> str:
+    """Decide the translation-validator mode: env var > file > default.
+
+    The environment variable is ``PYACC_VALIDATE``; the preferences key
+    is ``validate`` under ``[repro]``.  Valid values are ``off`` (trust
+    the pass pipeline, skip re-derivation), ``warn`` (undo unconfirmed
+    rewrites and warn, the default) and ``error`` (raise
+    ``TranslationValidationError`` on any unconfirmed rewrite or
+    error-severity program diagnostic).
+    """
+    mode = os.environ.get(_ENV_VALIDATE)
+    if not mode:
+        prefs = read_preferences()
+        mode = prefs.get("validate", DEFAULT_VALIDATE_MODE)
+    if mode not in VALIDATE_MODES:
+        raise PreferencesError(
+            f"validate mode must be one of {VALIDATE_MODES}, got {mode!r}"
         )
     return mode
 

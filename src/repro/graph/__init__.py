@@ -202,6 +202,23 @@ _PASS_COUNTS = _fresh_pass_counts()
 _NONADJACENT_KEY = "nonadjacent"
 _PASS_COUNTS["fuse"][_NONADJACENT_KEY] = 0
 
+#: Translation-validator kinds (repro.ir.validate): fuse/dse/sink
+#: rewrite re-derivations plus the program-level hazard analyses.
+_VALIDATE_KINDS = ("fuse", "dse", "sink")
+
+
+def _fresh_validate_counts() -> dict:
+    out = {
+        kind: {"confirmed": 0, "rejected": 0} for kind in _VALIDATE_KINDS
+    }
+    out["programs"] = 0
+    out["degraded"] = 0
+    out["diagnostics"] = {}
+    return out
+
+
+_VALIDATE_COUNTS = _fresh_validate_counts()
+
 
 def _record_pass(
     name: str,
@@ -228,13 +245,38 @@ def _record_pass(
             reasons[declined] = reasons.get(declined, 0) + 1
 
 
+def _record_validate(
+    kind: str,
+    *,
+    confirmed: int = 0,
+    rejected: int = 0,
+    programs: int = 0,
+    degraded: int = 0,
+    diagnostics=(),
+) -> None:
+    """Account translation-validator activity (repro.ir.validate)."""
+    with _STATS_LOCK:
+        if kind in _VALIDATE_COUNTS and isinstance(
+            _VALIDATE_COUNTS[kind], dict
+        ):
+            _VALIDATE_COUNTS[kind]["confirmed"] += confirmed
+            _VALIDATE_COUNTS[kind]["rejected"] += rejected
+        _VALIDATE_COUNTS["programs"] += programs
+        _VALIDATE_COUNTS["degraded"] += degraded
+        for d in diagnostics:
+            rules = _VALIDATE_COUNTS["diagnostics"]
+            rules[d.rule] = rules.get(d.rule, 0) + 1
+
+
 def graph_stats() -> dict:
     """Process-wide launch-graph activity since start (or last reset).
 
     Besides the capture/replay counters, ``"passes"`` holds per-pass
     applied/declined/demoted counts (declines keyed by reason — the
-    decline taxonomy is documented in docs/API.md) and ``"passes_mode"``
-    the pipeline configuration they ran under.
+    decline taxonomy is documented in docs/API.md), ``"validate"`` the
+    translation validator's per-kind confirmed/rejected counts plus
+    program-level diagnostic tallies, and ``"passes_mode"`` the pipeline
+    configuration they ran under.
     """
     with _STATS_LOCK:
         out = dict(_COUNTS)
@@ -245,6 +287,10 @@ def graph_stats() -> dict:
             }
             for name, entry in _PASS_COUNTS.items()
         }
+        out["validate"] = {
+            key: (dict(value) if isinstance(value, dict) else value)
+            for key, value in _VALIDATE_COUNTS.items()
+        }
     out["mode"] = graph_mode()
     out["passes_mode"] = passes_mode()
     return out
@@ -252,9 +298,10 @@ def graph_stats() -> dict:
 
 def reset_graph_stats() -> None:
     """Zero the process-wide counters (tests / bench)."""
-    global _PASS_COUNTS
+    global _PASS_COUNTS, _VALIDATE_COUNTS
     with _STATS_LOCK:
         for key in _COUNTS:
             _COUNTS[key] = 0
         _PASS_COUNTS = _fresh_pass_counts()
         _PASS_COUNTS["fuse"][_NONADJACENT_KEY] = 0
+        _VALIDATE_COUNTS = _fresh_validate_counts()

@@ -258,6 +258,56 @@ class LaunchGraph:
         idx = match_one(ret)
         return None if idx is None else ("single", idx)
 
+    def _validate(self, program, ctx):
+        """Run the translation validator over the optimized program.
+
+        Re-derives every applied rewrite from effects summaries
+        (:mod:`repro.ir.validate`) and runs the program-level hazard
+        analyses (V602/V603).  ``error`` mode raises on any
+        error-severity finding; ``warn`` (default) warns and — when a
+        rewrite itself is unconfirmed or an error-severity hazard is
+        present — degrades to the unoptimized program, which is always
+        correct.  Degrading works because the pipeline mutates the
+        recorded plans in place (``ProgramNode.restore`` undoes it) and
+        fusion builds *new* plans, leaving the recorded ones intact.
+        """
+        import warnings
+
+        from ..core.exceptions import TranslationValidationError
+        from ..ir.diagnostics import KernelVerificationWarning
+        from ..ir.program import Program
+        from ..ir.validate import (
+            active_validate_mode,
+            program_diagnostics,
+            validate_program,
+        )
+        from . import _record_validate
+
+        vmode = active_validate_mode()
+        if vmode == "off":
+            return program
+        diags = validate_program(program, _record_validate)
+        diags.extend(program_diagnostics(program))
+        _record_validate("", programs=1, diagnostics=diags)
+        if not diags:
+            return program
+        fatal = [d for d in diags if d.is_error]
+        if vmode == "error" and fatal:
+            raise TranslationValidationError(self.name, diags)
+        for d in diags:
+            warnings.warn(str(d), KernelVerificationWarning, stacklevel=3)
+        if fatal or any(d.rule == "V610" for d in diags):
+            # Undo the rewrites: restore every mutated plan, then
+            # rebuild the program from fresh nodes with no passes run.
+            for pn in program.nodes:
+                pn.restore()
+            nodes = [GraphNode(n.plan, n.slot_map) for n in self.nodes]
+            for node in nodes:
+                node.bake_const_slots()
+            program = Program(self.name, nodes)
+            _record_validate("", degraded=1)
+        return program
+
     def instantiate(
         self,
         ctx: "ExecutionContext",
@@ -297,6 +347,7 @@ class LaunchGraph:
         program = Program(self.name, nodes)
         if enabled:
             run_passes(program, ctx, enabled, peephole, _record_pass)
+            program = self._validate(program, ctx)
         nodes = [pn.gnode for pn in program.nodes]
         fused_pairs = program.fused_pairs
 
@@ -382,9 +433,10 @@ class LaunchGraph:
                     )
 
         # Pre-size the arena: per node, each schedule chunk opens one
-        # frame drawing ``n_out_buffers`` float64 buffers of the chunk's
-        # domain shape; nodes run sequentially, so the pool only needs
-        # the *largest* per-node requirement per (shape, dtype) key.
+        # frame drawing one buffer per certified ``out=`` dtype of the
+        # chunk's domain shape; nodes run sequentially, so the pool
+        # only needs the *largest* per-node requirement per
+        # (shape, dtype) key.
         need: dict[tuple, int] = {}
         for node in nodes:
             kernel = node.plan.kernel
@@ -392,10 +444,9 @@ class LaunchGraph:
                 continue
             per_node: dict[tuple, int] = {}
             for dom in node.plan.schedule.domains:
-                key = (dom.shape, np.float64)
-                per_node[key] = (
-                    per_node.get(key, 0) + kernel.codegen.n_out_buffers
-                )
+                for dt in kernel.codegen.out_dtypes:
+                    key = (dom.shape, dt)
+                    per_node[key] = per_node.get(key, 0) + 1
             for key, count in per_node.items():
                 need[key] = max(need.get(key, 0), count)
         reserve_items = [
@@ -517,6 +568,7 @@ class InstantiatedGraph:
                 plan.resolved_args[pos] = rec.real
                 plan.written_ids = None
                 plan.read_ids = None
+                plan.effects = None
             _record_pass("sink", demoted=1)
 
         return _demote

@@ -12,6 +12,10 @@ DESIGN.md §2).  Public surface:
   :func:`~repro.ir.compile.set_executor_mode` select the tier.
 * :mod:`repro.ir.verify` — the static kernel verifier (races, bounds,
   reduction purity) and its enforcement-mode controls.
+* :mod:`repro.ir.effects` / :mod:`repro.ir.validate` — per-plan
+  memory-effects summaries and the translation validator that
+  re-derives every applied program rewrite from them
+  (``PYACC_VALIDATE`` selects enforcement).
 """
 
 from .arena import ScratchArena, default_arena
@@ -27,6 +31,11 @@ from .compile import (
 )
 from .diagnostics import Diagnostic, KernelVerificationWarning
 from .inspect import KernelReport, inspect_kernel
+from .validate import (
+    set_validate_mode,
+    validate_mode,
+    verify_reduce_op,
+)
 from .vectorizer import IndexDomain
 from .verify import (
     set_verify_mode,
@@ -52,9 +61,12 @@ __all__ = [
     "compile_kernel",
     "executor_mode",
     "set_executor_mode",
+    "set_validate_mode",
     "set_verify_mode",
     "suppress",
+    "validate_mode",
     "verify_kernel",
     "verify_mode",
+    "verify_reduce_op",
     "verify_trace",
 ]

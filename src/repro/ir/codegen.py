@@ -34,14 +34,14 @@ by mechanism:
 Arena-backed temporaries
 ------------------------
 Where the result dtype and shape can be *proven* at lowering time
-(float64, exactly the launch-domain shape), the emitted ufunc writes into
-a recycled scratch buffer (``out=_take(shape)``, see
-:mod:`repro.ir.arena`) instead of allocating; the final operation of an
-unconditional identity store is fused straight into the destination array
-(``np.add(a, b, out=x)`` for AXPY).  The dtype inference is deliberately
-conservative — anything uncertain (float32 inputs, small-int arrays,
-bool math) simply allocates like the vectorizer does, which is always
-correct.
+(exactly the launch-domain shape, concrete dtype per the NEP-50 lattice
+in :mod:`repro.ir.shapes`), the emitted ufunc writes into a recycled
+scratch buffer (``out=_take(shape, dtype)``, see :mod:`repro.ir.arena`)
+instead of allocating; the final operation of an unconditional identity
+store is fused straight into the destination array (``np.add(a, b,
+out=x)`` for AXPY) whenever the certified dtype matches the destination
+exactly — float32, int and bool kernels included.  Anything uncertain
+simply allocates like the vectorizer does, which is always correct.
 """
 
 from __future__ import annotations
@@ -55,6 +55,7 @@ import numpy as np
 from ..core.exceptions import KernelExecutionError
 from . import nodes as N
 from .arena import ScratchArena, resolve as _resolve_arena
+from .shapes import Lattice, _static_identity
 from .vectorizer import (
     _as_index_array,
     _BIN_FUNCS,
@@ -188,183 +189,13 @@ def _store_general(arr, dom, idx_vals, value, mask, pos):
 # ---------------------------------------------------------------------------
 # Static inference: result dtype and broadcast shape per node.
 #
-# Both analyses exist only to decide where ``out=`` is safe.  They are
-# *sound*, never complete: a ``None`` verdict means "allocate like the
-# vectorizer would", which is always correct.  Tokens:
-#
-# dtype — 'f8' (definitely float64), 'i' (int32/int64/uint32/uint64/intp
-#   array value, whose float promotions are float64), 'b' (boolean),
-#   'wi'/'wf' (weak Python int/float scalars, NEP 50), None (unknown —
-#   float32, small ints, anything exotic).
-# shape — per-axis booleans (True = the launch-domain extent on that
-#   axis, False = broadcast size 1), 'scalar' for scalar values, or None.
+# The NEP-50 dtype/shape lattice lives in :mod:`repro.ir.shapes` (shared
+# with the effects summaries and the translation validator); codegen
+# consumes its ``full_domain_dtype`` certificate: a concrete dtype means
+# the ufunc result is provably an array of exactly the launch-domain
+# shape with that dtype, so ``out=`` stores the same bits an assignment
+# would.  ``None`` means "allocate like the vectorizer" — always correct.
 # ---------------------------------------------------------------------------
-
-_F8_PARTNERS = frozenset({"f8", "i", "b", "wi", "wf"})
-_I_DTYPES = frozenset({"i4", "u4", "i8", "u8"})
-
-
-def _array_dtype_token(dtype: np.dtype) -> Optional[str]:
-    if dtype == np.float64:
-        return "f8"
-    if dtype == np.bool_:
-        return "b"
-    kind_size = f"{dtype.kind}{dtype.itemsize}"
-    if dtype.kind in "iu" and kind_size in _I_DTYPES:
-        return "i"
-    return None
-
-
-def _scalar_dtype_token(value: Any) -> Optional[str]:
-    v = value.item() if isinstance(value, np.generic) else value
-    if isinstance(v, bool):
-        return "b"
-    if isinstance(v, int):
-        return "wi"
-    if isinstance(v, float):
-        return "wf"
-    return None
-
-
-def _promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
-    """NEP 50 promotion for arithmetic / ``where`` — f8-certifying only."""
-    if a is None or b is None:
-        return None
-    pair = {a, b}
-    if "f8" in pair and pair <= _F8_PARTNERS | {"f8"}:
-        return "f8"
-    if "i" in pair and "wf" in pair:
-        return "f8"  # int64-family + any float scalar → float64
-    if pair <= {"i", "b", "wi"}:
-        return "i" if "i" in pair else "wi"
-    if pair <= {"wf", "wi", "b"}:
-        return "wf"
-    return None
-
-
-class _Inference:
-    """Memoized dtype/shape analysis over the trace's shared DAG."""
-
-    def __init__(self, ndim: int, args: Sequence[Any]):
-        self.ndim = ndim
-        self.args = args
-        self._dtype: dict[int, Optional[str]] = {}
-        self._shape: dict[int, Any] = {}
-
-    # -- dtype ------------------------------------------------------------
-    def dtype(self, node: N.Node) -> Optional[str]:
-        nid = id(node)
-        if nid not in self._dtype:
-            self._dtype[nid] = self._dtype_inner(node)
-        return self._dtype[nid]
-
-    def _dtype_inner(self, node: N.Node) -> Optional[str]:
-        if isinstance(node, N.Const):
-            return _scalar_dtype_token(node.value)
-        if isinstance(node, N.Index):
-            return "i"
-        if isinstance(node, N.ScalarArg):
-            return _scalar_dtype_token(self.args[node.pos])
-        if isinstance(node, N.Load):
-            arr = self.args[node.array.pos]
-            if isinstance(arr, np.ndarray):
-                return _array_dtype_token(arr.dtype)
-            return None
-        if isinstance(node, N.BinOp):
-            a, b = self.dtype(node.lhs), self.dtype(node.rhs)
-            if node.op == "truediv":
-                if a is None or b is None:
-                    return None
-                pair = {a, b}
-                if "f8" in pair and pair <= _F8_PARTNERS | {"f8"}:
-                    return "f8"
-                if "i" in pair and pair <= {"i", "b", "wi", "wf"}:
-                    return "f8"
-                if pair <= {"wf", "wi"}:
-                    return "wf"
-                return None
-            return _promote(a, b)
-        if isinstance(node, N.UnOp):
-            t = self.dtype(node.operand)
-            if node.op in ("neg", "abs"):
-                return t if t in ("f8", "i", "wi", "wf") else None
-            if node.op == "sign":
-                return t if t in ("f8", "i") else None
-            # sqrt/exp/log/trig/floor/ceil: float64 for float64 and for the
-            # int64 family (whose float loop is the double one); weak
-            # scalars stay unknown — a runtime np.float32 scalar would
-            # compute in single precision.
-            return "f8" if t in ("f8", "i") else None
-        if isinstance(node, (N.Compare, N.BoolOp, N.Not)):
-            return "b"
-        if isinstance(node, N.Select):
-            return _promote(
-                self.dtype(node.if_true), self.dtype(node.if_false)
-            )
-        if isinstance(node, N.Cast):
-            return "i" if node.kind == "int" else "f8"
-        return None
-
-    # -- shape ------------------------------------------------------------
-    def shape(self, node: N.Node) -> Any:
-        nid = id(node)
-        if nid not in self._shape:
-            self._shape[nid] = self._shape_inner(node)
-        return self._shape[nid]
-
-    def _broadcast(self, *shapes: Any) -> Any:
-        out = "scalar"
-        for s in shapes:
-            if s is None:
-                return None
-            if s == "scalar":
-                continue
-            if out == "scalar":
-                out = s
-            else:
-                out = tuple(x or y for x, y in zip(out, s))
-        return out
-
-    def _shape_inner(self, node: N.Node) -> Any:
-        if isinstance(node, (N.Const, N.ScalarArg)):
-            return "scalar"
-        if isinstance(node, N.Index):
-            return tuple(ax == node.axis for ax in range(self.ndim))
-        if isinstance(node, N.Load):
-            if _static_identity(node.indices, self.ndim):
-                return tuple(True for _ in range(self.ndim))
-            # Gather: result = broadcast of the (non-scalar) index shapes.
-            return self._broadcast(*(self.shape(ix) for ix in node.indices))
-        if isinstance(node, (N.BinOp, N.Compare, N.BoolOp)):
-            return self._broadcast(self.shape(node.lhs), self.shape(node.rhs))
-        if isinstance(node, (N.UnOp, N.Not, N.Cast)):
-            return self.shape(node.operand)
-        if isinstance(node, N.Select):
-            return self._broadcast(
-                self.shape(node.cond),
-                self.shape(node.if_true),
-                self.shape(node.if_false),
-            )
-        return None
-
-    def is_full_f8(self, node: N.Node) -> bool:
-        """True when the node provably evaluates to a float64 array of
-        exactly the launch-domain shape — the ``out=`` certificate."""
-        shape = self.shape(node)
-        return (
-            self.dtype(node) == "f8"
-            and isinstance(shape, tuple)
-            and all(shape)
-        )
-
-
-def _static_identity(indices: tuple, ndim: int) -> bool:
-    if len(indices) != ndim:
-        return False
-    return all(
-        isinstance(ix, N.Index) and ix.axis == ax
-        for ax, ix in enumerate(indices)
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -376,7 +207,7 @@ class _Lowering:
     def __init__(self, trace: N.Trace, args: Sequence[Any]):
         self.trace = trace
         self.ndim = trace.ndim
-        self.infer = _Inference(trace.ndim, args)
+        self.infer = Lattice(trace.ndim, args)
         self.args = args
         self.lines: list[str] = []
         self.emitted: dict[int, str] = {}
@@ -385,6 +216,9 @@ class _Lowering:
         self.used_scalars: set[int] = set()
         self.used_arrays: set[int] = set()
         self.n_out = 0  # arena-buffer writes emitted (introspection)
+        #: Certified dtype per arena draw, in emission order; draw ``k``
+        #: is emitted as ``out=_take(_shape, _od{k})``.
+        self.out_dtypes: list[np.dtype] = []
         self._tmp_n = 0
         self._counts = self._use_counts(trace)
         # Per-line provenance, parallel to ``lines``: ``None`` for effect
@@ -499,12 +333,16 @@ class _Lowering:
         return var
 
     def _maybe_out(self, node: N.Node) -> str:
-        """``, out=_take(_shape)`` when the result is provably a float64
-        full-domain array — the arena-backed allocation elision."""
-        if self.infer.is_full_f8(node):
-            self.n_out += 1
-            return ", out=_take(_shape)"
-        return ""
+        """``, out=_take(_shape, _od{k})`` when the result is provably a
+        full-domain array of a known dtype — the arena-backed allocation
+        elision (f4/f8/int/bool alike, per the NEP-50 lattice)."""
+        dt = self.infer.full_domain_dtype(node)
+        if dt is None:
+            return ""
+        k = len(self.out_dtypes)
+        self.out_dtypes.append(dt)
+        self.n_out += 1
+        return f", out=_take(_shape, _od{k})"
 
     def _array_ref(self, pos: int) -> str:
         self.used_arrays.add(pos)
@@ -562,18 +400,20 @@ class _Lowering:
     # -- effects -----------------------------------------------------------
     def _fusable(self, store: N.Store) -> bool:
         """Can the store's value ufunc write the destination directly?
-        Requires: single-use BinOp/UnOp value, provably float64 over the
-        full domain, float64 destination — so ``out=`` stores the same
-        bits slice assignment would."""
+        Requires: single-use BinOp/UnOp value, provably a full-domain
+        array of a known dtype, and a destination of *exactly* that
+        dtype — so ``out=`` stores the same bits slice assignment
+        would (no hidden cast)."""
         value = store.value
         if not isinstance(value, (N.BinOp, N.UnOp)):
             return False
         if self._counts.get(id(value), 0) != 1 or id(value) in self.emitted:
             return False
-        if not self.infer.is_full_f8(value):
+        cert = self.infer.full_domain_dtype(value)
+        if cert is None:
             return False
         dest = self.args[store.array.pos]
-        return isinstance(dest, np.ndarray) and dest.dtype == np.float64
+        return isinstance(dest, np.ndarray) and dest.dtype == cert
 
     def emit_store(self, store: N.Store) -> None:
         pos = store.array.pos
@@ -677,6 +517,17 @@ def _program_globals() -> dict:
 _REDUCE_IDENTITY = {"add": 0.0, "min": float(np.inf), "max": float(-np.inf)}
 
 
+def _bind_out_dtypes(namespace: dict, out_dtypes: Sequence[np.dtype]) -> None:
+    """Bind ``_od{k}`` dtype constants for the generated arena draws.
+
+    float64 binds the ``np.float64`` *type* object so
+    :meth:`~repro.ir.arena.ArenaFrame.take`'s identity fast path stays
+    on the hot launch path.
+    """
+    for k, dt in enumerate(out_dtypes):
+        namespace[f"_od{k}"] = np.float64 if dt == np.float64 else dt
+
+
 class CodegenProgram:
     """A trace lowered to an executable straight-line NumPy program.
 
@@ -688,16 +539,29 @@ class CodegenProgram:
     otherwise).
     """
 
-    __slots__ = ("source", "ndim", "has_result", "n_out_buffers", "_fn")
+    __slots__ = (
+        "source",
+        "ndim",
+        "has_result",
+        "n_out_buffers",
+        "out_dtypes",
+        "_fn",
+    )
 
     def __init__(
-        self, source: str, ndim: int, has_result: bool, n_out_buffers: int
+        self,
+        source: str,
+        ndim: int,
+        has_result: bool,
+        out_dtypes: Sequence[np.dtype] = (),
     ):
         self.source = source
         self.ndim = ndim
         self.has_result = has_result
-        self.n_out_buffers = n_out_buffers
+        self.out_dtypes = tuple(out_dtypes)
+        self.n_out_buffers = len(self.out_dtypes)
         namespace = _program_globals()
+        _bind_out_dtypes(namespace, self.out_dtypes)
         code = compile(source, "<pyacc-codegen>", "exec")
         exec(code, namespace)
         self._fn = namespace["_kernel"]
@@ -770,7 +634,7 @@ def lower_trace(trace: N.Trace, args: Sequence[Any]) -> CodegenProgram:
     try:
         source, has_result = lowering.lower()
         return CodegenProgram(
-            source, trace.ndim, has_result, lowering.n_out
+            source, trace.ndim, has_result, lowering.out_dtypes
         )
     except CodegenError:
         raise
@@ -823,6 +687,7 @@ class HoistedProgram:
         "ndim",
         "has_result",
         "n_out_buffers",
+        "out_dtypes",
         "n_hoisted",
         "_fn",
         "_pro",
@@ -835,14 +700,15 @@ class HoistedProgram:
         source: str,
         ndim: int,
         has_result: bool,
-        n_out_buffers: int,
+        out_dtypes: Sequence[np.dtype],
         n_hoisted: int,
     ):
         self.prologue_source = prologue_source
         self.source = source
         self.ndim = ndim
         self.has_result = has_result
-        self.n_out_buffers = n_out_buffers
+        self.out_dtypes = tuple(out_dtypes)
+        self.n_out_buffers = len(self.out_dtypes)
         self.n_hoisted = n_hoisted
         # Compiled code depends only on the source pair — share it
         # across instantiations (graph recaptures re-lower the same
@@ -880,7 +746,7 @@ class HoistedProgram:
         # recycled dirty across replays like arena buffers are across
         # launches).
         bufs = tuple(
-            np.empty(domain.shape) for _ in range(self.n_out_buffers)
+            np.empty(domain.shape, dtype=dt) for dt in self.out_dtypes
         )
         if len(self._pre_cache) > 16:  # re-schedule churn guard
             self._pre_cache.clear()
@@ -934,7 +800,9 @@ class HoistedProgram:
         )
 
 
-_OUT_TOKEN = ", out=_take(_shape)"
+#: An arena draw in generated source: ``, out=_take(_shape, _od{k})``
+#: where ``k`` indexes the lowering's ``out_dtypes`` list.
+_OUT_RE = re.compile(r", out=_take\(_shape, _od(\d+)\)")
 _TEMP_RE = re.compile(r"\bt\d+\b")
 
 
@@ -983,7 +851,9 @@ def lower_trace_hoisted(
             continue
         var, adeps, sdeps, idx_tokens = meta
         if adeps <= const_arrays and sdeps <= const_scalars:
-            pro_lines.append(line.replace(_OUT_TOKEN, ""))
+            # A hoisted line allocates once in the prologue; drop its
+            # arena draw (the draw ids in the main text stay unique).
+            pro_lines.append(_OUT_RE.sub("", line))
             invariant.add(var)
             continue
         if (
@@ -1036,13 +906,16 @@ def lower_trace_hoisted(
     pro.append(f"    return ({', '.join(exported)},)" if exported else
                "    return ()")
 
-    # Every scratch draw in the main body is ``_take(_shape)`` with the
-    # frozen chunk shape — rewrite the k-th draw to a pre-bound buffer
-    # ``_bk`` so replay bypasses the arena entirely (the instantiation
-    # owns the buffers; see HoistedProgram._pre_for).
-    n_out = main_text.count(_OUT_TOKEN)
+    # Every scratch draw left in the main body is ``_take(_shape, _od{i})``
+    # with the frozen chunk shape — rewrite the k-th draw to a pre-bound
+    # buffer ``_bk`` (of the draw's certified dtype) so replay bypasses
+    # the arena entirely (the instantiation owns the buffers; see
+    # HoistedProgram._pre_for).
+    draw_ids = [int(m.group(1)) for m in _OUT_RE.finditer(main_text)]
+    buf_dtypes = tuple(lowering.out_dtypes[i] for i in draw_ids)
+    n_out = len(draw_ids)
     for k in range(n_out):
-        main_text = main_text.replace(_OUT_TOKEN, f", out=_b{k}", 1)
+        main_text = _OUT_RE.sub(f", out=_b{k}", main_text, count=1)
 
     body = ["def _kernel(args, _dom, _bufs, _pre):"]
     body.append(f"    if len(_dom.ranges) != {lowering.ndim}:")
@@ -1065,7 +938,7 @@ def lower_trace_hoisted(
             "\n".join(body) + "\n",
             trace.ndim,
             has_result,
-            n_out,
+            buf_dtypes,
             len(pro_lines),
         )
     except Exception:  # pragma: no cover - defensive; fall back to plain

@@ -283,15 +283,20 @@ def clear_cache(cache: Optional[KernelCache] = None) -> None:
 def cache_info(cache: Optional[KernelCache] = None) -> dict:
     """Return cache statistics: size, hits, misses (locked snapshot),
     plus the process-wide launch-graph counters under ``"graph"``
-    (captures/replays/fused pairs — see :func:`repro.graph.graph_stats`).
+    (captures/replays/fused pairs — see :func:`repro.graph.graph_stats`)
+    and the verifier diagnostic counters under ``"verify"`` (totals and
+    per-rule counts — see
+    :data:`repro.ir.diagnostics.counters`).
 
     Reports on the process-global cache by default; pass a
     context-scoped :class:`KernelCache` to inspect that one instead.
     """
     info = (cache if cache is not None else _CACHE).stats()
     from ..graph import graph_stats
+    from .diagnostics import counters
 
     info["graph"] = graph_stats()
+    info["verify"] = counters.snapshot()
     return info
 
 

@@ -30,8 +30,10 @@ __all__ = [
     "Diagnostic",
     "KernelVerificationWarning",
     "RULES",
+    "RULE_EXAMPLES",
     "SEVERITIES",
     "rule_severity",
+    "rule_description",
     "counters",
     "DiagnosticCounters",
 ]
@@ -81,6 +83,47 @@ RULES: dict[str, tuple[str, str]] = {
         "float equality guard: branching on == / != against a float "
         "constant is fragile",
     ),
+    "V311": (
+        "error",
+        "non-associative reduce operator: the combine op fails the "
+        "associativity probe, so chunked/parallel folds diverge from "
+        "the sequential result",
+    ),
+    "V312": (
+        "error",
+        "wrong neutral element: op(neutral, x) != x for the declared "
+        "reduce identity, so empty chunks poison the fold",
+    ),
+    "V501": (
+        "info",
+        "capture-unsafe kernel: the trace depends on the launch shape "
+        "or specializes on scalar values, so graph replay with "
+        "different bindings may be stale",
+    ),
+    "V601": (
+        "error",
+        "cross-launch race: an unsynchronized launch(..., sync=False) "
+        "reads or overwrites arrays a still-pending launch writes "
+        "(RAW/WAW) without an intervening synchronize()",
+    ),
+    "V602": (
+        "warning",
+        "graph-level dead store: a launch's writes are fully "
+        "overwritten by a later launch with no intervening read, "
+        "spanning launch boundaries",
+    ),
+    "V603": (
+        "error",
+        "reduce-into-aliased-input hazard: a fused node's reduction "
+        "reads an array the same node writes at non-identity indices, "
+        "so chunked execution observes partial writes",
+    ),
+    "V610": (
+        "error",
+        "translation validation failure: an applied fusion/DSE/sinking "
+        "rewrite is not independently provable from the memory-effects "
+        "summaries alone",
+    ),
     "V901": (
         "info",
         "kernel not analyzable: no IR trace (interpreter tier) or no "
@@ -88,10 +131,97 @@ RULES: dict[str, tuple[str, str]] = {
     ),
 }
 
+#: Minimal examples per rule, printed by ``python -m repro.lint
+#: --explain <rule>``.  Each shows code (or an API sequence) that
+#: triggers the rule.
+RULE_EXAMPLES: dict[str, str] = {
+    "V101": (
+        "def k(i, x):\n"
+        "    x[0] = i          # every iteration stores element 0"
+    ),
+    "V102": (
+        "def k(i, x):\n"
+        "    x[i] = x[i + 1]   # iteration i loads what i+1 stores"
+    ),
+    "V201": (
+        "def k(i, x):\n"
+        "    x[i + 1] = 0.0    # last iteration steps past the extent"
+    ),
+    "V301": (
+        "def dot(i, x, y):\n"
+        "    x[i] = 0.0        # reduce kernels must not store\n"
+        "    return x[i] * y[i]"
+    ),
+    "V302": (
+        "def m(i, x):\n"
+        "    if x[i] > 0:\n"
+        "        return x[i]   # missing else-path returns 0.0,\n"
+        "                      # not neutral for op='min'"
+    ),
+    "V401": (
+        "def k(i, x):\n"
+        "    x[i] = 1.0        # dead: overwritten below, never read\n"
+        "    x[i] = 2.0"
+    ),
+    "V402": (
+        "def k(i, x, unused):\n"
+        "    x[i] = 2.0        # 'unused' is never loaded or stored"
+    ),
+    "V403": (
+        "def k(i, x):\n"
+        "    if x[i] == 0.3:   # float equality is fragile\n"
+        "        x[i] = 0.0"
+    ),
+    "V311": (
+        "repro.parallel_reduce(n, lambda i, x: x[i], x,\n"
+        "                      op=lambda a, b: a - b)  # (a-b)-c != a-(b-c)"
+    ),
+    "V312": (
+        "repro.parallel_reduce(n, lambda i, x: x[i], x,\n"
+        "                      op=max_op, neutral=1.0)  # max(1.0, 0.5) != 0.5"
+    ),
+    "V501": (
+        "def k(i, x, n):\n"
+        "    if i < n - 1:     # trace specialized on the value of n;\n"
+        "        x[i] = x[i + 1]  # replaying with a new n is stale"
+    ),
+    "V601": (
+        "h1 = repro.launch('for', n, writer, x, sync=False)\n"
+        "h2 = repro.launch('for', n, reader, x, y, sync=False)\n"
+        "# reader consumes x while writer may still be in flight;\n"
+        "# call repro.synchronize() (or h1.wait()) between them"
+    ),
+    "V602": (
+        "with ctx.capture('g'):\n"
+        "    repro.parallel_for(n, fill_a, tmp)   # dead: fully\n"
+        "    repro.parallel_for(n, fill_b, tmp)   # overwritten, never read"
+    ),
+    "V603": (
+        "# fusion inlined a reduce into a producer that writes x:\n"
+        "def fused(i, x):\n"
+        "    x[i] = 2.0 * x[i]\n"
+        "    return x[i - 1]   # reads a neighbor mid-overwrite"
+    ),
+    "V610": (
+        "# a pass claims 'fuse(a, b)' but the effects summaries show\n"
+        "# a hopped-over node writes an array b reads — the rewrite\n"
+        "# is declined and the program degrades to unfused replay"
+    ),
+    "V901": (
+        "def k(i, x):\n"
+        "    print(x[i])       # side effect forces the interpreter tier"
+    ),
+}
+
 
 def rule_severity(rule: str) -> str:
     """Default severity of a catalog rule (``info`` for unknown ids)."""
     return RULES.get(rule, ("info", ""))[0]
+
+
+def rule_description(rule: str) -> str:
+    """One-line description of a catalog rule (empty for unknown ids)."""
+    return RULES.get(rule, ("", ""))[1]
 
 
 class KernelVerificationWarning(UserWarning):
@@ -151,6 +281,7 @@ class DiagnosticCounters:
     errors: int = 0
     warnings: int = 0
     infos: int = 0
+    by_rule: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, diagnostics) -> None:
@@ -164,6 +295,7 @@ class DiagnosticCounters:
                     self.warnings += 1
                 else:
                     self.infos += 1
+                self.by_rule[d.rule] = self.by_rule.get(d.rule, 0) + 1
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -172,6 +304,7 @@ class DiagnosticCounters:
                 "errors": self.errors,
                 "warnings": self.warnings,
                 "infos": self.infos,
+                "by_rule": dict(sorted(self.by_rule.items())),
             }
 
     def reset(self) -> None:
@@ -180,6 +313,7 @@ class DiagnosticCounters:
             self.errors = 0
             self.warnings = 0
             self.infos = 0
+            self.by_rule.clear()
 
 
 #: The process-wide counters instance (see :class:`DiagnosticCounters`).

@@ -183,7 +183,64 @@ def inspect_kernel(
 # ---------------------------------------------------------------------------
 
 
-def _demo_program_describe(mode: str) -> str:
+def _unsound_fuse_record(n: int) -> dict:
+    """A deliberately-unsound fuse record for the validator demo.
+
+    Claims two launches sharing one written array were fused, but the
+    consumer reads the array at *non-identity* indices — exactly the
+    value-flow violation per-chunk fusion cannot preserve.  The
+    validator must reject it (V610).
+    """
+    from .effects import ArrayEffect, EffectsSummary
+
+    sid = 0xBAD
+    producer = EffectsSummary(
+        kernel="producer",
+        ndim=1,
+        dims=(n,),
+        arrays=(
+            ArrayEffect(
+                pos=0,
+                sid=sid,
+                shape=(n,),
+                read_region=None,
+                write_region=((0, n - 1),),
+            ),
+        ),
+        read_ids=frozenset(),
+        write_ids=frozenset({sid}),
+        full_overwrite_ids=frozenset({sid}),
+    )
+    consumer = EffectsSummary(
+        kernel="stencil_consumer",
+        ndim=1,
+        dims=(n,),
+        arrays=(
+            ArrayEffect(
+                pos=0,
+                sid=sid,
+                shape=(n,),
+                read_region=((0, n - 1),),
+                write_region=None,
+                identity_reads=False,  # reads a[i-1] / a[i+1]
+            ),
+        ),
+        read_ids=frozenset({sid}),
+        write_ids=frozenset(),
+        full_overwrite_ids=frozenset(),
+    )
+    return {
+        "kind": "fuse",
+        "label": "demo.unsound",
+        "a": producer,
+        "b": consumer,
+        "skipped": (),
+    }
+
+
+def _demo_program_describe(
+    mode: str, *, analysis: bool = False, seed_unsound: bool = False
+) -> str:
     """Capture the CG update body and return the program dump.
 
     The body is the reordered ``cg_solve_operator`` update segment —
@@ -191,6 +248,11 @@ def _demo_program_describe(mode: str) -> str:
     strategies: the trailing x-axpy can only merge with the r-axpy by
     hopping backwards over the reduce, which adjacent-only peephole
     fusion cannot do.
+
+    ``analysis=True`` appends the static-analysis view: per-node
+    memory-effects summaries and the translation validator's verdict on
+    every applied rewrite.  ``seed_unsound=True`` additionally injects a
+    deliberately-unsound fuse record to show the validator rejecting it.
     """
     import numpy as np
 
@@ -216,7 +278,30 @@ def _demo_program_describe(mode: str) -> str:
             parallel_reduce(n, dot_kernel_1d, dr, dr)
             parallel_for(n, axpy_kernel_1d, ScalarSlot("alpha", 0.5), dx, dp)
         inst = cap.graph("cg.update").instantiate(ctx)
-        return inst.program.describe()
+        out = [inst.program.describe()]
+        if analysis:
+            from .effects import plan_effects
+            from .validate import validate_program
+
+            out += ["", "--- memory-effects summaries ---"]
+            for pn in inst.program.nodes:
+                if pn.gnode.disabled:
+                    continue
+                out.append(plan_effects(pn.gnode.plan).describe())
+            out += ["", "--- translation validation ---"]
+            rewrites = list(inst.program.rewrites)
+            if seed_unsound:
+                inst.program.rewrites.append(_unsound_fuse_record(n))
+            diags = validate_program(inst.program)
+            n_total = len(inst.program.rewrites)
+            out.append(
+                f"{n_total - len(diags)}/{n_total} applied rewrite(s) "
+                "independently confirmed from effects summaries"
+            )
+            for d in diags:
+                out.append(f"REJECTED: {d}")
+            inst.program.rewrites[:] = rewrites
+        return "\n".join(out)
     finally:
         repro.set_passes_mode(None)
         repro.set_graph_mode(None)
@@ -246,6 +331,12 @@ def main(argv=None) -> int:
         help="pass mode for the optimized dump: all | peephole | none | "
         "comma-list of fuse,dse,sink,schedule (default: all)",
     )
+    parser.add_argument(
+        "--seed-unsound",
+        action="store_true",
+        help="inject a deliberately-unsound fuse record into the "
+        "validation demo to show the validator rejecting it (V610)",
+    )
     ns = parser.parse_args(argv)
     if not ns.program:
         parser.error(
@@ -256,7 +347,11 @@ def main(argv=None) -> int:
     print(_demo_program_describe("none"))
     print()
     print(f"=== optimized program (passes={ns.passes}) ===")
-    print(_demo_program_describe(ns.passes))
+    print(
+        _demo_program_describe(
+            ns.passes, analysis=True, seed_unsound=ns.seed_unsound
+        )
+    )
     return 0
 
 

@@ -62,6 +62,7 @@ from .deadstore import (
     loaded_positions,
     overwritten_positions,
 )
+from .effects import snapshot_effects
 from .fuse import fuse_decline_reason, fuse_plans
 from .stats import analyze
 from .vectorizer import IndexDomain
@@ -146,6 +147,7 @@ class ProgramNode:
             plan.resolved_args[:] = rargs
             plan.written_ids = None
             plan.read_ids = None
+            plan.effects = None
             self.saved = None
         self.gnode.disabled = False
         self.refresh_rw()
@@ -200,6 +202,11 @@ class Program:
         #: ``(storage_ids, kind, record)`` guard requests the
         #: instantiation registers once it exists (kind: "dse"/"sink").
         self.pending_guards: list[tuple] = []
+        #: One record per *applied* rewrite, carrying pre-rewrite
+        #: :class:`repro.ir.effects.EffectsSummary` snapshots — the
+        #: evidence the translation validator (:mod:`repro.ir.validate`)
+        #: re-derives legality from after the pipeline finishes.
+        self.rewrites: list[dict] = []
 
     # -- structure ---------------------------------------------------------
     def index_map(self) -> dict[int, int]:
@@ -321,6 +328,19 @@ def _fuse_pass(
             if reason is None:
                 merged = _merge_nodes(cand, pn)
                 if merged is not None:
+                    prog.rewrites.append(
+                        {
+                            "kind": "fuse",
+                            "label": pn.label,
+                            "a": snapshot_effects(cand.gnode.plan),
+                            "b": snapshot_effects(pn.gnode.plan),
+                            "skipped": tuple(
+                                snapshot_effects(n.gnode.plan)
+                                for n in out[j + 1 :]
+                                if not n.gnode.disabled
+                            ),
+                        }
+                    )
                     out[j] = merged
                     prog.fused_pairs += 1
                     nonadj = j != len(out) - 1
@@ -428,6 +448,7 @@ def _drop_stores(pn: ProgramNode, sid: int) -> Optional[str]:
     )
     plan.written_ids = None
     plan.read_ids = None
+    plan.effects = None
     pn.refresh_rw()
     return None
 
@@ -471,6 +492,7 @@ def _dse_pass(prog: Program, record: Callable) -> None:
                 continue  # the node reads the array itself: not dead here
             killer = None
             decline = None
+            between: list[ProgramNode] = []
             for m in nodes[i + 1 :]:
                 if m.gnode.disabled:
                     continue
@@ -479,6 +501,7 @@ def _dse_pass(prog: Program, record: Callable) -> None:
                     decline = "read-before-kill"
                     break
                 if sid not in m.writes:
+                    between.append(m)
                     continue
                 mkernel = mplan.kernel
                 mtrace = mkernel.trace if mkernel is not None else None
@@ -498,11 +521,24 @@ def _dse_pass(prog: Program, record: Callable) -> None:
                 if decline is not None:
                     record("dse", declined=decline)
                 continue
+            victim_summary = snapshot_effects(plan)
             reason = _drop_stores(pn, sid)
             if reason is not None:
                 record("dse", declined=reason)
                 prog.log(f"dse: decline {pn.label}: {reason}")
                 continue
+            prog.rewrites.append(
+                {
+                    "kind": "dse",
+                    "label": pn.label,
+                    "sid": sid,
+                    "victim": victim_summary,
+                    "killer": snapshot_effects(killer.gnode.plan),
+                    "between": tuple(
+                        snapshot_effects(m.gnode.plan) for m in between
+                    ),
+                }
+            )
             record("dse", applied=1)
             prog.pending_guards.append(((sid,), "dse", None))
             prog.log(
@@ -593,6 +629,17 @@ def _sink_pass(
             record("sink", declined="no-overwrite-first")
             prog.log(f"sink: decline {first.label}: no-overwrite-first")
             continue
+        prog.rewrites.append(
+            {
+                "kind": "sink",
+                "label": first.label,
+                "sid": sid,
+                "first": snapshot_effects(fplan),
+                "touchers": tuple(
+                    snapshot_effects(pn.gnode.plan) for pn, _ in touchers
+                ),
+            }
+        )
         buf = ctx.arena.lease(arr.shape, arr.dtype)
         swaps: list[tuple] = []
         for pn, positions in touchers:
@@ -603,6 +650,7 @@ def _sink_pass(
                 swaps.append((plan, pos))
             plan.written_ids = None
             plan.read_ids = None
+            plan.effects = None
             pn.refresh_rw()
         rec = SinkRecord(arr, buf, swaps)
         prog.sink_records.append(rec)

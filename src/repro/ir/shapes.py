@@ -1,0 +1,265 @@
+"""Symbolic shape/dtype inference over traced kernels (NEP-50 lattice).
+
+The codegen executor (:mod:`repro.ir.codegen`) elides allocations by
+writing ufunc results into recycled arena buffers (``out=``) and by
+fusing the final operation of an identity store straight into the
+destination array.  Both rewrites are only sound when the *runtime*
+result dtype and shape are known at lowering time: ``out=`` with the
+wrong dtype silently casts, changing bits relative to the vectorizer.
+
+Historically that certificate was float64-only (``_F8_PARTNERS``): a
+float32 AXPY lowered fine but silently lost every ``out=`` fusion.
+This module replaces it with a two-part lattice shared by codegen, the
+memory-effects summaries (:mod:`repro.ir.effects`) and the translation
+validator (:mod:`repro.ir.validate`):
+
+**dtype** — an element is a concrete :class:`numpy.dtype` (*strong*),
+one of the weak-scalar tokens ``"wi"``/``"wf"``/``"wb"`` (a Python
+int/float/bool leaf, promoted by NEP 50's weak rules), or ``None`` (⊤ —
+unknown, never certified).  Promotion is decided by **probing the very
+ufunc the executors call** on zero-length operands: the result dtype of
+``np.add(float32[0], 2.5)`` *is* the runtime promotion, by construction,
+for whatever NumPy is installed — no hand-written promotion table to
+drift.  Probes are memoized process-wide, so each ``(op, dtypes)`` pair
+costs one empty-array ufunc call ever.
+
+**shape** — per-axis booleans (``True`` = the launch-domain extent on
+that axis, ``False`` = broadcast size 1), ``"scalar"`` for scalar
+values, or ``None`` (unknown).
+
+The ``out=`` certificate is :meth:`Lattice.full_domain_dtype`: a
+concrete dtype is returned only when the node provably evaluates to an
+array of exactly the launch-domain shape with that dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from . import nodes as N
+from .vectorizer import _BIN_FUNCS, _UN_FUNCS
+
+__all__ = [
+    "Lattice",
+    "WEAK_INT",
+    "WEAK_FLOAT",
+    "WEAK_BOOL",
+    "scalar_dtype",
+    "promote",
+]
+
+#: Weak-scalar lattice tokens: a Python ``int``/``float``/``bool`` leaf.
+#: NEP 50 keeps these *weak* — they adopt the dtype of any strong
+#: partner — until an actual ufunc touches them (the result of which is
+#: a strong NumPy scalar/array, which is exactly what probing returns).
+WEAK_INT = "wi"
+WEAK_FLOAT = "wf"
+WEAK_BOOL = "wb"
+
+_WEAK_REPRESENTATIVE = {WEAK_INT: 3, WEAK_FLOAT: 1.5, WEAK_BOOL: True}
+
+#: The dtype of ``IndexDomain`` grids (``np.arange(..., dtype=np.intp)``).
+INDEX_DTYPE = np.dtype(np.intp)
+
+_PROBE_CACHE: dict = {}
+_PROBE_MISS = object()
+
+
+def scalar_dtype(value: Any):
+    """Lattice element for a scalar leaf (Const / ScalarArg value).
+
+    NumPy scalars are *strong* (their concrete dtype); Python
+    bool/int/float are the weak tokens; anything else is unknown.
+    """
+    if isinstance(value, np.generic):
+        return np.dtype(type(value))
+    if isinstance(value, bool):
+        return WEAK_BOOL
+    if isinstance(value, int):
+        return WEAK_INT
+    if isinstance(value, float):
+        return WEAK_FLOAT
+    return None
+
+
+def _operand(token):
+    """A zero-cost representative operand for a lattice element."""
+    if isinstance(token, np.dtype):
+        return np.empty(0, dtype=token)
+    return _WEAK_REPRESENTATIVE[token]
+
+
+def _probe(fn, operands: tuple) -> Optional[np.dtype]:
+    """Result dtype of ``fn(*operands)`` per the installed NumPy.
+
+    ``operands`` are lattice elements (np.dtype or weak token).  Strong
+    elements probe as zero-length arrays, weak ones as representative
+    Python scalars — under NEP 50 the result dtype depends only on those
+    kinds, never on values, so one probe decides the whole class.
+    """
+    key = (id(fn),) + tuple(
+        o.str if isinstance(o, np.dtype) else o for o in operands
+    )
+    got = _PROBE_CACHE.get(key, _PROBE_MISS)
+    if got is not _PROBE_MISS:
+        return got
+    try:
+        with np.errstate(all="ignore"):
+            out = fn(*(_operand(o) for o in operands))
+        result = np.asarray(out).dtype
+    except Exception:
+        result = None
+    _PROBE_CACHE[key] = result
+    return result
+
+
+def promote(op: str, *elements) -> Optional[np.dtype]:
+    """Result dtype of binary/unary op ``op`` over lattice elements,
+    or ``None`` when any input is unknown.  Exposed for tests and the
+    reduce-operator checker."""
+    if any(e is None for e in elements):
+        return None
+    fn = _BIN_FUNCS.get(op) or _UN_FUNCS.get(op)
+    if fn is None:
+        return None
+    return _probe(fn, tuple(elements))
+
+
+def _static_identity(indices: tuple, ndim: int) -> bool:
+    """``a[i]`` / ``a[i, j]`` / ``a[i, j, k]`` on the launch axes."""
+    if len(indices) != ndim:
+        return False
+    return all(
+        isinstance(ix, N.Index) and ix.axis == ax
+        for ax, ix in enumerate(indices)
+    )
+
+
+class Lattice:
+    """Memoized dtype/shape analysis over one trace's shared DAG.
+
+    ``args`` are the trace-time arguments (their dtypes are part of the
+    kernel-cache key upstream, so memoizing per-lowering is sound).
+    """
+
+    def __init__(self, ndim: int, args: Sequence[Any]):
+        self.ndim = ndim
+        self.args = args
+        self._dtype: dict[int, Any] = {}
+        self._shape: dict[int, Any] = {}
+
+    # -- dtype ------------------------------------------------------------
+    def dtype(self, node: N.Node):
+        """Lattice element for ``node``: np.dtype | weak token | None."""
+        nid = id(node)
+        if nid not in self._dtype:
+            self._dtype[nid] = self._dtype_inner(node)
+        return self._dtype[nid]
+
+    def _dtype_inner(self, node: N.Node):
+        if isinstance(node, N.Const):
+            return scalar_dtype(node.value)
+        if isinstance(node, N.Index):
+            return INDEX_DTYPE
+        if isinstance(node, N.ScalarArg):
+            return scalar_dtype(self.args[node.pos])
+        if isinstance(node, N.Load):
+            arr = self.args[node.array.pos]
+            if isinstance(arr, np.ndarray):
+                return arr.dtype
+            return None
+        if isinstance(node, N.BinOp):
+            a, b = self.dtype(node.lhs), self.dtype(node.rhs)
+            if a is None or b is None:
+                return None
+            if (
+                node.op == "pow"
+                and not isinstance(a, np.dtype)
+                and not isinstance(b, np.dtype)
+            ):
+                # Weak ** weak is value-dependent in Python (negative
+                # exponents float); stay at ⊤.
+                return None
+            return _probe(_BIN_FUNCS[node.op], (a, b))
+        if isinstance(node, N.UnOp):
+            t = self.dtype(node.operand)
+            if t is None:
+                return None
+            return _probe(_UN_FUNCS[node.op], (t,))
+        if isinstance(node, (N.Compare, N.BoolOp, N.Not)):
+            return np.dtype(np.bool_)
+        if isinstance(node, N.Select):
+            a = self.dtype(node.if_true)
+            b = self.dtype(node.if_false)
+            if a is None or b is None:
+                return None
+            return _probe(np.where, (np.dtype(np.bool_), a, b))
+        if isinstance(node, N.Cast):
+            # Mirrors codegen: asarray(...).astype(int64 | float64).
+            return np.dtype(np.int64 if node.kind == "int" else np.float64)
+        return None
+
+    def concrete_dtype(self, node: N.Node) -> Optional[np.dtype]:
+        """The node's dtype when *strong* (a concrete np.dtype)."""
+        t = self.dtype(node)
+        return t if isinstance(t, np.dtype) else None
+
+    # -- shape ------------------------------------------------------------
+    def shape(self, node: N.Node):
+        nid = id(node)
+        if nid not in self._shape:
+            self._shape[nid] = self._shape_inner(node)
+        return self._shape[nid]
+
+    def _broadcast(self, *shapes: Any) -> Any:
+        out = "scalar"
+        for s in shapes:
+            if s is None:
+                return None
+            if s == "scalar":
+                continue
+            if out == "scalar":
+                out = s
+            else:
+                out = tuple(x or y for x, y in zip(out, s))
+        return out
+
+    def _shape_inner(self, node: N.Node) -> Any:
+        if isinstance(node, (N.Const, N.ScalarArg)):
+            return "scalar"
+        if isinstance(node, N.Index):
+            return tuple(ax == node.axis for ax in range(self.ndim))
+        if isinstance(node, N.Load):
+            if _static_identity(node.indices, self.ndim):
+                return tuple(True for _ in range(self.ndim))
+            # Gather: result = broadcast of the (non-scalar) index shapes.
+            return self._broadcast(*(self.shape(ix) for ix in node.indices))
+        if isinstance(node, (N.BinOp, N.Compare, N.BoolOp)):
+            return self._broadcast(self.shape(node.lhs), self.shape(node.rhs))
+        if isinstance(node, (N.UnOp, N.Not, N.Cast)):
+            return self.shape(node.operand)
+        if isinstance(node, N.Select):
+            return self._broadcast(
+                self.shape(node.cond),
+                self.shape(node.if_true),
+                self.shape(node.if_false),
+            )
+        return None
+
+    # -- certificates ------------------------------------------------------
+    def full_domain_dtype(self, node: N.Node) -> Optional[np.dtype]:
+        """The ``out=`` certificate: a concrete dtype when ``node``
+        provably evaluates to an array of exactly the launch-domain
+        shape with that dtype; ``None`` otherwise (allocate like the
+        vectorizer — always correct)."""
+        shape = self.shape(node)
+        if not (isinstance(shape, tuple) and all(shape)):
+            return None
+        return self.concrete_dtype(node)
+
+    def is_full_f8(self, node: N.Node) -> bool:
+        """Legacy predicate kept for introspection: float64 over the
+        full domain."""
+        return self.full_domain_dtype(node) == np.float64

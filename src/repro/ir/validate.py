@@ -1,0 +1,358 @@
+"""Translation validation for the program-level pass pipeline.
+
+The pass pipeline (:mod:`repro.ir.program`) rewrites captured programs —
+global fusion, dead-store elimination, allocation sinking — with the
+legality reasoning embedded in each pass.  A bug there silently corrupts
+results.  This module is the independent check, in the classic
+translation-validation mold (Pnueli/Necula): after the pipeline runs,
+every *applied* rewrite is re-derived from the per-plan memory-effects
+summaries (:mod:`repro.ir.effects`) **alone** — summaries built by the
+verifier's affine-access machinery, not by the passes.  A rewrite the
+validator cannot confirm yields a V610 diagnostic: under ``error`` mode
+the instantiation raises :class:`~repro.core.exceptions.
+TranslationValidationError`; under ``warn`` (the default) the rewrite
+set is undone and the program degrades to unoptimized replay, which is
+always correct.
+
+The same hook runs the program-level hazard analyses on the final node
+sequence — V602 (graph-level dead store spanning launches) and V603
+(reduce-into-aliased-input on a fused node) — and this module also hosts
+the V31x static reduce-operator checker (:func:`verify_reduce_op`),
+which probes a user-supplied combine op for associativity and its
+declared neutral element on exactly-representable samples, paving the
+way to opening ``REDUCE_OPS`` beyond the built-in monoids.
+
+Mode selection mirrors the kernel verifier: ``PYACC_VALIDATE`` env >
+``validate`` preferences key > ``warn``; counters land in
+``graph_stats()["validate"]``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.preferences import VALIDATE_MODES, resolve_validate_mode
+from .diagnostics import Diagnostic, rule_severity
+from .effects import (
+    EffectsSummary,
+    program_dead_stores,
+    reduce_alias_hazards,
+)
+
+__all__ = [
+    "active_validate_mode",
+    "set_validate_mode",
+    "validate_mode",
+    "validate_program",
+    "program_diagnostics",
+    "verify_reduce_op",
+]
+
+
+# ---------------------------------------------------------------------------
+# Enforcement-mode selection
+# ---------------------------------------------------------------------------
+
+_MODE_OVERRIDE: Optional[str] = None
+_MODE_RESOLVED: Optional[str] = None
+
+
+def active_validate_mode() -> str:
+    """The validator mode in effect: process override, else the
+    ``validate`` preference (env ``PYACC_VALIDATE`` > file > ``"warn"``)."""
+    global _MODE_RESOLVED
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    if _MODE_RESOLVED is None:
+        _MODE_RESOLVED = resolve_validate_mode()
+    return _MODE_RESOLVED
+
+
+def set_validate_mode(mode: Optional[str]) -> Optional[str]:
+    """Set the process-wide validator mode (``off | warn | error``).
+
+    ``None`` drops the override so the next instantiation re-resolves
+    the Preferences mechanism.  Returns the previous override.
+    """
+    global _MODE_OVERRIDE, _MODE_RESOLVED
+    if mode is not None and mode not in VALIDATE_MODES:
+        raise ValueError(
+            f"unknown validate mode {mode!r}; expected one of {VALIDATE_MODES}"
+        )
+    previous = _MODE_OVERRIDE
+    _MODE_OVERRIDE = mode
+    _MODE_RESOLVED = None
+    return previous
+
+
+@contextmanager
+def validate_mode(mode: str):
+    """Scope a validator mode: ``with validate_mode("error"): ...``."""
+    previous = set_validate_mode(mode)
+    try:
+        yield
+    finally:
+        set_validate_mode(previous)
+
+
+def _diag(rule: str, kernel: str, message: str, provenance: str = ""):
+    return Diagnostic(
+        rule=rule,
+        severity=rule_severity(rule),
+        kernel=kernel,
+        message=message,
+        provenance=provenance,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rewrite re-derivation
+# ---------------------------------------------------------------------------
+
+
+def _element_local(a: EffectsSummary, b: EffectsSummary) -> Optional[str]:
+    """Why per-iteration fusion of ``b`` into ``a`` breaks value flow.
+
+    Every array shared between the two launches where either side writes
+    must be accessed *only* through the static identity pattern on both
+    sides — identity accesses never cross a chunk boundary, so fusing
+    the bodies per chunk preserves exactly the sequential per-element
+    dataflow.
+    """
+    shared = (a.read_ids | a.write_ids) & (b.read_ids | b.write_ids)
+    for sid in shared:
+        if sid not in a.write_ids and sid not in b.write_ids:
+            continue
+        for eff in a.effects_for_sid(sid) + b.effects_for_sid(sid):
+            if not (eff.identity_reads and eff.identity_writes):
+                return (
+                    f"shared written array (arg{eff.pos}) is accessed "
+                    "at non-identity indices"
+                )
+    if b.result_nonidentity_ids & a.write_ids:
+        return (
+            "inlined reduction reads producer-written arrays at "
+            "non-identity indices"
+        )
+    return None
+
+
+def _check_fuse(rec: dict) -> Optional[str]:
+    a: EffectsSummary = rec["a"]
+    b: EffectsSummary = rec["b"]
+    if a.opaque or b.opaque:
+        return "an operand has no trace (opaque effects)"
+    if a.dims != b.dims or a.ndim != b.ndim:
+        return f"domain mismatch: {a.dims} vs {b.dims}"
+    if a.is_reduce:
+        return "producer is a reduction (terminates the chain)"
+    for s in rec["skipped"]:
+        if s.opaque:
+            return f"moved launch hops an opaque node {s.kernel!r}"
+        if (s.write_ids & (b.read_ids | b.write_ids)) or (
+            s.read_ids & b.write_ids
+        ):
+            return (
+                f"moved launch conflicts with hopped-over node "
+                f"{s.kernel!r}"
+            )
+    return _element_local(a, b)
+
+
+def _check_dse(rec: dict) -> Optional[str]:
+    victim: EffectsSummary = rec["victim"]
+    killer: EffectsSummary = rec["killer"]
+    sid = rec["sid"]
+    if victim.opaque or killer.opaque:
+        return "an endpoint has no trace (opaque effects)"
+    if sid not in victim.write_ids:
+        return "victim does not write the eliminated array"
+    if sid in victim.read_ids:
+        return "victim reads the array its store was dropped from"
+    for s in rec["between"]:
+        if s.opaque or sid in s.read_ids or sid in s.write_ids:
+            return f"intervening node {s.kernel!r} touches the array"
+    if sid not in killer.full_overwrite_ids:
+        return "killer does not provably overwrite the whole array"
+    return None
+
+
+def _check_sink(rec: dict) -> Optional[str]:
+    first: EffectsSummary = rec["first"]
+    sid = rec["sid"]
+    if first.opaque:
+        return "first toucher has no trace (opaque effects)"
+    if sid not in first.full_overwrite_ids:
+        return "first toucher does not provably overwrite the whole array"
+    if sid in first.read_ids:
+        return "first toucher reads the array before the graph defines it"
+    for s in rec["touchers"]:
+        if s.opaque:
+            return f"toucher {s.kernel!r} has no trace (opaque effects)"
+    return None
+
+
+_CHECKERS: dict[str, Callable] = {
+    "fuse": _check_fuse,
+    "dse": _check_dse,
+    "sink": _check_sink,
+}
+
+
+def validate_program(prog, record: Optional[Callable] = None) -> list:
+    """Re-derive the legality of every applied rewrite on ``prog``.
+
+    ``prog.rewrites`` holds one record per applied pass rewrite, each
+    carrying pre-rewrite :class:`EffectsSummary` snapshots (taken at
+    apply time, so later in-place plan mutations cannot skew them).
+    Returns the V610 diagnostics for every rewrite the checkers cannot
+    confirm (empty = all confirmed); ``record(kind, confirmed=...,
+    rejected=...)`` accounts each decision.
+    """
+    diags = []
+    for rec in getattr(prog, "rewrites", ()):
+        kind = rec["kind"]
+        checker = _CHECKERS.get(kind)
+        if checker is None:  # pragma: no cover - future pass kinds
+            continue
+        why = checker(rec)
+        if why is None:
+            if record is not None:
+                record(kind, confirmed=1)
+            continue
+        if record is not None:
+            record(kind, rejected=1)
+        diags.append(
+            _diag(
+                "V610",
+                rec.get("label", prog.name),
+                f"applied {kind} rewrite is not independently provable: "
+                f"{why}",
+                provenance=f"rewrite={kind}",
+            )
+        )
+    return diags
+
+
+def program_diagnostics(prog) -> list:
+    """Program-level hazard analyses over the final node sequence.
+
+    V602 — graph-level dead store the pipeline left behind (warning);
+    V603 — a fused node's reduction reads arrays the node writes at
+    non-identity indices (error).  Works purely on effects summaries.
+    """
+    from .effects import plan_effects
+
+    labeled = []
+    diags = []
+    for pn in prog.nodes:
+        if pn.gnode.disabled:
+            continue
+        plan = pn.gnode.plan
+        summary = plan_effects(plan)
+        labeled.append((plan.label, summary))
+        if summary.is_reduce:
+            diags.extend(reduce_alias_hazards(summary))
+    diags.extend(program_dead_stores(labeled))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# V31x: static reduce-operator checking
+# ---------------------------------------------------------------------------
+
+#: Combine ops known associative with their neutral elements — the
+#: built-in monoid table (``REDUCE_OPS``) plus their ufunc spellings.
+_KNOWN_ASSOCIATIVE = {"add", "min", "max", "mul"}
+_KNOWN_UFUNCS = {np.add, np.minimum, np.maximum, np.multiply}
+
+#: Exactly-representable probe values: sums, products, mins and maxes of
+#: these are computed without rounding, so a genuinely associative float
+#: op compares bit-equal across re-associations and the probe never
+#: reports a spurious V311.
+_SAMPLES = (0.0, 1.0, -1.5, 2.0, 0.25, -8.0, 0.5)
+
+
+def verify_reduce_op(fn, neutral=None, *, name: str = "<op>") -> list:
+    """Statically check a reduce combine op: V311 associativity, V312
+    neutral element.
+
+    ``fn`` is either a known op name (``"add"``/``"min"``/...), a known
+    ufunc, or an arbitrary binary callable; ``neutral`` is the claimed
+    identity element (``None`` skips the V312 check).  The checker
+    *probes*: it evaluates the op over triples of exactly-representable
+    samples and compares re-associations bit-for-bit — sound for every
+    op built from +, *, min, max over these values, and exactly the
+    property chunked/parallel folds rely on.  Returns the diagnostics
+    (empty = the op is fit to open up ``REDUCE_OPS``).
+    """
+    if isinstance(fn, str):
+        if fn in _KNOWN_ASSOCIATIVE:
+            return []
+        return [
+            _diag(
+                "V311",
+                name if name != "<op>" else fn,
+                f"unknown reduce op name {fn!r}: no associativity "
+                "evidence",
+            )
+        ]
+    if fn in _KNOWN_UFUNCS:
+        return []
+    diags = []
+    try:
+        for a in _SAMPLES:
+            for b in _SAMPLES:
+                for c in _SAMPLES:
+                    left = fn(fn(a, b), c)
+                    right = fn(a, fn(b, c))
+                    if left != right:
+                        diags.append(
+                            _diag(
+                                "V311",
+                                name,
+                                "combine op is not associative: "
+                                f"op(op({a}, {b}), {c}) = {left} but "
+                                f"op({a}, op({b}, {c})) = {right}; "
+                                "chunked folds would diverge",
+                            )
+                        )
+                        raise StopIteration
+    except StopIteration:
+        pass
+    except Exception as exc:
+        diags.append(
+            _diag(
+                "V311",
+                name,
+                f"combine op raised while probing associativity: {exc!r}",
+            )
+        )
+        return diags
+    if neutral is not None:
+        try:
+            for x in _SAMPLES:
+                if fn(neutral, x) != x or fn(x, neutral) != x:
+                    diags.append(
+                        _diag(
+                            "V312",
+                            name,
+                            f"{neutral!r} is not a neutral element: "
+                            f"op({neutral!r}, {x}) = {fn(neutral, x)} "
+                            f"!= {x}; empty chunks would poison the fold",
+                        )
+                    )
+                    break
+        except Exception as exc:
+            diags.append(
+                _diag(
+                    "V312",
+                    name,
+                    f"combine op raised while probing the neutral "
+                    f"element: {exc!r}",
+                )
+            )
+    return diags

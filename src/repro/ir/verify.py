@@ -65,6 +65,7 @@ __all__ = [
     "verify_compiled",
     "verify_kernel",
     "verify_launch",
+    "abstract_accesses",
     "active_verify_mode",
     "set_verify_mode",
     "verify_mode",
@@ -774,6 +775,32 @@ def verify_trace(
         trace, dims=dims, shapes=shapes, scalars=scalars, op=op, kernel=kernel
     )
     return v.run(), v.used_scalars
+
+
+def abstract_accesses(
+    trace: N.Trace,
+    *,
+    dims: Optional[tuple] = None,
+    shapes: Optional[dict] = None,
+    scalars: Optional[dict] = None,
+    kernel: str = "<kernel>",
+) -> list:
+    """Collect every store/load of one trace as affine accesses.
+
+    Returns the verifier's raw access records — ``kind`` (``"store"`` |
+    ``"load"``), ``array`` argument, per-axis affine ``forms`` (``None``
+    = not affine), guard ``box`` — without running any diagnostic rule.
+    Statically unreachable stores (infeasible guards under ``dims``) are
+    dropped, exactly as the race rules see them.  This is the shared
+    abstraction behind the per-plan memory-effects summaries
+    (:mod:`repro.ir.effects`) and the translation validator
+    (:mod:`repro.ir.validate`).
+    """
+    v = _Verifier(
+        trace, dims=dims, shapes=shapes, scalars=scalars, op=None, kernel=kernel
+    )
+    v.collect()
+    return v._accesses
 
 
 _MISSING = object()

@@ -52,6 +52,7 @@ __all__ = [
     "guard_ids",
     "unguard",
     "suppress_guards",
+    "hazards",
     "reset",
 ]
 
@@ -153,6 +154,32 @@ def suppress_guards(owner: object):
         yield
     finally:
         _suppressed.reset(token)
+
+
+def hazards(
+    prev_writes: Iterable[int],
+    prev_reads: Iterable[int],
+    new_writes: Iterable[int],
+    new_reads: Iterable[int],
+) -> tuple:
+    """Classify the data hazards between an earlier and a later access
+    set, by storage id.
+
+    Returns a tuple drawn from ``("RAW", "WAW", "WAR")`` — read-after-
+    write, write-after-write, write-after-read, in that order.  Shared
+    by the program IR's def-use edges and the cross-launch race
+    diagnostic (V601 in :mod:`repro.ir.effects`).
+    """
+    pw, pr = set(prev_writes), set(prev_reads)
+    nw, nr = set(new_writes), set(new_reads)
+    found = []
+    if pw & nr:
+        found.append("RAW")
+    if pw & nw:
+        found.append("WAW")
+    if pr & nw:
+        found.append("WAR")
+    return tuple(found)
 
 
 def versions_of(ids: Iterable[int]) -> tuple:

@@ -47,12 +47,17 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from .core.exceptions import ConcretizationRequired, TraceError
-from .ir.diagnostics import Diagnostic
+from .ir.diagnostics import (
+    RULE_EXAMPLES,
+    RULES,
+    Diagnostic,
+    rule_severity,
+)
 from .ir.optimize import optimize_trace
 from .ir.tracer import trace_kernel
 from .ir.verify import verify_trace
 
-__all__ = ["lint_probe", "lint_paths", "main"]
+__all__ = ["lint_probe", "lint_paths", "explain_rule", "to_sarif", "main"]
 
 _INDEX_CONVENTIONS = (("i", "j", "k"), ("x", "y", "z"))
 
@@ -279,7 +284,7 @@ def lint_kernel(name: str, fn, rank: int, arg_params: list) -> list[Diagnostic]:
             diags.append(
                 Diagnostic(
                     rule="V901",
-                    severity="info",
+                    severity=rule_severity("V901"),
                     kernel=name,
                     message=(
                         "kernel could not be statically traced "
@@ -294,7 +299,7 @@ def lint_kernel(name: str, fn, rank: int, arg_params: list) -> list[Diagnostic]:
             diags.append(
                 Diagnostic(
                     rule="V901",
-                    severity="info",
+                    severity=rule_severity("V901"),
                     kernel=name,
                     message=f"kernel is interpreter-tier ({reason}); "
                     "static verification is not available",
@@ -316,7 +321,7 @@ def lint_kernel(name: str, fn, rank: int, arg_params: list) -> list[Diagnostic]:
             diags.append(
                 Diagnostic(
                     rule="V501",
-                    severity="info",
+                    severity=rule_severity("V501"),
                     kernel=name,
                     message=(
                         "kernel is capture-unsafe for launch-graph replay "
@@ -369,6 +374,7 @@ def lint_paths(paths: Sequence[str]) -> dict:
             kernels.append(
                 {
                     "kernel": name,
+                    "line": fn.__code__.co_firstlineno,
                     "diagnostics": [
                         {
                             "rule": d.rule,
@@ -384,20 +390,147 @@ def lint_paths(paths: Sequence[str]) -> dict:
     return {"files": files, "totals": totals}
 
 
+def explain_rule(rule: str) -> Optional[str]:
+    """Human-readable catalog entry for ``--explain RULE``.
+
+    Returns ``None`` for unknown rule ids.  The text comes straight from
+    the unified catalog (:data:`repro.ir.diagnostics.RULES` /
+    :data:`~repro.ir.diagnostics.RULE_EXAMPLES`) — the same source the
+    verifier, the lint CLI and the translation validator report against.
+    """
+    rule = rule.upper()
+    if rule not in RULES:
+        return None
+    severity, description = RULES[rule]
+    lines = [f"{rule} ({severity})", "", description]
+    example = RULE_EXAMPLES.get(rule)
+    if example:
+        lines += ["", "Example:", ""]
+        lines += [f"    {ln}" for ln in example.splitlines()]
+    return "\n".join(lines)
+
+
+#: Diagnostic severity -> SARIF result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def to_sarif(report: dict) -> dict:
+    """Convert a :func:`lint_paths` report to a SARIF 2.1.0 log.
+
+    One run, rules taken from the unified catalog, one result per
+    diagnostic located at the kernel function's definition line (the
+    finest granularity the tracer preserves).  Suitable for GitHub code
+    scanning upload.
+    """
+    rules_used = sorted(
+        {
+            d["rule"]
+            for f in report["files"]
+            for k in f["kernels"]
+            for d in k["diagnostics"]
+        }
+    )
+    results = []
+    for entry in report["files"]:
+        uri = Path(entry["file"]).as_posix()
+        for kernel in entry["kernels"]:
+            for d in kernel["diagnostics"]:
+                message = d["message"]
+                if d.get("provenance"):
+                    message = f"{message} [{d['provenance']}]"
+                results.append(
+                    {
+                        "ruleId": d["rule"],
+                        "level": _SARIF_LEVELS.get(d["severity"], "note"),
+                        "message": {
+                            "text": f"{kernel['kernel']}: {message}"
+                        },
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": uri},
+                                    "region": {
+                                        "startLine": kernel.get("line", 1)
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {
+                                    "text": RULES.get(rule, ("", rule))[1]
+                                    or rule
+                                },
+                                "defaultConfiguration": {
+                                    "level": _SARIF_LEVELS.get(
+                                        rule_severity(rule), "note"
+                                    )
+                                },
+                            }
+                            for rule in rules_used
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="Statically verify PyACC kernels (races, bounds, "
         "reduction purity, lint rules).",
     )
-    parser.add_argument("paths", nargs="+", help="Python files or directories")
+    parser.add_argument("paths", nargs="*", help="Python files or directories")
     parser.add_argument(
         "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit a SARIF 2.1.0 log on stdout (code-scanning upload)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the catalog entry for a rule id (e.g. V101) and exit",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="only print findings"
     )
     ns = parser.parse_args(argv)
+
+    if ns.explain:
+        text = explain_rule(ns.explain)
+        if text is None:
+            known = ", ".join(sorted(RULES))
+            print(
+                f"error: unknown rule {ns.explain!r}; known rules: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
+
+    if not ns.paths:
+        parser.error("paths are required unless --explain is given")
 
     try:
         report = lint_paths(ns.paths)
@@ -405,7 +538,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if ns.json:
+    if ns.sarif:
+        print(json.dumps(to_sarif(report), indent=2))
+    elif ns.json:
         print(json.dumps(report, indent=2))
     else:
         for entry in report["files"]:

@@ -324,8 +324,6 @@ class TestEdgeKernelsDifferential:
         )
 
     def test_float32_arrays(self):
-        # float32 is outside the out=-certified dtype lattice; codegen
-        # must still produce identical float32 results.
         def k(i, x, y):
             y[i] = x[i] * 2.0 + 1.0
 
@@ -334,6 +332,51 @@ class TestEdgeKernelsDifferential:
             k, 32, lambda: [base.copy(), np.zeros(32, dtype=np.float32)]
         )
         _assert_identical(results)
+
+    def test_float32_axpy_certified_out_fusion(self):
+        # The NEP-50 shape/dtype lattice certifies float32 temporaries
+        # for out=-fusion (PR 7); before, only f8 qualified and codegen
+        # fell back to fresh allocations.
+        def axpy(i, a, x, y):
+            x[i] += a * y[i]
+
+        base = _rng().standard_normal((2, 64)).astype(np.float32)
+        args = [np.float32(2.5), base[0].copy(), base[1].copy()]
+        ck = compile_kernel(axpy, 1, args, executor="codegen")
+        assert ck.codegen.n_out_buffers >= 1
+        assert all(
+            dt == np.dtype(np.float32) for dt in ck.codegen.out_dtypes
+        )
+        results = _run_all(
+            axpy,
+            64,
+            lambda: [np.float32(2.5), base[0].copy(), base[1].copy()],
+        )
+        _assert_identical(results)
+        assert results["codegen"][0][1].dtype == np.float32
+
+    def test_float32_stream_triad_certified(self):
+        # STREAM triad in float32: the full chain a[i] = b[i] + s*c[i]
+        # must certify every temp at float32 and stay bit-identical.
+        def triad(i, a, b, c, s):
+            a[i] = b[i] + s * c[i]
+
+        base = _rng().standard_normal((3, 96)).astype(np.float32)
+
+        def make():
+            return [
+                np.zeros(96, dtype=np.float32),
+                base[1].copy(),
+                base[2].copy(),
+                np.float32(0.5),
+            ]
+
+        ck = compile_kernel(triad, 1, make(), executor="codegen")
+        assert ck.codegen.n_out_buffers >= 1
+        assert all(
+            dt == np.dtype(np.float32) for dt in ck.codegen.out_dtypes
+        )
+        _assert_identical(_run_all(triad, 96, make))
 
     def test_integer_arrays(self):
         def k(i, x, y):
@@ -344,6 +387,26 @@ class TestEdgeKernelsDifferential:
             k, 24, lambda: [base.copy(), np.zeros(24, dtype=base.dtype)]
         )
         _assert_identical(results)
+
+    def test_int32_kernel_certified_out_fusion(self):
+        # int32 arrays with weak Python-int scalars promote to int32
+        # under NEP 50 — the lattice certifies the temps exactly.
+        def k(i, x, y):
+            y[i] = x[i] * 3 + 1
+
+        base = _rng().integers(-50, 50, size=40).astype(np.int32)
+
+        def make():
+            return [base.copy(), np.zeros(40, dtype=np.int32)]
+
+        ck = compile_kernel(k, 1, make(), executor="codegen")
+        assert ck.codegen.n_out_buffers >= 1
+        assert all(
+            dt == np.dtype(np.int32) for dt in ck.codegen.out_dtypes
+        )
+        results = _run_all(k, 40, make)
+        _assert_identical(results)
+        assert results["codegen"][0][1].dtype == np.int32
 
     @pytest.mark.parametrize("op", ["add", "min", "max"])
     def test_empty_domain_reduce_identities(self, op):
@@ -400,9 +463,12 @@ class TestCodegenProgram:
         assert "def _kernel" in prog.source
         assert prog.ndim == 1
         assert not prog.has_result
-        # the multiply temp is arena-allocated
+        # the multiply temp is arena-allocated, with a certified dtype
         assert prog.n_out_buffers >= 1
-        assert "_take(_shape)" in prog.source
+        assert "_take(_shape, _od0)" in prog.source
+        assert prog.out_dtypes == (np.dtype(np.float64),) * len(
+            prog.out_dtypes
+        )
 
     def test_wrong_rank_rejected_at_run(self):
         def k(i, x):
