@@ -59,7 +59,8 @@ def main() -> int:
 
     # quick sanity so the example fails loudly if the JIT regresses
     assert all(
-        rep.mode.startswith(("codegen", "vector")) for _, rep in reports
+        rep.mode.startswith(("native", "codegen", "vector"))
+        for _, rep in reports
     )
     print("\ninspect_kernels OK")
     return 0

@@ -11,6 +11,11 @@ oneAPI extensions do:
   readback,
 * every construct synchronizes (``CUDA.@sync`` in Fig. 6).
 
+Kernel bodies execute on whatever executor rung they compiled to —
+native kernels fill the per-block value buffers with their compiled C
+loop (see :meth:`Device.map_block_partials`), codegen/vector kernels
+through the NumPy paths.
+
 On top of the native device costs it charges the calibrated *portable
 dispatch overhead* (:mod:`repro.perfmodel.overheads`) — the measurable
 difference between JACC code and hand-written device code in the paper's

@@ -262,7 +262,25 @@ class Device:
         kernel = compile_kernel(fn, len(dims), kargs, reduce=True)
         lanes = int(np.prod(dims))
         n_blocks = max(1, -(-lanes // block))
-        if kernel.trace is not None:
+        if kernel.native is not None:
+            # Native rung: the compiled C loop fills the per-lane value
+            # buffer directly (bit-identical to the vectorizer's values;
+            # the per-block fold below is shared).  A run-time decline
+            # falls through to the IR walk.
+            from ...ir.cgen import NativeDeclined
+
+            try:
+                values = kernel.native.evaluate_values(
+                    IndexDomain.full(dims), kargs
+                ).reshape(-1)
+            except NativeDeclined as exc:
+                from ...ir.nativecache import record_decline
+
+                record_decline(exc.reason)
+                values = evaluate_values(
+                    kernel.trace, IndexDomain.full(dims), kargs
+                ).reshape(-1)
+        elif kernel.trace is not None:
             values = evaluate_values(
                 kernel.trace, IndexDomain.full(dims), kargs
             ).reshape(-1)

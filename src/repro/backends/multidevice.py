@@ -18,6 +18,11 @@ multi-GPU allocation pays.
 Reductions fold per-device partials on the host after a per-device scalar
 readback, matching how a real multi-GPU reduction finishes.
 
+Each device's chunk runs through ``kernel.run_for``/``run_reduce`` with
+per-chunk bounds, so the executor ladder — including the native C rung,
+which receives the chunk's ``[lo, hi)`` ranges as its ``bounds`` array —
+applies unchanged per simulated device.
+
 **Heterogeneous nodes** (the §VII phrase is "heterogeneous multi-device
 nodes"): when the devices differ, equal chunks would leave the fast
 device idle, so the domain is split proportionally to each device's

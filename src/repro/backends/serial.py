@@ -2,9 +2,11 @@
 
 Two registry entries share this module:
 
-* ``serial`` — single-threaded *vectorized* execution of the compiled
-  trace.  The semantics oracle for the threads backend (same executor, no
-  chunking, no pool) and a convenient default for small problems.
+* ``serial`` — single-threaded execution of the compiled kernel
+  (whatever rung it landed on: native C loop, codegen program, or the
+  vectorized IR walk).  The semantics oracle for the threads backend
+  (same executor, no chunking, no pool) and a convenient default for
+  small problems.
 * ``interp`` — pure scalar interpretation of the original kernel
   function.  The slowest and most literal executor; differential tests
   run it against every other backend.

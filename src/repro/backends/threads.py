@@ -10,10 +10,13 @@ backend reproduces that shape:
   column-major; NumPy is row-major, so the leading axis gives the same
   "each thread owns contiguous memory" property — see
   :mod:`repro.core.launch`);
-* each worker executes the compiled (vectorized) trace over its chunk
-  through a shared :class:`~concurrent.futures.ThreadPoolExecutor` —
-  NumPy releases the GIL for large array operations, so chunks genuinely
-  overlap;
+* each worker executes the compiled kernel over its chunk through a
+  shared :class:`~concurrent.futures.ThreadPoolExecutor` — NumPy
+  releases the GIL for large array operations, so chunks genuinely
+  overlap.  On the native executor rung the whole chunk is one ctypes
+  call into the compiled C loop, which releases the GIL for its entire
+  duration — the closest this model gets to ``Threads.@threads`` over
+  an LLVM-compiled loop body;
 * the construct joins all chunks before returning (synchronous API).
 
 Reductions fold per-chunk partials with the requested operation; addition

@@ -94,7 +94,9 @@ class LaunchPlan:
     policy: Optional["LaunchPolicy"] = None
     #: The execution context's scratch-buffer arena; backends hand it to
     #: ``CompiledKernel.run_for``/``run_reduce`` so generated kernels
-    #: draw ``out=`` temporaries from a per-context pool.
+    #: draw ``out=`` temporaries from a per-context pool.  The native
+    #: rung leases its reduce value buffer from the same arena and hands
+    #: the raw buffer pointer to the compiled C loop.
     arena: Optional["ScratchArena"] = None
 
     # -- filled by the compile stage ---------------------------------------

@@ -70,9 +70,11 @@ VALIDATE_MODES = ("off", "warn", "error")
 DEFAULT_VALIDATE_MODE = "warn"
 
 #: Executor strategies for traced kernels (see repro.ir.compile):
-#: ``codegen`` lowers the trace to straight-line NumPy source once,
-#: ``vector`` walks the IR per launch, ``interpreter`` skips tracing.
-EXECUTOR_MODES = ("codegen", "vector", "interpreter")
+#: ``native`` compiles the trace to a C shared object (declining to
+#: codegen when ineligible), ``codegen`` lowers the trace to
+#: straight-line NumPy source once, ``vector`` walks the IR per launch,
+#: ``interpreter`` skips tracing.
+EXECUTOR_MODES = ("native", "codegen", "vector", "interpreter")
 
 #: Default executor: generated code (the fastest steady-state path).
 DEFAULT_EXECUTOR = "codegen"
@@ -228,11 +230,12 @@ def resolve_executor_mode() -> str:
     """Decide the kernel executor: env var > file > default.
 
     The environment variable is ``PYACC_EXECUTOR``; the preferences key
-    is ``executor`` under ``[repro]``.  Valid values are ``codegen``
-    (lower each trace to generated NumPy source, the default),
-    ``vector`` (walk the IR per launch) and ``interpreter`` (scalar
-    reference execution, no tracing) — the ablation axis for the
-    codegen benchmark.
+    is ``executor`` under ``[repro]``.  Valid values are ``native``
+    (compile each trace to a C shared object via the system compiler,
+    declining to codegen when ineligible), ``codegen`` (lower each
+    trace to generated NumPy source, the default), ``vector`` (walk the
+    IR per launch) and ``interpreter`` (scalar reference execution, no
+    tracing) — the ablation axis for the executor benchmarks.
     """
     mode = os.environ.get(_ENV_EXECUTOR)
     if not mode:

@@ -398,6 +398,7 @@ class LaunchGraph:
                 or kernel is None
                 or kernel.codegen is None
                 or kernel.trace is None
+                or kernel.native is not None  # C loop is the replay main
                 or node.const_slots  # recompile path would discard it
             ):
                 continue
@@ -446,6 +447,11 @@ class LaunchGraph:
             for dom in node.plan.schedule.domains:
                 for dt in kernel.codegen.out_dtypes:
                     key = (dom.shape, dt)
+                    per_node[key] = per_node.get(key, 0) + 1
+                if kernel.native is not None and kernel.native.has_result:
+                    # The native reduce leases one float64 value buffer
+                    # per chunk (the C loop fills it, NumPy folds it).
+                    key = (dom.shape, np.dtype(np.float64))
                     per_node[key] = per_node.get(key, 0) + 1
             for key, count in per_node.items():
                 need[key] = max(need.get(key, 0), count)

@@ -10,6 +10,11 @@ DESIGN.md §2).  Public surface:
   default executor tier) and :mod:`repro.ir.arena`, its scratch-buffer
   pool; :func:`repro.ir.compile.executor_mode` /
   :func:`~repro.ir.compile.set_executor_mode` select the tier.
+* :mod:`repro.ir.cgen` / :mod:`repro.ir.nativecache` — the native rung
+  above codegen: traces lowered to C, compiled with the system compiler
+  into content-addressed cached shared objects
+  (``PYACC_EXECUTOR=native``); :func:`repro.ir.nativecache.native_stats`
+  reports compiles/cache hits/declines.
 * :mod:`repro.ir.verify` — the static kernel verifier (races, bounds,
   reduction purity) and its enforcement-mode controls.
 * :mod:`repro.ir.effects` / :mod:`repro.ir.validate` — per-plan
@@ -31,6 +36,7 @@ from .compile import (
 )
 from .diagnostics import Diagnostic, KernelVerificationWarning
 from .inspect import KernelReport, inspect_kernel
+from .nativecache import native_stats
 from .validate import (
     set_validate_mode,
     validate_mode,
@@ -60,6 +66,7 @@ __all__ = [
     "clear_cache",
     "compile_kernel",
     "executor_mode",
+    "native_stats",
     "set_executor_mode",
     "set_validate_mode",
     "set_verify_mode",

@@ -1,4 +1,7 @@
-"""Trace-to-NumPy code generation: the top rung of the executor ladder.
+"""Trace-to-NumPy code generation: the codegen rung of the executor
+ladder (above ``vector``, below ``native`` — :mod:`repro.ir.cgen`
+compiles traces all the way to machine code via the system C compiler,
+and keeps this rung's program as its per-call fallback).
 
 :mod:`repro.ir.vectorizer` executes a traced kernel by *walking* the IR on
 every launch — re-dispatching on node types, re-building the memo table,

@@ -39,6 +39,7 @@ from ..core.preferences import EXECUTOR_MODES, resolve_executor_mode
 from . import nodes as N
 from .arena import ScratchArena
 from . import writes
+from .cgen import NativeDeclined, NativeKernel, try_lower_native
 from .codegen import CodegenError, CodegenProgram, lower_trace
 from .interpreter import interpret_for, interpret_reduce
 from .optimize import optimize_trace
@@ -70,7 +71,8 @@ class CompiledKernel:
     ndim:
         Launch-domain rank.
     mode:
-        ``"codegen"``, ``"codegen-specialized"``, ``"vector"``,
+        ``"native"``, ``"native-specialized"``, ``"codegen"``,
+        ``"codegen-specialized"``, ``"vector"``,
         ``"vector-specialized"`` or ``"interpreter"``.
     trace:
         The IR trace (``None`` in interpreter mode).
@@ -81,7 +83,12 @@ class CompiledKernel:
         Why the ladder descended, for diagnostics (``None`` for plain
         codegen/vector mode).
     codegen:
-        The generated straight-line NumPy program (codegen modes only).
+        The generated straight-line NumPy program (codegen and native
+        modes — native keeps it as the per-call fallback rung).
+    native:
+        The compiled C kernel (native modes only).  Every native kernel
+        also carries its codegen program: a call that fails the native
+        run-time pre-flight falls through to codegen silently.
     """
 
     fn: Callable
@@ -91,6 +98,7 @@ class CompiledKernel:
     stats: TraceStats
     fallback_reason: Optional[str] = None
     codegen: Optional[CodegenProgram] = None
+    native: Optional[NativeKernel] = None
 
     @property
     def is_reduction(self) -> bool:
@@ -110,6 +118,17 @@ class CompiledKernel:
         (ignored by the IR-walk and interpreter tiers); ``None`` uses the
         process-default arena.
         """
+        if self.native is not None:
+            try:
+                self.native.run_for(domain, args, arena)
+                return
+            except NativeDeclined as exc:
+                # Per-call ineligibility (aliasing, extent, dtype drift):
+                # record and fall through to the codegen program — the
+                # pre-flight ran before any side effect.
+                from .nativecache import record_decline
+
+                record_decline(exc.reason)
         if self.codegen is not None:
             self.codegen.run_for(domain, args, arena)
         elif self.trace is not None:
@@ -125,6 +144,13 @@ class CompiledKernel:
         arena: Optional[ScratchArena] = None,
     ) -> float:
         """Execute as a ``parallel_reduce`` body over ``domain``."""
+        if self.native is not None:
+            try:
+                return self.native.run_reduce(domain, args, op, arena)
+            except NativeDeclined as exc:
+                from .nativecache import record_decline
+
+                record_decline(exc.reason)
         if self.codegen is not None:
             return self.codegen.run_reduce(domain, args, op, arena)
         if self.trace is not None:
@@ -283,10 +309,14 @@ def clear_cache(cache: Optional[KernelCache] = None) -> None:
 def cache_info(cache: Optional[KernelCache] = None) -> dict:
     """Return cache statistics: size, hits, misses (locked snapshot),
     plus the process-wide launch-graph counters under ``"graph"``
-    (captures/replays/fused pairs — see :func:`repro.graph.graph_stats`)
-    and the verifier diagnostic counters under ``"verify"`` (totals and
+    (captures/replays/fused pairs — see :func:`repro.graph.graph_stats`),
+    the verifier diagnostic counters under ``"verify"`` (totals and
     per-rule counts — see
-    :data:`repro.ir.diagnostics.counters`).
+    :data:`repro.ir.diagnostics.counters`), and the native-executor
+    counters under ``"native"`` — ``{compiled, disk_hits, mem_hits,
+    declined: {reason: n}}`` — covering every decline class including
+    link/load-time failures (see
+    :func:`repro.ir.nativecache.native_stats`).
 
     Reports on the process-global cache by default; pass a
     context-scoped :class:`KernelCache` to inspect that one instead.
@@ -294,9 +324,11 @@ def cache_info(cache: Optional[KernelCache] = None) -> dict:
     info = (cache if cache is not None else _CACHE).stats()
     from ..graph import graph_stats
     from .diagnostics import counters
+    from .nativecache import native_stats
 
     info["graph"] = graph_stats()
     info["verify"] = counters.snapshot()
+    info["native"] = native_stats()
     return info
 
 
@@ -315,7 +347,8 @@ _executor_resolved: Optional[str] = None
 
 
 def executor_mode() -> str:
-    """The active executor strategy: ``codegen``/``vector``/``interpreter``.
+    """The active executor strategy:
+    ``native``/``codegen``/``vector``/``interpreter``.
 
     Resolved once from ``PYACC_EXECUTOR`` / the preferences file (see
     :func:`repro.core.preferences.resolve_executor_mode`) and cached —
@@ -364,8 +397,9 @@ def compile_kernel(
     selects the :class:`KernelCache` to consult — ``None`` (the default)
     uses the process-global cache; execution contexts may scope a private
     one (see :mod:`repro.core.context`).  ``executor`` pins the execution
-    strategy for this call (``codegen``/``vector``/``interpreter``);
-    ``None`` uses :func:`executor_mode`.
+    strategy for this call
+    (``native``/``codegen``/``vector``/``interpreter``); ``None`` uses
+    :func:`executor_mode`.
     """
     if cache is None:
         cache = _CACHE
@@ -455,10 +489,12 @@ def compile_kernel(
         )
 
     codegen: Optional[CodegenProgram] = None
-    if executor == "codegen" and trace is not None:
-        # Top rung: lower the optimized trace to straight-line NumPy
+    native: Optional[NativeKernel] = None
+    if executor in ("codegen", "native") and trace is not None:
+        # Codegen rung: lower the optimized trace to straight-line NumPy
         # source.  A lowering failure is not an error — the IR walk runs
-        # the same trace, just slower.
+        # the same trace, just slower.  The native executor lowers this
+        # rung too: it is the per-call fallback under the C kernel.
         try:
             codegen = lower_trace(trace, args)
             mode = "codegen" if mode == "vector" else "codegen-specialized"
@@ -467,6 +503,19 @@ def compile_kernel(
                 f"{reason}; codegen declined: {exc}"
                 if reason
                 else f"codegen declined: {exc}"
+            )
+    if executor == "native" and codegen is not None:
+        # Top rung: compile the trace to a C shared object.  Declines
+        # (unsupported op/dtype, missing compiler, compile failure) are
+        # recorded in the native counters and the kernel stays codegen.
+        native, nreason = try_lower_native(trace, args)
+        if native is not None:
+            mode = "native" if mode == "codegen" else "native-specialized"
+        else:
+            reason = (
+                f"{reason}; native declined: {nreason}"
+                if reason
+                else f"native declined: {nreason}"
             )
 
     ck = CompiledKernel(
@@ -477,9 +526,14 @@ def compile_kernel(
         stats=_analyze_or_placeholder(trace),
         fallback_reason=reason,
         codegen=codegen,
+        native=native,
     )
 
-    specialized = mode in ("vector-specialized", "codegen-specialized")
+    specialized = mode in (
+        "vector-specialized",
+        "codegen-specialized",
+        "native-specialized",
+    )
     if trace is not None and not specialized and not trace.shape_dependent:
         cache.store(base_key, ck)
     elif trace is not None and not specialized:

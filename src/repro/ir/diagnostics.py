@@ -124,6 +124,13 @@ RULES: dict[str, tuple[str, str]] = {
         "rewrite is not independently provable from the memory-effects "
         "summaries alone",
     ),
+    "V701": (
+        "info",
+        "silent native decline: the kernel is codegen-eligible but the "
+        "native C rung declined it (unsupported op/dtype or missing "
+        "compiler), so PYACC_EXECUTOR=native silently runs it one rung "
+        "down",
+    ),
     "V901": (
         "info",
         "kernel not analyzable: no IR trace (interpreter tier) or no "
@@ -206,6 +213,11 @@ RULE_EXAMPLES: dict[str, str] = {
         "# a pass claims 'fuse(a, b)' but the effects summaries show\n"
         "# a hopped-over node writes an array b reads — the rewrite\n"
         "# is declined and the program degrades to unfused replay"
+    ),
+    "V701": (
+        "def k(i, x):\n"
+        "    x[i] = x[i] ** 2  # pow has no bit-exact C equivalent:\n"
+        "                      # native declines (op:pow), codegen runs"
     ),
     "V901": (
         "def k(i, x):\n"

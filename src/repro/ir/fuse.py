@@ -122,9 +122,9 @@ def fuse_decline_reason(a: LaunchPlan, b: LaunchPlan) -> Optional[str]:
     ka, kb = a.kernel, b.kernel
     if ka is None or kb is None:
         return "no-kernel"
-    if not (ka.mode.startswith("codegen") or ka.mode == "codegen-fused"):
+    if not ka.mode.startswith(("codegen", "native")):
         return "tier"
-    if not (kb.mode.startswith("codegen") or kb.mode == "codegen-fused"):
+    if not kb.mode.startswith(("codegen", "native")):
         return "tier"
     if ka.trace is None or kb.trace is None or ka.codegen is None:
         return "no-trace"
@@ -295,20 +295,33 @@ def fuse_plans(
     except CodegenError:
         return None
 
+    # Fused kernels inherit the native rung when both inputs held it:
+    # the merged trace gets its own C translation unit (the cross-launch
+    # fusion win compounds with the compiled-loop win).  A decline keeps
+    # the fused codegen program — same ladder as single kernels.
+    native = None
+    if a.kernel.mode.startswith("native") and b.kernel.mode.startswith(
+        "native"
+    ):
+        from .cgen import try_lower_native
+
+        native, _ = try_lower_native(merged, fused_resolved)
+
     name_a = getattr(a.fn, "__name__", "kernel")
     name_b = getattr(b.fn, "__name__", "kernel")
     fused_name = (
         f"{name_a}+{name_b}"
-        if a.kernel.mode == "codegen-fused"
+        if a.kernel.mode in ("codegen-fused", "native-fused")
         else f"fused({name_a}+{name_b})"
     )
     kernel = CompiledKernel(
         fn=_make_fused_fn(fused_name),
         ndim=merged.ndim,
-        mode="codegen-fused",
+        mode="native-fused" if native is not None else "codegen-fused",
         trace=merged,
         stats=analyze(merged),
         codegen=program,
+        native=native,
     )
     fused = LaunchPlan(
         construct=b.construct,

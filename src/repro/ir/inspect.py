@@ -27,6 +27,11 @@ pass pipeline optimizes, see :mod:`repro.ir.program`)::
 
 captures a CG-style iteration body, prints its dataflow graph before
 any pass runs, then the optimized program with the per-pass trail.
+
+``python -m repro.ir.inspect --native`` compiles the CG matvec and LBM
+collide kernels under the native executor and prints the generated C
+translation unit side by side with the codegen tier's NumPy source —
+the two artifacts the differential suite holds bit-identical.
 """
 
 from __future__ import annotations
@@ -48,8 +53,9 @@ class KernelReport:
 
     name: str
     ndim: int
-    #: "codegen" | "codegen-specialized" | "vector" |
-    #: "vector-specialized" | "interpreter"
+    #: "native" | "native-specialized" | "codegen" |
+    #: "codegen-specialized" | "vector" | "vector-specialized" |
+    #: "interpreter"
     mode: str
     n_paths: int
     stats: TraceStats
@@ -61,6 +67,8 @@ class KernelReport:
     diagnostics: tuple = ()
     #: Generated Python/NumPy source ("" unless the codegen tier was hit).
     source: str = ""
+    #: Generated C source ("" unless the native tier was hit).
+    native_source: str = ""
 
     def explain(self) -> str:
         """Human-readable multi-line summary."""
@@ -74,7 +82,9 @@ class KernelReport:
                 "and int()/float() on traced values prevent tracing"
             )
             return "\n".join(lines)
-        if self.mode.startswith("codegen"):
+        if self.mode.startswith("native"):
+            tier = "compiled C loop (native)"
+        elif self.mode.startswith("codegen"):
             tier = "generated NumPy program"
         else:
             tier = "vectorized trace"
@@ -100,6 +110,11 @@ class KernelReport:
         if self.source:
             lines.append("  generated source:")
             lines += [f"    {line}" for line in self.source.splitlines()]
+        if self.native_source:
+            lines.append("  generated C (native rung):")
+            lines += [
+                f"    {line}" for line in self.native_source.splitlines()
+            ]
         return "\n".join(lines)
 
 
@@ -175,6 +190,7 @@ def inspect_kernel(
         kernel_class=kernel_class,
         diagnostics=diagnostics,
         source=ck.codegen.source if ck.codegen is not None else "",
+        native_source=ck.native.source if ck.native is not None else "",
     )
 
 
@@ -308,6 +324,61 @@ def _demo_program_describe(
         repro.set_backend("serial")
 
 
+def _demo_native_describe() -> str:
+    """Compile the CG matvec and LBM collide kernels on the native rung
+    and dump the generated C next to the codegen NumPy source."""
+    import numpy as np
+
+    from ..apps import cg, lbm
+    from .compile import compile_kernel
+
+    out = []
+    n = 64
+    rng = np.random.default_rng(0)
+    probes = [
+        (
+            "cg.matvec_tridiag_kernel",
+            cg.matvec_tridiag_kernel,
+            1,
+            (
+                rng.random(n),
+                rng.random(n),
+                rng.random(n),
+                rng.random(n),
+                np.zeros(n),
+                n,
+            ),
+        ),
+        (
+            "lbm.lbm_kernel",
+            lbm.lbm_kernel,
+            2,
+            (
+                np.zeros(9 * n * n),
+                rng.random(9 * n * n) + 0.5,
+                np.zeros(9 * n * n),
+                0.6,
+                lbm.WEIGHTS,
+                lbm.CX,
+                lbm.CY,
+                n,
+            ),
+        ),
+    ]
+    for name, fn, ndim, args in probes:
+        ck = compile_kernel(fn, ndim, args, executor="native")
+        out.append(f"=== {name} (mode: {ck.mode}) ===")
+        if ck.fallback_reason:
+            out.append(f"  fallback trail: {ck.fallback_reason}")
+        out.append("")
+        out.append("--- codegen tier: generated NumPy source ---")
+        out.append(ck.codegen.source if ck.codegen is not None else "(none)")
+        out.append("--- native tier: generated C translation unit ---")
+        out.append(ck.native.source if ck.native is not None else "(declined)")
+        out.append("")
+    return "\n".join(out)
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -325,6 +396,13 @@ def main(argv=None) -> int:
         "before and after the pass pipeline",
     )
     parser.add_argument(
+        "--native",
+        action="store_true",
+        help="compile the CG matvec and LBM collide kernels on the "
+        "native executor and dump the generated C next to the codegen "
+        "NumPy source",
+    )
+    parser.add_argument(
         "--passes",
         default="all",
         metavar="MODE",
@@ -338,9 +416,12 @@ def main(argv=None) -> int:
         "validation demo to show the validator rejecting it (V610)",
     )
     ns = parser.parse_args(argv)
+    if ns.native:
+        print(_demo_native_describe())
+        return 0
     if not ns.program:
         parser.error(
-            "nothing to do: pass --program "
+            "nothing to do: pass --program or --native "
             "(kernel-level inspection is the repro.inspect_kernel API)"
         )
     print("=== dataflow program (before passes) ===")

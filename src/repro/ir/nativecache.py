@@ -1,0 +1,288 @@
+"""Native-executor compiler driver and content-addressed artifact cache.
+
+The native rung (:mod:`repro.ir.cgen`) lowers a verified trace to one C
+translation unit.  This module owns everything after that point:
+
+* resolving the system C compiler (``PYACC_CC``, default ``cc``; the
+  resolution is memoized per environment value so a missing compiler is
+  probed exactly once per process),
+* a **content-addressed on-disk artifact cache** keyed by
+  ``sha256(source ‖ compiler id)`` — the C source already embeds the
+  dtype signature (every array access is emitted with its concrete C
+  element type), so the hash covers *source × dtype signature × compiler
+  id*.  Artifacts live under ``PYACC_NATIVE_CACHE`` (default
+  ``~/.cache/pyacc/native``) as ``<hash>.c`` / ``<hash>.so`` pairs; a
+  warm process therefore performs **zero** compiler invocations
+  (``cache_info()["native"]["disk_hits"]`` counts the loads that proved
+  it),
+* loading shared objects through stdlib :mod:`ctypes` (no dependencies
+  added), with corrupted/stale artifacts unlinked and recompiled once
+  before declining,
+* the locked counter block surfaced as ``cache_info()["native"]`` —
+  ``{compiled, disk_hits, mem_hits, declined: {reason: n}}``.  Declines
+  cover the whole taxonomy: trace-time (``op:<name>``, ``dtype:<str>``),
+  compile-time (``cc-missing``, ``compile-failed``), *link/load*-time
+  (``load-failed`` — the slot the old accounting had no room for), and
+  run-time pre-flight (``non-contiguous``, ``extent``, ``alias``,
+  ``scalar-overflow``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "CC_ENV",
+    "CACHE_ENV",
+    "NativeCompileError",
+    "cache_dir",
+    "resolve_cc",
+    "compile_source",
+    "record_decline",
+    "native_stats",
+    "reset_state",
+]
+
+CC_ENV = "PYACC_CC"
+CACHE_ENV = "PYACC_NATIVE_CACHE"
+
+#: Flags chosen for bit-exactness, not speed records: ``-ffp-contract=off``
+#: forbids FMA contraction (NumPy's ufunc loops don't fuse), ``-fwrapv``
+#: gives NumPy's two's-complement wrap on signed overflow.
+CFLAGS = ("-O2", "-fPIC", "-shared", "-fwrapv", "-ffp-contract=off")
+
+
+class NativeCompileError(Exception):
+    """Compilation/loading declined; the caller falls back to codegen."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(detail or reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Counters (mirrors repro.ir.diagnostics.DiagnosticCounters)
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_STATS = {"compiled": 0, "disk_hits": 0, "mem_hits": 0}
+_DECLINED: dict[str, int] = {}
+
+#: In-memory handle cache: source hash -> ctypes function pointer.  Kept
+#: separate from the on-disk artifacts so tests can drop only the memory
+#: map and assert the second compile is a pure ``disk_hits`` load.
+_MEM: dict[str, ctypes.CDLL] = {}
+
+#: Memoized compiler resolution per PYACC_CC value (None = unset).
+_CC_RESOLVED: dict[Optional[str], Optional[str]] = {}
+
+
+def _bump(key: str) -> None:
+    with _LOCK:
+        _STATS[key] += 1
+
+
+def record_decline(reason: str) -> None:
+    """Count one native decline under ``reason`` (taxonomy in module doc)."""
+    with _LOCK:
+        _DECLINED[reason] = _DECLINED.get(reason, 0) + 1
+
+
+def native_stats() -> dict:
+    """Locked snapshot: ``{compiled, disk_hits, mem_hits, declined}``."""
+    with _LOCK:
+        out = dict(_STATS)
+        out["declined"] = dict(_DECLINED)
+        return out
+
+
+def reset_state(*, drop_memory: bool = True, drop_counters: bool = True) -> None:
+    """Test hook: forget loaded handles and/or zero the counters.
+
+    ``drop_memory=True`` empties the in-memory handle map (the next
+    compile of the same source re-loads from disk, counting a
+    ``disk_hits``); the on-disk artifacts are never touched here.
+    Also drops the memoized compiler resolution so a changed
+    ``PYACC_CC`` is re-probed.
+    """
+    with _LOCK:
+        if drop_memory:
+            _MEM.clear()
+        _CC_RESOLVED.clear()
+        if drop_counters:
+            for k in _STATS:
+                _STATS[k] = 0
+            _DECLINED.clear()
+
+
+# ---------------------------------------------------------------------------
+# Compiler + cache-location resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_cc() -> Optional[str]:
+    """Absolute path of the C compiler, or ``None`` when unavailable.
+
+    ``PYACC_CC`` overrides the default ``cc``; the lookup result is
+    memoized per env value, so a compiler-less host pays one ``which``
+    probe per process, not one per kernel.
+    """
+    env = os.environ.get(CC_ENV)
+    with _LOCK:
+        if env in _CC_RESOLVED:
+            return _CC_RESOLVED[env]
+    cand = env or "cc"
+    path = shutil.which(cand)
+    if path is None and os.path.sep in cand and os.access(cand, os.X_OK):
+        path = cand  # explicit path not on PATH
+    with _LOCK:
+        _CC_RESOLVED[env] = path
+    return path
+
+
+def cache_dir() -> Path:
+    """Artifact directory (``PYACC_NATIVE_CACHE`` or the user cache)."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "pyacc" / "native"
+
+
+def _compiler_id(cc: str) -> str:
+    """A stable identity for the compiler binary (part of the cache key:
+    a toolchain upgrade must miss, never load stale codegen)."""
+    try:
+        st = os.stat(cc)
+        return f"{cc}:{st.st_size}:{int(st.st_mtime)}"
+    except OSError:
+        return cc
+
+
+def source_key(source: str, cc: str) -> str:
+    """Content-addressed artifact key: sha256(source ‖ compiler id).
+
+    The dtype signature is part of ``source`` by construction — every
+    array/scalar access in the generated C names its concrete element
+    type — so distinct dtype specializations hash to distinct artifacts.
+    """
+    h = hashlib.sha256()
+    h.update(source.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(_compiler_id(cc).encode("utf-8"))
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Compile / load
+# ---------------------------------------------------------------------------
+
+
+def _load(so_path: Path) -> ctypes.CDLL:
+    lib = ctypes.CDLL(str(so_path))
+    fn = lib.pyacc_kernel  # raises AttributeError if the artifact is junk
+    fn.restype = None
+    return lib
+
+
+def _invoke_cc(cc: str, c_path: Path, so_path: Path) -> None:
+    cmd = [cc, *CFLAGS, str(c_path), "-o", str(so_path), "-lm"]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise NativeCompileError("compile-failed", str(exc)) from exc
+    if proc.returncode != 0:
+        raise NativeCompileError(
+            "compile-failed",
+            f"{cc} exited {proc.returncode}: {proc.stderr[-2000:]}",
+        )
+
+
+def _compile_to_disk(cc: str, source: str, key: str, cdir: Path) -> Path:
+    """Compile ``source`` into the artifact cache, atomically.
+
+    The ``.c`` and ``.so`` are written to temp names in the cache
+    directory and ``os.replace``d into place, so concurrent processes
+    racing on the same key both end with a complete artifact.
+    """
+    cdir.mkdir(parents=True, exist_ok=True)
+    so_path = cdir / f"{key}.so"
+    c_path = cdir / f"{key}.c"
+    fd, tmp_c = tempfile.mkstemp(suffix=".c", dir=cdir)
+    with os.fdopen(fd, "w") as fh:
+        fh.write(source)
+    tmp_so = tmp_c[:-2] + ".so"
+    try:
+        _invoke_cc(cc, Path(tmp_c), Path(tmp_so))
+        os.replace(tmp_c, c_path)
+        os.replace(tmp_so, so_path)
+    finally:
+        for leftover in (tmp_c, tmp_so):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    _bump("compiled")
+    return so_path
+
+
+def compile_source(source: str):
+    """Source → loaded ``pyacc_kernel`` ctypes function.
+
+    Ladder: in-memory handle (``mem_hits``) → on-disk artifact
+    (``disk_hits``) → compiler invocation (``compiled``).  A corrupted
+    or stale on-disk artifact is unlinked and recompiled once; if the
+    rebuilt artifact still fails to load, raises
+    :class:`NativeCompileError` with reason ``"load-failed"`` (the
+    link/load-time decline slot).  Raises with ``"cc-missing"`` when no
+    compiler resolves *and* no cached artifact exists.
+    """
+    cc = resolve_cc()
+    cdir = cache_dir()
+    if cc is None:
+        raise NativeCompileError(
+            "cc-missing", f"no C compiler (set ${CC_ENV} or install cc)"
+        )
+    key = source_key(source, cc)
+    with _LOCK:
+        lib = _MEM.get(key)
+    if lib is not None:
+        _bump("mem_hits")
+        return lib.pyacc_kernel
+    so_path = cdir / f"{key}.so"
+    if so_path.exists():
+        try:
+            lib = _load(so_path)
+            _bump("disk_hits")
+            with _LOCK:
+                _MEM[key] = lib
+            return lib.pyacc_kernel
+        except (OSError, AttributeError):
+            # Corrupted/stale artifact: drop it and fall through to a
+            # fresh compile (counted once, below).
+            try:
+                os.unlink(so_path)
+            except OSError:
+                pass
+    try:
+        so_path = _compile_to_disk(cc, source, key, cdir)
+    except NativeCompileError:
+        raise
+    except OSError as exc:  # unwritable cache dir etc.
+        raise NativeCompileError("compile-failed", str(exc)) from exc
+    try:
+        lib = _load(so_path)
+    except (OSError, AttributeError) as exc:
+        raise NativeCompileError("load-failed", str(exc)) from exc
+    with _LOCK:
+        _MEM[key] = lib
+    return lib.pyacc_kernel

@@ -437,14 +437,24 @@ def _drop_stores(pn: ProgramNode, sid: int) -> Optional[str]:
     except CodegenError:
         pn.saved = None  # nothing was mutated; drop the snapshot
         return "lowering"
+    # The native rung was compiled from the *old* trace; re-lower it
+    # from the rewritten one (or drop to codegen on decline) — carrying
+    # the stale compiled loop would replay the eliminated stores.
+    native = None
+    if kernel.native is not None:
+        from .cgen import try_lower_native
+
+        native, _ = try_lower_native(new_trace, plan.resolved_args)
+    mode = kernel.mode
+    if kernel.native is not None and native is None:
+        mode = mode.replace("native", "codegen", 1)
     plan.kernel = dataclasses.replace(
         kernel,
         trace=new_trace,
         stats=analyze(new_trace),
         codegen=program,
-        mode=kernel.mode
-        if kernel.mode.endswith("-dse")
-        else kernel.mode + "-dse",
+        native=native,
+        mode=mode if mode.endswith("-dse") else mode + "-dse",
     )
     plan.written_ids = None
     plan.read_ids = None

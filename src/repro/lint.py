@@ -355,7 +355,46 @@ def lint_kernel(name: str, fn, rank: int, arg_params: list) -> list[Diagnostic]:
             kernel=name,
         )
         diags.extend(d for d in found if d.rule not in suppressed)
+        diags.extend(
+            d
+            for d in _native_decline_probe(name, trace, spec["args"])
+            if d.rule not in suppressed
+        )
     return diags
+
+
+def _native_decline_probe(name: str, trace, args: list) -> list[Diagnostic]:
+    """Informational V701: the kernel is codegen-eligible but the native
+    C rung would decline it (so ``PYACC_EXECUTOR=native`` silently runs
+    one rung down).  Purely static — lowers to source on both rungs
+    without invoking any compiler, so the probe is deterministic on
+    compiler-less CI hosts too.
+    """
+    from .ir.cgen import NativeLoweringError, _NativeLowering
+    from .ir.codegen import CodegenError, lower_trace
+
+    try:
+        lower_trace(trace, args)
+    except CodegenError:
+        return []  # not codegen-eligible: nothing is silently lost
+    try:
+        _NativeLowering(trace, args).lower()
+    except NativeLoweringError as exc:
+        return [
+            Diagnostic(
+                rule="V701",
+                severity=rule_severity("V701"),
+                kernel=name,
+                message=(
+                    "codegen-eligible kernel declines the native C rung "
+                    f"({exc.reason}); under PYACC_EXECUTOR=native it "
+                    "silently runs on the codegen tier"
+                ),
+            )
+        ]
+    except Exception:  # noqa: BLE001 - probe must never crash the lint run
+        return []
+    return []
 
 
 def lint_paths(paths: Sequence[str]) -> dict:

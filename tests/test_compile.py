@@ -25,7 +25,9 @@ def dot(i, x, y):
 
 class TestLadder:
     def test_plain_kernel_compiles_to_codegen(self):
-        ck = compile_kernel(axpy, 1, [2.0, np.ones(4), np.ones(4)])
+        ck = compile_kernel(
+            axpy, 1, [2.0, np.ones(4), np.ones(4)], executor="codegen"
+        )
         assert ck.mode == "codegen"
         assert ck.trace is not None
         assert ck.codegen is not None
@@ -57,7 +59,7 @@ class TestLadder:
                 s += x[i]
             x[i] = s
 
-        ck = compile_kernel(k, 1, [np.ones(4), 3])
+        ck = compile_kernel(k, 1, [np.ones(4), 3], executor="codegen")
         assert ck.mode == "codegen-specialized"
         assert ck.trace.const_args == {1: 3}
         assert ck.fallback_reason is not None
@@ -100,9 +102,11 @@ class TestLadder:
 class TestCacheKeys:
     def test_same_types_hit_cache(self):
         a = [2.0, np.ones(8), np.ones(8)]
-        compile_kernel(axpy, 1, a)
+        compile_kernel(axpy, 1, a, executor="codegen")
         before = cache_info()
-        ck2 = compile_kernel(axpy, 1, [3.0, np.zeros(100), np.zeros(100)])
+        ck2 = compile_kernel(
+            axpy, 1, [3.0, np.zeros(100), np.zeros(100)], executor="codegen"
+        )
         after = cache_info()
         assert after["hits"] == before["hits"] + 1
         assert ck2.mode == "codegen"

@@ -24,7 +24,12 @@ from repro.core import current_context, parallel_for, parallel_reduce
 from repro.core.exceptions import GraphError
 from repro.faults import FaultPlan, InjectedFault, LaunchPolicy
 from repro.graph import GraphRegion, ScalarSlot, graph_stats, reset_graph_stats
-from repro.ir.compile import cache_info, clear_cache
+from repro.ir.compile import (
+    cache_info,
+    clear_cache,
+    set_executor_mode,
+)
+from repro.ir.nativecache import resolve_cc
 
 FAST = LaunchPolicy(max_retries=3, backoff_base=0.0)
 
@@ -42,6 +47,7 @@ def fresh():
     repro.set_launch_policy(None)
     repro.set_graph_mode(None)
     repro.set_backend("serial")
+    set_executor_mode(None)
     clear_cache()
 
 
@@ -416,6 +422,60 @@ class TestFaultParity:
         assert "retry" in {a for _, _, a in ev_on}
         assert res_off.final_residual == res_on.final_residual
         assert np.array_equal(res_off.x, res_on.x)
+
+
+class TestNativeExecutorParity:
+    """Graph capture/replay under ``PYACC_EXECUTOR=native``-equivalent
+    selection: replays run the compiled C loops, bits stay identical to
+    the codegen executor, and the capture machinery still counts."""
+
+    @pytest.mark.skipif(
+        resolve_cc() is None, reason="no C compiler on host"
+    )
+    @pytest.mark.parametrize(
+        "runner", [_run_cg, _run_lbm], ids=["cg", "lbm"]
+    )
+    def test_native_replay_bit_identical_to_codegen(self, runner):
+        repro.set_backend("serial")
+        repro.set_graph_mode("on")
+        set_executor_mode("codegen")
+        ref = runner()
+        set_executor_mode("native")
+        clear_cache()
+        base = graph_stats()
+        out = runner()
+        stats = graph_stats()
+        set_executor_mode(None)
+        assert stats["captures"] > base["captures"]
+        assert stats["replays"] > base["replays"]
+        for a, b in zip(ref, out):
+            if isinstance(a, np.ndarray):
+                assert np.array_equal(a, b)
+            else:
+                assert a == b
+
+    @pytest.mark.skipif(
+        resolve_cc() is None, reason="no C compiler on host"
+    )
+    def test_native_kernels_are_not_hoisted(self):
+        # the hoist pass exists to amortize Python dispatch; a native
+        # kernel's replay main IS the C loop, so it must stay un-hoisted
+        set_executor_mode("native")
+        try:
+            repro.set_backend("serial")
+            region = GraphRegion("t.native")
+            x, y = repro.array(np.zeros(64)), repro.array(np.ones(64))
+
+            def body(alpha):
+                parallel_for(64, axpy, alpha, x, y)
+
+            key = (id(x), id(y))
+            region.run(key, body, alpha=1.0)
+            region.run(key, body, alpha=2.0)
+            assert region.stats()["replays"] == 1
+            np.testing.assert_array_equal(repro.to_host(x), np.full(64, 3.0))
+        finally:
+            set_executor_mode(None)
 
 
 # ---------------------------------------------------------------------------

@@ -7,14 +7,19 @@ import pytest
 
 import repro
 from repro.ir import inspect as inspect_mod
-from repro.ir.compile import clear_cache
+from repro.ir.compile import clear_cache, set_executor_mode
 from repro.ir.inspect import inspect_kernel
 
 
 @pytest.fixture(autouse=True)
 def fresh():
+    # These tests assert codegen-rung report contents; pin the executor
+    # so a PYACC_EXECUTOR=native run (the native CI leg) doesn't shift
+    # every kernel one rung up.
     clear_cache()
+    set_executor_mode("codegen")
     yield
+    set_executor_mode(None)
     clear_cache()
 
 

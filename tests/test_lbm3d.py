@@ -111,7 +111,7 @@ class TestSimulation:
         f = np.ones(19 * n**3)
         args = [f.copy(), f.copy(), f.copy(), 0.8,
                 WEIGHTS3D, CX3D, CY3D, CZ3D, n]
-        ck = compile_kernel(lbm3d_kernel, 3, args)
+        ck = compile_kernel(lbm3d_kernel, 3, args, executor="codegen")
         assert ck.mode == "codegen"
         assert ck.stats.loads > 19  # the heaviest kernel in the repo
         from repro.perfmodel import classify

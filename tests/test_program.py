@@ -25,8 +25,14 @@ from repro.apps.lbm3d import LBM3D
 from repro.core import current_context, parallel_for, parallel_reduce
 from repro.core.exceptions import PreferencesError
 from repro.graph import enabled_passes, graph_stats, reset_graph_stats
-from repro.ir.compile import cache_info, clear_cache, compile_kernel
+from repro.ir.compile import (
+    cache_info,
+    clear_cache,
+    compile_kernel,
+    set_executor_mode,
+)
 from repro.ir.deadstore import trace_dead_stores
+from repro.ir.nativecache import resolve_cc
 from repro.ir.verify import verify_kernel
 from repro.perfmodel import PerfModel, choose_workers, get_profile
 
@@ -43,6 +49,7 @@ def fresh():
     repro.set_passes_mode(None)
     repro.set_graph_mode(None)
     repro.set_backend("serial")
+    set_executor_mode(None)
     clear_cache()
 
 
@@ -535,4 +542,56 @@ class TestDifferential:
         off = _with_mode(backend, "none", run)
         on = _with_mode(backend, "all", run)
         for a, b in zip(off, on):
+            assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Native executor × pass pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestNativeExecutorDifferential:
+    """The pass pipeline (fusion, DSE, sinking, scheduling) composes
+    with the native rung: passes-on under the native executor is
+    bit-identical to passes-on under codegen — including DSE's
+    re-lowering of the store-pruned trace."""
+
+    @pytest.mark.skipif(
+        resolve_cc() is None, reason="no C compiler on host"
+    )
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_cg_native_matches_codegen_with_passes(self, backend):
+        lower, diag, upper, b = tridiagonal_system(300)
+
+        def run():
+            return cg_solve(lower, diag, upper, b, tol=1e-8)
+
+        set_executor_mode("codegen")
+        ref = _with_mode(backend, "all", run)
+        set_executor_mode("native")
+        out = _with_mode(backend, "all", run)
+        set_executor_mode(None)
+        assert np.array_equal(ref.x, out.x)
+        assert ref.iterations == out.iterations
+        assert ref.residual_norms == out.residual_norms
+
+    @pytest.mark.skipif(
+        resolve_cc() is None, reason="no C compiler on host"
+    )
+    def test_lbm_native_matches_codegen_with_passes(self):
+        def run():
+            sim = LBM(10, tau=0.8, lid_velocity=0.05)
+            sim.step(4)
+            return (
+                repro.to_host(sim.df1).copy(),
+                repro.to_host(sim.df2).copy(),
+                repro.to_host(sim.df).copy(),
+            )
+
+        set_executor_mode("codegen")
+        ref = _with_mode("serial", "all", run)
+        set_executor_mode("native")
+        out = _with_mode("serial", "all", run)
+        set_executor_mode(None)
+        for a, b in zip(ref, out):
             assert np.array_equal(a, b)
