@@ -50,6 +50,7 @@ from .core.exceptions import (
     PermanentDeviceError,
     TransientDeviceError,
     TranslationValidationError,
+    WorkerLostError,
 )
 from .faults import (
     FaultPlan,
@@ -94,6 +95,22 @@ from .ir import (
 )
 from . import math
 
+
+def cluster_stats() -> dict:
+    """Process-wide cluster-backend counters (lazy import — the cluster
+    backend module, like every backend, loads only when used)."""
+    from .backends.cluster import cluster_stats as _stats
+
+    return _stats()
+
+
+def reset_cluster_stats() -> None:
+    """Zero the cluster-backend counters (tests / bench isolation)."""
+    from .backends.cluster import reset_cluster_stats as _reset
+
+    _reset()
+
+
 __version__ = "1.1.0"
 
 __all__ = [
@@ -121,11 +138,13 @@ __all__ = [
     "SolverCheckpoint",
     "TransientDeviceError",
     "TranslationValidationError",
+    "WorkerLostError",
     "active_backend",
     "array",
     "available_backends",
     "cache_info",
     "clear_cache",
+    "cluster_stats",
     "current_context",
     "executor_mode",
     "global_fault_stats",
@@ -149,6 +168,7 @@ __all__ = [
     "parallel_reduce",
     "register_backend",
     "reset_backend",
+    "reset_cluster_stats",
     "set_backend",
     "set_verify_mode",
     "suppress",

@@ -19,6 +19,9 @@ Built-in names
 ``multi-sim``  future-work extension: 2 simulated A100s (paper §VII)
 ``hetero-sim`` future-work extension: mixed A100 + MI100 node with
                bandwidth-weighted work partitioning (paper §VII)
+``cluster``    sharded multi-process backend: worker processes over
+               shared-memory segments with halo exchange, worker
+               supervision and elastic recovery
 ========== =====================================================
 
 Third-party backends register with :func:`register_backend`.
@@ -133,6 +136,12 @@ def _make_hetero() -> Backend:
     return MultiDeviceBackend.heterogeneous(["a100", "mi100"], name="hetero-sim")
 
 
+def _make_cluster() -> Backend:
+    from .cluster import ClusterBackend
+
+    return ClusterBackend()
+
+
 register_backend("threads", _make_threads)
 register_backend("serial", _make_serial)
 register_backend("interp", _make_interp)
@@ -141,3 +150,4 @@ register_backend("rocm-sim", _make_gpusim("mi100", "rocm-sim"))
 register_backend("oneapi-sim", _make_gpusim("max1550", "oneapi-sim"))
 register_backend("multi-sim", _make_multi)
 register_backend("hetero-sim", _make_hetero)
+register_backend("cluster", _make_cluster)

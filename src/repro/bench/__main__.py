@@ -160,6 +160,11 @@ def main(argv=None) -> int:
         from ..graph import graph_stats
 
         doc["graph"] = graph_stats()
+        # Cluster-backend shard/halo/recovery counters (zero unless the
+        # run sharded launches across worker processes).
+        from ..backends.cluster import cluster_stats
+
+        doc["cluster"] = cluster_stats()
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
         print(f"wrote {args.json}")

@@ -201,6 +201,19 @@ class PermanentDeviceError(DeviceError):
         )
 
 
+class WorkerLostError(PermanentDeviceError):
+    """A cluster worker process died or stopped responding.
+
+    Losing a process is the cluster backend's permanent-failure shape:
+    the supervisor removes the worker from the dispatch set, attempts a
+    budgeted respawn, and rebalances the unprocessed shard rows over the
+    survivors — the same failover motion
+    :class:`~repro.backends.multidevice.MultiDeviceBackend` performs for
+    a lost device.  Subclasses :class:`PermanentDeviceError` so the
+    dispatch ladder and retry policy classify it without new plumbing.
+    """
+
+
 class LaunchTimeoutError(PyACCError):
     """An asynchronous launch exceeded its policy's wall-clock watchdog.
 

@@ -53,12 +53,19 @@ class LaunchSchedule:
     * ``inline`` — run in the calling thread instead of a worker pool
       (the threads backend's small-domain / interpreter-fallback path);
     * ``launch_config`` — the GPU thread/block shape derived from the
-      paper's Figs. 6-7 formulas, when the backend owns a device.
+      paper's Figs. 6-7 formulas, when the backend owns a device;
+    * ``halo`` — the cluster backend's exchange schedule
+      (:class:`repro.backends.cluster.HaloSchedule`): which boundary
+      rows each shard reads from rows it does not own, derived from the
+      plan's memory-effects summary.  Computed once at schedule time and
+      replayed with the plan (graph replays rebind scalars only);
+      ``None`` for unsharded schedules and every other backend.
     """
 
     domains: tuple[IndexDomain, ...]
     inline: bool = True
     launch_config: Optional[LaunchConfig] = None
+    halo: Optional[Any] = None
 
     @property
     def n_chunks(self) -> int:

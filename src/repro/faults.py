@@ -20,7 +20,11 @@ Injection side — :class:`FaultPlan`
     - ``gpusim.fold`` — the second (fold) reduction kernel;
     - ``threads.chunk`` — one worker chunk of the threads backend;
     - ``multidevice.chunk`` — one device's chunk of a multi-device plan;
-    - ``arena.frame`` — scratch-buffer frame open (allocation failure).
+    - ``arena.frame`` — scratch-buffer frame open (allocation failure);
+    - ``cluster.spawn`` — forking one cluster worker process;
+    - ``cluster.shard`` — dispatching one shard to a cluster worker;
+    - ``cluster.halo`` — one halo-exchange slab of a sharded stencil;
+    - ``cluster.reduce`` — one combine of the cross-worker fold tree.
 
     Schedules are **deterministic**: whether probe ``k`` at a site faults
     is a pure function of ``(seed, site, k)`` (a stable blake2b hash, not
@@ -29,6 +33,14 @@ Injection side — :class:`FaultPlan`
     ``PYACC_FAULTS`` environment variable, or the ``faults`` preferences
     key — env > prefs > default (no injection), matching the verifier's
     precedence style.
+
+    Beyond raised errors, a plan can schedule **hard worker kills**
+    (``kind="kill"`` entries, spec key ``kill=``): when the cluster
+    backend dispatches the shard whose ordinal matches, it sends the
+    target worker process ``SIGKILL`` — a real dead process, not a
+    simulated exception — and the supervision/rebalance machinery must
+    recover.  Kill entries are consumed once, via
+    :meth:`FaultPlan.take_kill`; ``check`` never raises for them.
 
 Policy side — :class:`LaunchPolicy`
     Attached to every :class:`~repro.core.plan.LaunchPlan` at resolve
@@ -97,6 +109,10 @@ FAULT_SITES = (
     "threads.chunk",
     "multidevice.chunk",
     "arena.frame",
+    "cluster.spawn",
+    "cluster.shard",
+    "cluster.halo",
+    "cluster.reduce",
 )
 
 
@@ -113,11 +129,12 @@ class FaultEvent:
     raised), ``"retry"`` (a transient is being retried), ``"exhausted"``
     (retry budget spent, original error re-raised), ``"failover"`` (work
     moved off a failed device/backend), ``"watchdog"`` (an async handle
-    timed out), ``"restore"`` (a solver rolled back to a checkpoint).
+    timed out), ``"restore"`` (a solver rolled back to a checkpoint),
+    ``"kill"`` (a cluster worker process was SIGKILLed by schedule).
     """
 
     site: str
-    kind: str  # "transient" | "permanent" | "timeout" | "checkpoint"
+    kind: str  # "transient" | "permanent" | "timeout" | "checkpoint" | "kill"
     action: str
     attempt: int = 0
     device_id: Optional[str] = None
@@ -135,6 +152,7 @@ class _FaultCounters:
         "retries",
         "retry_exhausted",
         "failovers",
+        "kills",
         "watchdog_timeouts",
         "checkpoint_saves",
         "checkpoint_restores",
@@ -188,6 +206,8 @@ def record_event(event: FaultEvent, plan: Optional["LaunchPlan"] = None) -> None
         _COUNTERS.bump("retry_exhausted")
     elif event.action == "failover":
         _COUNTERS.bump("failovers")
+    elif event.action == "kill":
+        _COUNTERS.bump("kills")
     elif event.action == "watchdog":
         _COUNTERS.bump("watchdog_timeouts")
     elif event.action == "restore":
@@ -210,11 +230,17 @@ class InjectedFault:
     With ``device_id`` the ``index`` counts probes *of that device* at
     the site; without, it counts all probes at the site.  Explicit
     schedules compose with the probabilistic rates (both are checked).
+
+    ``kind="kill"`` entries are the hard-termination schedule: they are
+    ignored by :meth:`FaultPlan.check` (no exception is raised) and
+    instead consumed once by :meth:`FaultPlan.take_kill` — the cluster
+    backend SIGKILLs the worker whose shard-dispatch ordinal matches
+    ``index``.
     """
 
     site: str
     index: int
-    kind: str  # "transient" | "permanent"
+    kind: str  # "transient" | "permanent" | "kill"
     device_id: Optional[str] = None
 
 
@@ -280,8 +306,10 @@ class FaultPlan:
         for f in scheduled:
             if f.site not in FAULT_SITES:
                 raise ValueError(f"unknown fault site {f.site!r} in schedule")
-            if f.kind not in ("transient", "permanent"):
-                raise ValueError(f"fault kind must be transient|permanent, got {f.kind!r}")
+            if f.kind not in ("transient", "permanent", "kill"):
+                raise ValueError(
+                    f"fault kind must be transient|permanent|kill, got {f.kind!r}"
+                )
         self.seed = int(seed)
         self.transient_rate = float(transient_rate)
         self.permanent_rate = float(permanent_rate)
@@ -336,8 +364,8 @@ class FaultPlan:
         index = k_site if ordinal is None else ordinal
         kind = None
         for f in self.scheduled:
-            if f.site != site:
-                continue
+            if f.site != site or f.kind == "kill":
+                continue  # kills are consumed by take_kill, never raised
             if f.device_id is not None:
                 if f.device_id == device_id and f.index == k_dev:
                     kind = f.kind
@@ -398,6 +426,39 @@ class FaultPlan:
             if (site, kind) not in scheduled_keys
         )
 
+    def take_kill(
+        self,
+        site: str,
+        ordinal: int,
+        device_id: Optional[str] = None,
+    ) -> bool:
+        """Consume a scheduled ``kind="kill"`` entry matching this probe.
+
+        Returns True exactly once per matching entry — the caller then
+        hard-terminates the target (the cluster backend SIGKILLs the
+        worker the shard was dispatched to).  ``ordinal`` is the
+        deterministic dispatch ordinal (``next_ordinal`` order); an
+        entry with a ``device_id`` additionally requires the worker
+        name to match.
+        """
+        fired = False
+        with self._lock:
+            for k, f in enumerate(self.scheduled):
+                if f.kind != "kill" or f.site != site:
+                    continue
+                if f.index != ordinal:
+                    continue
+                if f.device_id is not None and f.device_id != device_id:
+                    continue
+                key = ("kill-done", site, k)
+                if self._counts.get(key):
+                    continue
+                self._counts[key] = 1
+                self.injected.append((site, ordinal, "kill", device_id))
+                fired = True
+                break
+        return fired
+
     # -- introspection / control -------------------------------------------
     def kill_device(self, device_id: str) -> None:
         """Mark a device permanently failed from now on."""
@@ -426,6 +487,7 @@ class FaultPlan:
                 "injected": len(self.injected),
                 "transients": sum(1 for f in self.injected if f[2] == "transient"),
                 "permanents": sum(1 for f in self.injected if f[2] == "permanent"),
+                "kills": sum(1 for f in self.injected if f[2] == "kill"),
                 "dead_devices": sorted(self._dead),
             }
 
@@ -447,6 +509,16 @@ def parse_fault_spec(spec: str) -> Optional[FaultPlan]:
     Format: comma-separated ``key=value`` pairs —
     ``seed=42,transient=0.02,permanent=0.001,sites=threads.chunk|gpusim.launch,max=100``.
     ``off`` (or an empty string) disables injection.
+
+    The ``kill=`` key schedules hard worker terminations for the
+    cluster backend: ``kill=cluster.shard:3|cluster.shard:7`` SIGKILLs
+    the worker receiving shard-dispatch ordinal 3, then the one
+    receiving ordinal 7 (ordinals count dispatches process-wide, in
+    ``next_ordinal`` reservation order).  Examples::
+
+        PYACC_FAULTS="seed=1,transient=0.01,sites=cluster.shard|cluster.halo"
+        PYACC_FAULTS="seed=7,kill=cluster.shard:2"
+        PYACC_FAULTS="seed=1337,transient=0.005,max=200,kill=cluster.shard:40"
     """
     spec = spec.strip()
     if not spec or spec.lower() == "off":
@@ -476,10 +548,28 @@ def parse_fault_spec(spec: str) -> Optional[FaultPlan]:
                 )
             elif key == "max":
                 kwargs["max_faults"] = int(value)
+            elif key == "kill":
+                entries = []
+                for item in value.split("|"):
+                    item = item.strip()
+                    if not item:
+                        continue
+                    site, sep, index = item.rpartition(":")
+                    if not sep or not site:
+                        raise PreferencesError(
+                            f"malformed {_ENV_FAULTS} kill entry {item!r}; "
+                            "expected site:ordinal (e.g. cluster.shard:3)"
+                        )
+                    entries.append(
+                        InjectedFault(site=site, index=int(index), kind="kill")
+                    )
+                kwargs["scheduled"] = tuple(kwargs.get("scheduled", ())) + tuple(
+                    entries
+                )
             else:
                 raise PreferencesError(
                     f"unknown {_ENV_FAULTS} key {key!r}; valid keys: "
-                    "seed, transient, permanent, sites, max"
+                    "seed, transient, permanent, sites, max, kill"
                 )
         except ValueError as exc:
             raise PreferencesError(
@@ -713,11 +803,13 @@ def retry_transients(
 def demote_backend(backend: "Backend") -> Optional["Backend"]:
     """The next rung below ``backend`` on the failover ladder.
 
-    multidevice (survivor rebalancing is internal to the backend; by the
-    time it raises, the whole node is dead) → threads → serial → None.
-    The simulator's device storage is host memory, so the demoted backend
-    executes against the same buffers the failed device owned — which is
-    exactly what a managed-memory failover on real hardware provides.
+    multidevice / cluster (survivor rebalancing is internal to those
+    backends; by the time they raise, the whole node or worker set is
+    dead) → threads → serial → None.  The simulator's device storage —
+    and the cluster backend's shared-memory segments — are host memory,
+    so the demoted backend executes against the same buffers the failed
+    workers owned, which is exactly what a managed-memory failover on
+    real hardware provides.
     """
     from .backends.registry import create_backend
     from .backends.serial import SerialBackend
@@ -729,7 +821,7 @@ def demote_backend(backend: "Backend") -> Optional["Backend"]:
     if isinstance(backend, ThreadsBackend):
         return create_backend("serial")
     # GPU-class backends (single device or a fully-failed multi-device
-    # node) demote to the threads backend.
+    # node) and the cluster backend demote to the threads backend.
     return create_backend("threads")
 
 

@@ -24,6 +24,15 @@ Design
   preserves it at the allocator level).
 * Statistics (buffers created/reused, bytes saved) are kept per arena and
   aggregated process-wide for the bench harness's ``--json`` output.
+* Arenas, frames, and the aggregate counters are **process-local**.  A
+  cluster worker (:mod:`repro.backends.cluster`) builds its *own*
+  ``ScratchArena`` after fork and never returns buffers across the
+  process boundary: shard results travel only through the shared-memory
+  argument segments (or the pickled partials of a reduce), which the
+  parent commits explicitly.  Nothing an arena hands out may be assumed
+  visible to, or reclaimable by, another process — worker counters die
+  with the worker, and the parent's ``global_stats`` only reflect
+  parent-side execution.
 """
 
 from __future__ import annotations

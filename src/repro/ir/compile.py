@@ -316,7 +316,10 @@ def cache_info(cache: Optional[KernelCache] = None) -> dict:
     counters under ``"native"`` — ``{compiled, disk_hits, mem_hits,
     declined: {reason: n}}`` — covering every decline class including
     link/load-time failures (see
-    :func:`repro.ir.nativecache.native_stats`).
+    :func:`repro.ir.nativecache.native_stats`), and the cluster-backend
+    counters under ``"cluster"`` — shards, halo exchanges/bytes,
+    respawns, rebalances, degradations (see
+    :func:`repro.backends.cluster.cluster_stats`).
 
     Reports on the process-global cache by default; pass a
     context-scoped :class:`KernelCache` to inspect that one instead.
@@ -329,6 +332,9 @@ def cache_info(cache: Optional[KernelCache] = None) -> dict:
     info["graph"] = graph_stats()
     info["verify"] = counters.snapshot()
     info["native"] = native_stats()
+    from ..backends.cluster import cluster_stats
+
+    info["cluster"] = cluster_stats()
     return info
 
 

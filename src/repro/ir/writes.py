@@ -17,6 +17,19 @@ mutation of device storage after ``repro.array``) are outside the
 contract — the same discipline CUDA graphs demand, where captured
 operands may only be updated through graph-legal APIs.
 
+The version table is **process-local** by construction.  A cluster
+worker process (:mod:`repro.backends.cluster`) inherits a fork-time
+copy and runs its shard against shared-memory views, so any
+``note_writes`` it performs lands in the *worker's* table and is
+discarded with the worker.  That is sound only because shard results
+are committed through the parent: the cluster backend's execute stage
+returns before the dispatch layer calls ``note_writes`` in the parent
+process, so every array a sharded launch stores to is versioned here —
+in the same table the parent's graph snapshots read — exactly as if the
+launch had run in-process.  Backends that commit results any other way
+must call :func:`note_writes` themselves or const-array hoisting would
+replay stale values.
+
 Versions are process-global monotonic integers keyed by storage ``id``.
 Snapshots embed an *epoch*; :func:`reset` (wired into
 ``repro.clear_cache``) bumps it, which invalidates every outstanding

@@ -188,6 +188,10 @@ class TestFaultSpecParsing:
             "threads.chunk",
             "multidevice.chunk",
             "arena.frame",
+            "cluster.spawn",
+            "cluster.shard",
+            "cluster.halo",
+            "cluster.reduce",
         }
 
 
