@@ -334,7 +334,12 @@ def _worker_main(conn, worker_name: str) -> None:  # pragma: no cover - child
     ``("exit",)`` ends the loop.
     """
     from ..ir.arena import ScratchArena
+    from ..ir.compilecache import enter_worker_mode
 
+    # Forked workers read the parent's compile cache but publish into a
+    # per-worker spool the parent promotes (handle_loss/shutdown) — a
+    # SIGKILLed worker can never corrupt the shared namespace.
+    enter_worker_mode()
     segments: dict = {}
     fns: dict = {}
     arena = ScratchArena()
@@ -565,6 +570,15 @@ class ClusterSupervisor:
         except Exception:
             pass
         self._drop(w)
+        # Absorb whatever the dead worker (and its peers) spooled into
+        # the shared compile cache, so the respawn warm-starts from disk
+        # instead of recompiling its shard kernels.
+        try:
+            from ..ir.compilecache import promote_spools
+
+            promote_spools()
+        except Exception:
+            pass
         if self.respawns_used >= self.max_respawns:
             self.slots.pop(w.slot, None)
             self.epoch += 1
@@ -625,6 +639,12 @@ class ClusterSupervisor:
             self._drop(w)
         self.slots.clear()
         self._started = False
+        try:
+            from ..ir.compilecache import promote_spools
+
+            promote_spools()
+        except Exception:
+            pass
 
 
 # ---------------------------------------------------------------------------

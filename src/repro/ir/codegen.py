@@ -517,6 +517,30 @@ def _program_globals() -> dict:
     return g
 
 
+#: Compiled code objects keyed on (source, filename).  Generated text
+#: is deterministic per trace, so recaptures and warm rebuilds reuse the
+#: parse; the persistent compile cache seeds this from marshaled
+#: bytecode (:func:`seed_code`) so a warm process never re-parses.
+_CODE_CACHE: dict = {}
+
+
+def _compile_source(source: str, filename: str):
+    key = (source, filename)
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        code = compile(source, filename, "exec")
+        if len(_CODE_CACHE) > 512:  # churn guard
+            _CODE_CACHE.clear()
+        _CODE_CACHE[key] = code
+    return code
+
+
+def seed_code(source: str, filename: str, code) -> None:
+    """Pre-populate the parse cache with an externally supplied code
+    object (the persistent cache's marshaled bytecode)."""
+    _CODE_CACHE[(source, filename)] = code
+
+
 _REDUCE_IDENTITY = {"add": 0.0, "min": float(np.inf), "max": float(-np.inf)}
 
 
@@ -565,7 +589,7 @@ class CodegenProgram:
         self.n_out_buffers = len(self.out_dtypes)
         namespace = _program_globals()
         _bind_out_dtypes(namespace, self.out_dtypes)
-        code = compile(source, "<pyacc-codegen>", "exec")
+        code = _compile_source(source, "<pyacc-codegen>")
         exec(code, namespace)
         self._fn = namespace["_kernel"]
 
@@ -722,10 +746,10 @@ class HoistedProgram:
             namespace = _program_globals()
             namespace["_clamp_index"] = _clamp_index
             exec(
-                compile(prologue_source, "<pyacc-hoist-pro>", "exec"),
+                _compile_source(prologue_source, "<pyacc-hoist-pro>"),
                 namespace,
             )
-            exec(compile(source, "<pyacc-hoist>", "exec"), namespace)
+            exec(_compile_source(source, "<pyacc-hoist>"), namespace)
             cached = (namespace["_prologue"], namespace["_kernel"])
             if len(_HOIST_FN_CACHE) > 256:  # churn guard
                 _HOIST_FN_CACHE.clear()

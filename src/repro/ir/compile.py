@@ -36,6 +36,7 @@ from ..core.exceptions import (
     TraceFallback,
 )
 from ..core.preferences import EXECUTOR_MODES, resolve_executor_mode
+from . import compilecache
 from . import nodes as N
 from .arena import ScratchArena
 from . import writes
@@ -316,7 +317,10 @@ def cache_info(cache: Optional[KernelCache] = None) -> dict:
     counters under ``"native"`` — ``{compiled, disk_hits, mem_hits,
     declined: {reason: n}}`` — covering every decline class including
     link/load-time failures (see
-    :func:`repro.ir.nativecache.native_stats`), and the cluster-backend
+    :func:`repro.ir.nativecache.native_stats`), the persistent
+    compile-cache counters under ``"disk"`` — ``{disk_hits,
+    disk_misses, stores, invalidated, bytes, ...}`` (see
+    :func:`repro.ir.compilecache.disk_stats`), and the cluster-backend
     counters under ``"cluster"`` — shards, halo exchanges/bytes,
     respawns, rebalances, degradations (see
     :func:`repro.backends.cluster.cluster_stats`).
@@ -332,6 +336,7 @@ def cache_info(cache: Optional[KernelCache] = None) -> dict:
     info["graph"] = graph_stats()
     info["verify"] = counters.snapshot()
     info["native"] = native_stats()
+    info["disk"] = compilecache.disk_stats()
     from ..backends.cluster import cluster_stats
 
     info["cluster"] = cluster_stats()
@@ -437,6 +442,26 @@ def compile_kernel(
     if ck is not None:
         return ck
 
+    # 4. Persistent tier (PYACC_COMPILE_CACHE): rebuild from an entry
+    # published by an earlier process — no tracing, verification, or
+    # lowering.  Kernels the fingerprint cannot content-address
+    # (closures over large arrays, exotic globals) return ``None`` keys
+    # and simply compile as before.
+    pkeys = compilecache.kernel_keys(
+        fn, ndim, bool(reduce), executor, args, max_paths
+    )
+    if pkeys is not None:
+        ck, disk_rung = compilecache.load_kernel(pkeys, fn)
+        if ck is not None:
+            mem_key = {
+                "base": base_key,
+                "shape": shape_key,
+                "value": value_key,
+            }[disk_rung]
+            cache.store(mem_key, ck)
+            return ck
+    compilecache.record_compile()
+
     kwargs = {} if max_paths is None else {"max_paths": max_paths}
     trace: Optional[N.Trace] = None
     mode = "vector"
@@ -510,12 +535,14 @@ def compile_kernel(
                 if reason
                 else f"codegen declined: {exc}"
             )
+    nreason: Optional[str] = None
     if executor == "native" and codegen is not None:
         # Top rung: compile the trace to a C shared object.  Declines
         # (unsupported op/dtype, missing compiler, compile failure) are
         # recorded in the native counters and the kernel stays codegen.
         native, nreason = try_lower_native(trace, args)
         if native is not None:
+            nreason = None
             mode = "native" if mode == "codegen" else "native-specialized"
         else:
             reason = (
@@ -534,6 +561,10 @@ def compile_kernel(
         codegen=codegen,
         native=native,
     )
+    if nreason is not None:
+        # Remember the native decline reason so a warm disk load can
+        # replay it into the decline taxonomy (counter parity).
+        object.__setattr__(ck, "_native_decline", nreason)
 
     specialized = mode in (
         "vector-specialized",
@@ -542,11 +573,16 @@ def compile_kernel(
     )
     if trace is not None and not specialized and not trace.shape_dependent:
         cache.store(base_key, ck)
+        disk_rung = "base"
     elif trace is not None and not specialized:
         cache.store(shape_key, ck)
+        disk_rung = "shape"
     else:
         # Value-specialized traces and interpreter fallbacks: cache under
         # the value key so a different scalar value (e.g. a different
         # loop bound) recompiles.
         cache.store(value_key, ck)
+        disk_rung = "value"
+    if pkeys is not None:
+        compilecache.store_kernel(pkeys, disk_rung, ck)
     return ck

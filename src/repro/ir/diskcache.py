@@ -1,0 +1,239 @@
+"""Shared on-disk cache mechanics for the persistent compile tiers.
+
+PR 8's native artifact cache (:mod:`repro.ir.nativecache`) established
+the discipline for surviving concurrent writers and corrupted files on
+a shared cache directory:
+
+* **atomic publish** — every entry is written to a temp name in the
+  destination directory and :func:`os.replace`\\ d into place, so a
+  reader never observes a half-written file and two processes racing on
+  the same key both end with a complete entry (last writer wins; the
+  entries are equivalent by construction because the key is
+  content-addressed);
+* **corrupted entry → unlink + rebuild** — a file that fails its
+  integrity check is deleted and treated as a miss, never an error;
+  the caller simply rebuilds and republishes.
+
+This module extracts those primitives so the persistent *compile* cache
+(:mod:`repro.ir.compilecache` — pickled IR entries keyed by kernel
+source hash) and the native *artifact* cache (``.c``/``.so`` pairs keyed
+by generated-source hash) share one implementation, plus the directory
+janitor operations (``ls``/``prune``/``clear``/``verify``) behind
+``python -m repro.cache``.
+
+Framed entries carry a magic tag and a sha256 digest of the payload;
+:func:`read_entry` re-hashes on every load, so truncation, bit rot, or
+a format change from another repro version all surface as
+:class:`CorruptEntry` — the caller's cue to unlink and rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "CorruptEntry",
+    "atomic_write",
+    "publish_path",
+    "write_entry",
+    "read_entry",
+    "unlink_quiet",
+    "entry_files",
+    "dir_bytes",
+    "prune_dir",
+    "clear_dir",
+    "verify_dir",
+]
+
+#: Entry framing: magic + payload sha256 (hex) + newline + payload.
+#: Bump the magic when the frame layout itself changes — payload-level
+#: versioning lives with the payload's owner.
+MAGIC = b"pyacc-entry-1\n"
+
+
+class CorruptEntry(Exception):
+    """An on-disk entry failed its integrity check (truncated, bit-rot,
+    or foreign format).  Callers unlink and rebuild — never propagate."""
+
+
+# ---------------------------------------------------------------------------
+# Atomic publish
+# ---------------------------------------------------------------------------
+
+
+def atomic_write(path: Path, data: bytes) -> int:
+    """Write ``data`` to ``path`` atomically; returns bytes written.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename — atomic on POSIX.  A
+    concurrent writer racing on the same path is benign: whichever
+    rename lands last wins, and both files were complete.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        unlink_quiet(Path(tmp))
+        raise
+    return len(data)
+
+
+def publish_path(tmp: Path, final: Path) -> None:
+    """Atomically move a finished temp file into its published name.
+
+    The rename half of :func:`atomic_write`, for callers that produce
+    the temp file themselves (the native cache compiles straight into a
+    temp ``.so``).
+    """
+    os.replace(tmp, final)
+
+
+def unlink_quiet(path: Path) -> None:
+    """Best-effort delete; missing files and permission races are fine."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Framed entries (integrity-checked payloads)
+# ---------------------------------------------------------------------------
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return MAGIC + digest + b"\n" + payload
+
+
+def _unframe(data: bytes) -> bytes:
+    if not data.startswith(MAGIC):
+        raise CorruptEntry("bad magic")
+    rest = data[len(MAGIC) :]
+    nl = rest.find(b"\n")
+    if nl != 64:  # sha256 hex digest length
+        raise CorruptEntry("bad digest line")
+    digest, payload = rest[:nl], rest[nl + 1 :]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        raise CorruptEntry("digest mismatch")
+    return payload
+
+
+def write_entry(path: Path, payload: bytes) -> int:
+    """Frame ``payload`` with an integrity digest and publish atomically.
+
+    Returns the number of bytes written (frame included) — the caller's
+    ``bytes`` counter feed.
+    """
+    return atomic_write(Path(path), _frame(payload))
+
+
+def read_entry(path: Path) -> Optional[bytes]:
+    """Load and integrity-check a framed entry.
+
+    Returns the payload, ``None`` when the file does not exist, or
+    raises :class:`CorruptEntry` when the frame fails verification (the
+    caller unlinks and rebuilds).
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise CorruptEntry(str(exc)) from exc
+    return _unframe(data)
+
+
+# ---------------------------------------------------------------------------
+# Directory janitor (python -m repro.cache)
+# ---------------------------------------------------------------------------
+
+
+def entry_files(
+    dirpath: Path, suffixes: tuple = (".pkl",)
+) -> list[tuple[Path, int, float]]:
+    """``(path, size, mtime)`` for every entry file under ``dirpath``
+    (non-recursive), oldest first — the LRU order ``prune_dir`` uses."""
+    out: list[tuple[Path, int, float]] = []
+    try:
+        names = os.listdir(dirpath)
+    except OSError:
+        return out
+    for name in names:
+        if not name.endswith(tuple(suffixes)):
+            continue
+        p = Path(dirpath) / name
+        try:
+            st = p.stat()
+        except OSError:
+            continue
+        out.append((p, st.st_size, st.st_mtime))
+    out.sort(key=lambda t: t[2])
+    return out
+
+
+def dir_bytes(dirpath: Path, suffixes: tuple = (".pkl",)) -> int:
+    """Total bytes held by entry files under ``dirpath``."""
+    return sum(size for _, size, _ in entry_files(dirpath, suffixes))
+
+
+def prune_dir(
+    dirpath: Path, max_bytes: int, suffixes: tuple = (".pkl",)
+) -> tuple[int, int]:
+    """Evict least-recently-used entries until ≤ ``max_bytes`` remain.
+
+    LRU by mtime (loads do not touch mtime, so this approximates
+    least-recently-*written*; good enough for a compile cache where hot
+    entries are re-stored on verify write-back).  Returns
+    ``(entries_removed, bytes_freed)``.
+    """
+    files = entry_files(dirpath, suffixes)
+    total = sum(size for _, size, _ in files)
+    removed = 0
+    freed = 0
+    for path, size, _ in files:
+        if total <= max_bytes:
+            break
+        unlink_quiet(path)
+        total -= size
+        removed += 1
+        freed += size
+    return removed, freed
+
+
+def clear_dir(dirpath: Path, suffixes: tuple = (".pkl",)) -> int:
+    """Delete every entry file under ``dirpath``; returns the count."""
+    files = entry_files(dirpath, suffixes)
+    for path, _, _ in files:
+        unlink_quiet(path)
+    return len(files)
+
+
+def verify_dir(dirpath: Path, suffixes: tuple = (".pkl",)) -> tuple[int, int]:
+    """Re-hash every framed entry; unlink the ones that fail.
+
+    Returns ``(entries_checked, entries_removed)``.  Only framed entries
+    are checked — the native cache's ``.c``/``.so`` artifacts verify at
+    load time (the dlopen itself is the integrity check).
+    """
+    checked = 0
+    removed = 0
+    for path, _, _ in entry_files(dirpath, suffixes):
+        checked += 1
+        try:
+            read_entry(path)
+        except CorruptEntry:
+            unlink_quiet(path)
+            removed += 1
+    return checked, removed

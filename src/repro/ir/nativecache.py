@@ -39,6 +39,8 @@ import threading
 from pathlib import Path
 from typing import Optional
 
+from . import diskcache
+
 __all__ = [
     "CC_ENV",
     "CACHE_ENV",
@@ -73,7 +75,7 @@ class NativeCompileError(Exception):
 # ---------------------------------------------------------------------------
 
 _LOCK = threading.Lock()
-_STATS = {"compiled": 0, "disk_hits": 0, "mem_hits": 0}
+_STATS = {"compiled": 0, "disk_hits": 0, "mem_hits": 0, "bytes": 0}
 _DECLINED: dict[str, int] = {}
 
 #: In-memory handle cache: source hash -> ctypes function pointer.  Kept
@@ -85,9 +87,9 @@ _MEM: dict[str, ctypes.CDLL] = {}
 _CC_RESOLVED: dict[Optional[str], Optional[str]] = {}
 
 
-def _bump(key: str) -> None:
+def _bump(key: str, n: int = 1) -> None:
     with _LOCK:
-        _STATS[key] += 1
+        _STATS[key] += n
 
 
 def record_decline(reason: str) -> None:
@@ -97,7 +99,9 @@ def record_decline(reason: str) -> None:
 
 
 def native_stats() -> dict:
-    """Locked snapshot: ``{compiled, disk_hits, mem_hits, declined}``."""
+    """Locked snapshot: ``{compiled, disk_hits, mem_hits, bytes,
+    declined}`` — ``bytes`` counts artifact bytes (``.c`` + ``.so``)
+    published by *this process*."""
     with _LOCK:
         out = dict(_STATS)
         out["declined"] = dict(_DECLINED)
@@ -221,17 +225,20 @@ def _compile_to_disk(cc: str, source: str, key: str, cdir: Path) -> Path:
     with os.fdopen(fd, "w") as fh:
         fh.write(source)
     tmp_so = tmp_c[:-2] + ".so"
+    nbytes = 0
     try:
         _invoke_cc(cc, Path(tmp_c), Path(tmp_so))
-        os.replace(tmp_c, c_path)
-        os.replace(tmp_so, so_path)
-    finally:
-        for leftover in (tmp_c, tmp_so):
+        for tmp, final in ((tmp_c, c_path), (tmp_so, so_path)):
             try:
-                os.unlink(leftover)
+                nbytes += os.path.getsize(tmp)
             except OSError:
                 pass
+            diskcache.publish_path(Path(tmp), final)
+    finally:
+        for leftover in (tmp_c, tmp_so):
+            diskcache.unlink_quiet(Path(leftover))
     _bump("compiled")
+    _bump("bytes", nbytes)
     return so_path
 
 
@@ -269,10 +276,7 @@ def compile_source(source: str):
         except (OSError, AttributeError):
             # Corrupted/stale artifact: drop it and fall through to a
             # fresh compile (counted once, below).
-            try:
-                os.unlink(so_path)
-            except OSError:
-                pass
+            diskcache.unlink_quiet(so_path)
     try:
         so_path = _compile_to_disk(cc, source, key, cdir)
     except NativeCompileError:

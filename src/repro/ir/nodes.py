@@ -357,6 +357,10 @@ class Trace:
         "n_paths",
         "shape_dependent",
         "implicit_return_paths",
+        # Memoized deadstore.loaded_positions result.  Left unset until
+        # first computed; pickles with the trace, so persistent-cache
+        # entries carry the analysis across processes.
+        "_loaded_memo",
     )
 
     def __init__(

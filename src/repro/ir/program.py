@@ -431,11 +431,39 @@ def _drop_stores(pn: ProgramNode, sid: int) -> Optional[str]:
         pn.gnode.disabled = True
         pn.refresh_rw()
         return None
+
+    # Persistent program tier: the same rewrite (original kernel digest ×
+    # dropped store positions) may already be on disk from an earlier
+    # instantiate — including a recorded lowering decline.
+    from . import compilecache
+
+    dropped = tuple(
+        sorted(
+            {
+                st.array.pos
+                for st in trace.stores
+                if id(plan.resolved_args[st.array.pos]) == sid
+            }
+        )
+    )
+    cached = compilecache.dse_lookup(kernel, dropped)
+    if cached is None:
+        pn.saved = None
+        return "lowering"
+    if cached is not compilecache.MISSING:
+        plan.kernel = cached
+        plan.written_ids = None
+        plan.read_ids = None
+        plan.effects = None
+        pn.refresh_rw()
+        return None
+
     new_trace = _trace_with_stores(trace, keep)
     try:
         program = lower_trace(new_trace, plan.resolved_args)
     except CodegenError:
         pn.saved = None  # nothing was mutated; drop the snapshot
+        compilecache.dse_record(kernel, dropped, None)
         return "lowering"
     # The native rung was compiled from the *old* trace; re-lower it
     # from the rewritten one (or drop to codegen on decline) — carrying
@@ -456,6 +484,7 @@ def _drop_stores(pn: ProgramNode, sid: int) -> Optional[str]:
         native=native,
         mode=mode if mode.endswith("-dse") else mode + "-dse",
     )
+    compilecache.dse_record(kernel, dropped, plan.kernel)
     plan.written_ids = None
     plan.read_ids = None
     plan.effects = None

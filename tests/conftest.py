@@ -1,0 +1,20 @@
+"""Shared test configuration.
+
+The persistent compile cache (``PYACC_COMPILE_CACHE``) defaults to a
+per-user directory — fine for real use, wrong for a test suite, where a
+stale entry from a previous checkout could mask a compile-path change.
+Point it at a session-private temp directory instead, so every tier-1
+run is a *cold* start while still exercising the store/load paths.
+
+``setdefault`` keeps an explicitly exported ``PYACC_COMPILE_CACHE``
+authoritative: the CI ``warmstart`` job shares one directory across two
+runs on purpose, and the warm-start tests point subprocesses at their
+own directories.
+"""
+
+import os
+import tempfile
+
+os.environ.setdefault(
+    "PYACC_COMPILE_CACHE", tempfile.mkdtemp(prefix="pyacc-test-compile-")
+)

@@ -55,8 +55,10 @@ def dot(i, x, y):
 @pytest.fixture(autouse=True)
 def isolated_cache(tmp_path, monkeypatch):
     """Every test gets a private artifact directory and zeroed counters
-    (the kernel cache is cleared too, so each compile is real)."""
+    (the kernel cache is cleared too, so each compile is real — the
+    persistent compile cache is scoped per-test for the same reason)."""
     monkeypatch.setenv("PYACC_NATIVE_CACHE", str(tmp_path / "native"))
+    monkeypatch.setenv("PYACC_COMPILE_CACHE", str(tmp_path / "compile"))
     clear_cache()
     reset_state()
     yield
