@@ -570,13 +570,14 @@ class ClusterSupervisor:
         except Exception:
             pass
         self._drop(w)
-        # Absorb whatever the dead worker (and its peers) spooled into
-        # the shared compile cache, so the respawn warm-starts from disk
-        # instead of recompiling its shard kernels.
+        # Absorb what the dead worker spooled into the shared compile
+        # cache, so the respawn warm-starts from disk instead of
+        # recompiling its shard kernels.  Only *its* spool: peers are
+        # still alive and may be mid-publish.
         try:
             from ..ir.compilecache import promote_spools
 
-            promote_spools()
+            promote_spools([w.proc.pid])
         except Exception:
             pass
         if self.respawns_used >= self.max_respawns:

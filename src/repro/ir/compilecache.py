@@ -57,6 +57,7 @@ import os
 import pickle
 import sys
 import threading
+import time
 import types
 import weakref
 from pathlib import Path
@@ -101,6 +102,14 @@ FORMAT = 1
 _OFF = {"off", "0", "none", "disabled"}
 
 _SCALARS = (bool, int, float, complex, str, bytes, type(None))
+
+#: Top-level packages whose contents are already covered by the versions
+#: folded into every key (:func:`_env_tag`): a reference into one of
+#: these may be fingerprinted by *name*, because any behavior change
+#: ships with a version bump that invalidates the whole cache.  A module
+#: or helper from anywhere else must be content-hashed — or make the
+#: kernel ineligible.
+_VERSION_KEYED_PKGS = ("repro", "numpy", "math", "builtins")
 
 _LOCK = threading.Lock()
 _STATS = {
@@ -264,6 +273,10 @@ def _array_part(a: np.ndarray) -> tuple:
     its *values* into the trace, so the values must be in the key)."""
     if a.nbytes > _ARRAY_FP_LIMIT:
         raise _Ineligible(f"captured array of {a.nbytes} bytes")
+    if a.dtype.hasobject:
+        # tobytes() on object arrays serializes pointers — the "content
+        # hash" would be nondeterministic across processes.
+        raise _Ineligible("captured array with object dtype")
     c = np.ascontiguousarray(a)
     return (
         "arr",
@@ -284,10 +297,12 @@ def _global_part(name: str, v: Any, depth: int, seen: set) -> tuple:
 
     Scalars fold in by value (module-level constants are baked at trace
     time); repro-internal and builtin callables are covered by the repro
-    version already in the key; user helper functions recurse one level
-    into their own source.  Anything opaque (arrays, objects) makes the
-    kernel ineligible — its traced behavior cannot be proven stable from
-    here.
+    version already in the key; user helper functions recurse (two
+    levels deep) into their own source.  Anything opaque — arrays with
+    object dtype, non-version-keyed modules, helper chains too deep to
+    hash, arbitrary objects — makes the kernel ineligible: its traced
+    behavior cannot be proven stable from here, and a safe miss beats a
+    wrong hit.
     """
     if isinstance(v, np.generic):
         v = v.item()
@@ -296,15 +311,27 @@ def _global_part(name: str, v: Any, depth: int, seen: set) -> tuple:
     if isinstance(v, np.ndarray):
         return ("ga", name, _array_part(v))
     if isinstance(v, types.ModuleType):
-        return ("gm", name, v.__name__)
+        if v.__name__.partition(".")[0] in _VERSION_KEYED_PKGS:
+            return ("gm", name, v.__name__)
+        # mymod.helper(...) / mymod.CONST bakes the module's *contents*
+        # into the trace; a name-only part would survive edits to them.
+        raise _Ineligible(
+            f"global module {name!r} ({v.__name__}) is not version-keyed"
+        )
     if isinstance(v, np.ufunc):
         return ("gu", name, v.__name__)
     mod = getattr(v, "__module__", "") or ""
     if isinstance(v, types.FunctionType):
-        if mod.partition(".")[0] in ("repro", "numpy", "math", "builtins"):
+        if mod.partition(".")[0] in _VERSION_KEYED_PKGS:
             return ("gf", name, mod, v.__qualname__)
-        if depth >= 2 or id(v) in seen:
+        if id(v) in seen:
+            # Recursion cycle: this helper's body is already hashed
+            # higher in the chain, so a name reference is sound.
             return ("gf", name, mod, v.__qualname__)
+        if depth >= 2:
+            # A name-only fallback here would leave the deepest helper's
+            # body out of the key — stale warm hits after editing it.
+            raise _Ineligible(f"helper chain through {name!r} too deep")
         seen.add(id(v))
         return ("gf+", name, _fn_parts(v, depth + 1, seen))
     if isinstance(v, (types.BuiltinFunctionType, type)):
@@ -1106,10 +1133,33 @@ def enter_worker_mode() -> None:
     _SPOOL = d / "spool" / f"w{os.getpid()}"
 
 
-def promote_spools() -> int:
-    """Parent-side: atomically promote every spooled entry into the
-    main directory; returns the number promoted.  Safe to call any time
-    — promotion is a same-filesystem rename per entry."""
+#: A spooling worker is between ``mkstemp`` and ``os.replace`` for at
+#: most the time it takes to write one pickled entry; a ``.tmp`` file
+#: older than this can only be the orphan of a dead worker.
+_SPOOL_TMP_GRACE = 60.0
+
+
+def _older_than(p: Path, age: float) -> bool:
+    try:
+        return (time.time() - p.stat().st_mtime) > age
+    except OSError:
+        return False
+
+
+def promote_spools(pids: Optional[Sequence[int]] = None) -> int:
+    """Parent-side: atomically promote spooled entries into the main
+    directory; returns the number promoted.
+
+    ``pids`` restricts promotion to those workers' spool directories —
+    pass the pid of a worker *known to be dead* (the cluster
+    supervisor's loss handler does), whose spool can also be reaped of
+    stray temp files outright.  Without ``pids`` every spool is swept,
+    which is safe at any time for the published ``.pkl`` entries
+    (promotion is a same-filesystem rename), but a live worker may be
+    mid-publish — between ``mkstemp`` and ``os.replace`` — so ``.tmp``
+    files are only reaped once they are older than any in-flight write
+    could be.
+    """
     d = cache_dir()
     if d is None:
         return 0
@@ -1119,14 +1169,19 @@ def promote_spools() -> int:
         worker_dirs = list(spool_root.iterdir())
     except OSError:
         return 0
+    if pids is not None:
+        want = {f"w{pid}" for pid in pids if pid is not None}
+        worker_dirs = [wd for wd in worker_dirs if wd.name in want]
     for wd in worker_dirs:
+        owner_dead = pids is not None
         try:
             entries = list(wd.iterdir())
         except OSError:
             continue
         for p in entries:
             if not p.name.endswith(".pkl"):
-                diskcache.unlink_quiet(p)
+                if owner_dead or _older_than(p, _SPOOL_TMP_GRACE):
+                    diskcache.unlink_quiet(p)
                 continue
             try:
                 os.replace(p, d / p.name)

@@ -16,6 +16,8 @@ import os
 import subprocess
 import sys
 import textwrap
+import time
+import types
 from pathlib import Path
 
 import numpy as np
@@ -377,6 +379,106 @@ class TestInvalidation:
 
 
 # ---------------------------------------------------------------------------
+# Fingerprint soundness ("a wrong hit is impossible by construction")
+# ---------------------------------------------------------------------------
+
+
+def _make_fns(body: str) -> dict:
+    """exec a kernel + helpers into a private non-repro "user module"."""
+    ns: dict = {"__name__": "usermod", "np": np}
+    exec(textwrap.dedent(body), ns)
+    return ns
+
+
+class TestFingerprintSoundness:
+    def test_version_keyed_module_global_is_eligible(self):
+        ns = _make_fns(
+            """
+            def kern(i, out):
+                out[i] = np.float64(1.0) + 0.0 * i
+            """
+        )
+        assert compilecache._fn_fingerprint(ns["kern"])
+
+    def test_foreign_module_global_is_ineligible(self):
+        """mymod.CONST gets baked into the trace; a name-only module
+        part would survive edits to the module's contents."""
+        ns = _make_fns(
+            """
+            def kern(i, out):
+                out[i] = mymod.CONST + 0.0 * i
+            """
+        )
+        mymod = types.ModuleType("mymod")
+        mymod.CONST = 2.0
+        ns["mymod"] = mymod
+        with pytest.raises(compilecache._Ineligible):
+            compilecache._fn_fingerprint(ns["kern"])
+
+    def test_helper_bodies_fold_into_fingerprint(self):
+        """kernel -> h1 -> h2: editing the *deepest* helper must change
+        the fingerprint (its body is baked into the trace)."""
+        ns = _make_fns(
+            """
+            def h2(v):
+                return v * 2.0
+            def h1(v):
+                return h2(v) + 1.0
+            def kern(i, out):
+                out[i] = h1(1.0) + 0.0 * i
+            """
+        )
+        fp1 = compilecache._fn_fingerprint(ns["kern"])
+        exec("def h2(v):\n    return v * 3.0", ns)
+        fp2 = compilecache._fn_fingerprint(ns["kern"])
+        assert fp1 != fp2
+
+    def test_helper_chain_deeper_than_two_is_ineligible(self):
+        """kernel -> h1 -> h2 -> h3: h3's body cannot be hashed at the
+        depth cap, so the kernel must be a safe miss, not name-keyed."""
+        ns = _make_fns(
+            """
+            def h3(v):
+                return v
+            def h2(v):
+                return h3(v)
+            def h1(v):
+                return h2(v)
+            def kern(i, out):
+                out[i] = h1(1.0) + 0.0 * i
+            """
+        )
+        with pytest.raises(compilecache._Ineligible):
+            compilecache._fn_fingerprint(ns["kern"])
+
+    def test_recursive_helper_is_still_eligible(self):
+        """A self-recursive helper's body is hashed once; the cycle
+        reference degrades to a (sound) name part."""
+        ns = _make_fns(
+            """
+            def fact(n):
+                return 1.0 if n <= 1 else n * fact(n - 1)
+            def kern(i, out):
+                out[i] = fact(3) + 0.0 * i
+            """
+        )
+        fp1 = compilecache._fn_fingerprint(ns["kern"])
+        exec(
+            "def fact(n):\n"
+            "    return 2.0 if n <= 1 else n * fact(n - 1)",
+            ns,
+        )
+        fp2 = compilecache._fn_fingerprint(ns["kern"])
+        assert fp1 != fp2
+
+    def test_object_dtype_array_is_ineligible(self):
+        a = np.empty(2, dtype=object)
+        a[:] = ["x", "y"]
+        with pytest.raises(compilecache._Ineligible):
+            compilecache._array_part(a)
+
+
+# ---------------------------------------------------------------------------
 # Concurrency
 # ---------------------------------------------------------------------------
 
@@ -442,6 +544,35 @@ class TestWorkerSpool:
 
     def test_promote_tolerates_missing_spool(self, fresh_cache):
         assert compilecache.promote_spools() == 0
+
+    def test_promote_by_pid_leaves_live_workers_alone(self, fresh_cache):
+        """handle_loss promotes only the dead worker's spool; a live
+        peer's published entries and in-flight temp files survive."""
+        dead = fresh_cache / "spool" / "w111"
+        live = fresh_cache / "spool" / "w222"
+        diskcache.write_entry(dead / "kdead.pkl", b"dead-entry")
+        diskcache.write_entry(live / "klive.pkl", b"live-entry")
+        # A live worker mid-publish: mkstemp done, os.replace pending.
+        in_flight = live / "klive.pkl.abc123.tmp"
+        in_flight.write_bytes(b"partial")
+
+        assert compilecache.promote_spools([111]) == 1
+        assert (fresh_cache / "kdead.pkl").exists()
+        assert not dead.exists()
+        assert (live / "klive.pkl").exists()
+        assert in_flight.exists()
+
+        # A full sweep (shutdown: all workers joined) promotes the rest
+        # but still spares the fresh temp file.
+        assert compilecache.promote_spools() == 1
+        assert (fresh_cache / "klive.pkl").exists()
+        assert in_flight.exists()
+
+        # Once stale (no publish can still be in flight), it is reaped.
+        old = time.time() - 2 * compilecache._SPOOL_TMP_GRACE
+        os.utime(in_flight, (old, old))
+        compilecache.promote_spools()
+        assert not in_flight.exists()
 
 
 # ---------------------------------------------------------------------------
